@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the governance chain (experiment E3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pds2_chain::address::Address;
+use pds2_chain::chain::Blockchain;
+use pds2_chain::contract::ContractRegistry;
+use pds2_chain::erc721::{AssetKind, Erc721Op};
+use pds2_chain::tx::{Transaction, TxKind};
+use pds2_crypto::{sha256, KeyPair};
+
+fn chain_with_pending(n: usize, kind: impl Fn(u64) -> TxKind) -> Blockchain {
+    let alice = KeyPair::from_seed(1);
+    let mut chain = Blockchain::single_validator(
+        9000,
+        &[(Address::of(&alice.public), u128::MAX / 2)],
+        ContractRegistry::new(),
+    );
+    for nonce in 0..n as u64 {
+        let tx = Transaction {
+            from: alice.public.clone(),
+            nonce,
+            kind: kind(nonce),
+            gas_limit: 1_000_000,
+        }
+        .sign(&alice);
+        chain.submit(tx).unwrap();
+    }
+    chain
+}
+
+fn bench_block_production(c: &mut Criterion) {
+    let bob = Address::of(&KeyPair::from_seed(2).public);
+    let mut group = c.benchmark_group("chain");
+    group.sample_size(10);
+    for n in [100usize, 500] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("produce_block_{n}_transfers"), |b| {
+            b.iter_batched(
+                || chain_with_pending(n, |_| TxKind::Transfer { to: bob, amount: 1 }),
+                |mut chain| chain.produce_until_empty(100),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("produce_block_200_nft_mints", |b| {
+        b.iter_batched(
+            || {
+                chain_with_pending(200, |nonce| {
+                    TxKind::Erc721(Erc721Op::Mint {
+                        kind: AssetKind::Dataset,
+                        content: sha256(&nonce.to_le_bytes()),
+                        label: String::new(),
+                    })
+                })
+            },
+            |mut chain| chain.produce_until_empty(100),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tx_admission(c: &mut Criterion) {
+    let alice = KeyPair::from_seed(1);
+    let bob = Address::of(&KeyPair::from_seed(2).public);
+    let tx = Transaction {
+        from: alice.public.clone(),
+        nonce: 0,
+        kind: TxKind::Transfer { to: bob, amount: 1 },
+        gas_limit: 100_000,
+    }
+    .sign(&alice);
+    c.bench_function("chain/tx_signature_verify", |b| {
+        b.iter(|| assert!(tx.verify_signature()))
+    });
+}
+
+criterion_group!(benches, bench_block_production, bench_tx_admission);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the cryptographic substrate
+//! (supports E3/E9 throughput numbers).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pds2_crypto::bigint::BigUint;
+use pds2_crypto::merkle::MerkleTree;
+use pds2_crypto::{sha256, KeyPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(1);
+    let msg = b"a typical sensor reading payload of moderate size......";
+    let sig = kp.sign(msg);
+    c.bench_function("schnorr/sign", |b| b.iter(|| kp.sign(black_box(msg))));
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| assert!(kp.public.verify(black_box(msg), &sig)))
+    });
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = BigUint::random_bits(&mut rng, 1024);
+    let m = BigUint::random_bits(&mut rng, 1024).set_bit(0); // odd modulus
+    let e = BigUint::random_bits(&mut rng, 256);
+    c.bench_function("bigint/mul_1024", |b| b.iter(|| a.mul(black_box(&a))));
+    c.bench_function("bigint/modpow_1024_e256", |b| {
+        b.iter(|| a.modpow(black_box(&e), &m))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..1024u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    c.bench_function("merkle/build_1024", |b| {
+        b.iter_batched(
+            || leaves.clone(),
+            |l| MerkleTree::from_leaves(&l),
+            BatchSize::SmallInput,
+        )
+    });
+    let tree = MerkleTree::from_leaves(&leaves);
+    let root = tree.root();
+    let proof = tree.prove(500).unwrap();
+    c.bench_function("merkle/verify_proof", |b| {
+        b.iter(|| assert!(proof.verify(black_box(&leaves[500]), &root)))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_schnorr, bench_bigint, bench_merkle);
+criterion_main!(benches);

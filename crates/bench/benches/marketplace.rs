@@ -1,0 +1,67 @@
+//! Criterion benchmark for the end-to-end marketplace lifecycle
+//! (experiment E1's microbenchmark companion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pds2_bench::{build_world, round_robin_assignments};
+use pds2_core::marketplace::StorageChoice;
+use pds2_core::workload::RewardScheme;
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marketplace");
+    group.sample_size(10);
+    for n_providers in [4usize, 8] {
+        group.bench_function(format!("full_lifecycle_{n_providers}prov"), |b| {
+            b.iter_batched(
+                || {
+                    let world = build_world(
+                        n_providers as u64,
+                        n_providers,
+                        2,
+                        30,
+                        RewardScheme::ProportionalToRecords,
+                        |_| StorageChoice::Local,
+                    );
+                    let assignments = round_robin_assignments(&world);
+                    (world, assignments)
+                },
+                |(mut world, assignments)| {
+                    world
+                        .market
+                        .run_full_lifecycle(world.workload, &assignments)
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    use pds2_bench::temperature_metadata;
+    use pds2_core::marketplace::Marketplace;
+    use pds2_ml::data::gaussian_blobs;
+    let data = gaussian_blobs(50, 4, 0.7, 1);
+    let mut group = c.benchmark_group("marketplace");
+    group.sample_size(10);
+    group.bench_function("ingest_50_signed_readings", |b| {
+        b.iter_batched(
+            || {
+                let mut market = Marketplace::new(1);
+                let p = market.register_provider(2, StorageChoice::Local);
+                market.provider_add_device(p).unwrap();
+                (market, p)
+            },
+            |(mut market, p)| {
+                market
+                    .provider_ingest(p, 0, &data, temperature_metadata())
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifecycle, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion benchmarks for the §III-B privacy techniques (experiment E4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds2_he as he;
+use pds2_mpc::{secure_linear_inference, MpcEngine};
+use pds2_tee::measurement::EnclaveCode;
+use pds2_tee::platform::Platform;
+use pds2_tee::CostModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const DIM: usize = 32;
+
+fn vectors() -> (Vec<f64>, Vec<f64>) {
+    let w: Vec<f64> = (0..DIM).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
+    let x: Vec<f64> = (0..DIM).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
+    (w, x)
+}
+
+fn bench_plaintext(c: &mut Criterion) {
+    let (w, x) = vectors();
+    c.bench_function("privacy/plaintext_dot32", |b| {
+        b.iter(|| {
+            black_box(
+                w.iter()
+                    .zip(black_box(&x))
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>(),
+            )
+        })
+    });
+}
+
+fn bench_he(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let sk = he::generate_keypair(&mut rng, 512).unwrap();
+    let (w, x) = vectors();
+    let fx = |v: f64| (v * 65536.0).round() as i64;
+    let enc_w: Vec<_> = w
+        .iter()
+        .map(|&v| sk.public.encrypt_signed(&mut rng, fx(v)).unwrap())
+        .collect();
+    let fixed_x: Vec<i64> = x.iter().map(|&v| fx(v)).collect();
+    let mut group = c.benchmark_group("privacy");
+    group.sample_size(10);
+    group.bench_function("paillier_encrypt", |b| {
+        b.iter(|| sk.public.encrypt_signed(&mut rng, 12345).unwrap())
+    });
+    group.bench_function("paillier_dot32", |b| {
+        b.iter(|| he::encrypted_dot(&sk.public, black_box(&enc_w), &fixed_x).unwrap())
+    });
+    let ct = he::encrypted_dot(&sk.public, &enc_w, &fixed_x).unwrap();
+    group.bench_function("paillier_decrypt", |b| {
+        b.iter(|| sk.decrypt_signed(black_box(&ct)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_smc(c: &mut Criterion) {
+    let (w, x) = vectors();
+    c.bench_function("privacy/smc_dot32_3pc", |b| {
+        b.iter(|| {
+            let mut engine = MpcEngine::new(3, StdRng::seed_from_u64(2));
+            secure_linear_inference(&mut engine, black_box(&w), 0.0, &x)
+        })
+    });
+}
+
+fn bench_tee(c: &mut Criterion) {
+    let (w, x) = vectors();
+    let platform = Platform::new(3, CostModel::default());
+    c.bench_function("privacy/tee_dot32_with_attest", |b| {
+        b.iter(|| {
+            let mut e = platform.launch(&EnclaveCode::new("inf", 1, b"inf".to_vec()));
+            e.execute(100, 1024, || {
+                w.iter().zip(&x).map(|(a, b)| a * b).sum::<f64>()
+            })
+        })
+    });
+}
+
+fn bench_oblivious(c: &mut Criterion) {
+    // Side-channel ablation: the §III-B oblivious primitives vs their
+    // trace-leaking counterparts.
+    use pds2_tee::oblivious::{o_access, o_sort};
+    let data: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    c.bench_function("oblivious/o_sort_256", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            o_sort(&mut v);
+            black_box(v)
+        })
+    });
+    c.bench_function("oblivious/std_sort_256", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_unstable();
+            black_box(v)
+        })
+    });
+    c.bench_function("oblivious/o_access_256", |b| {
+        b.iter(|| black_box(o_access(&data, 77)))
+    });
+    c.bench_function("oblivious/direct_access", |b| {
+        b.iter(|| black_box(data[77]))
+    });
+}
+
+criterion_group!(benches, bench_plaintext, bench_he, bench_smc, bench_tee, bench_oblivious);
+criterion_main!(benches);

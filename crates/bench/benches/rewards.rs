@@ -1,0 +1,51 @@
+//! Criterion benchmarks for reward computation (experiment E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pds2_ml::data::gaussian_blobs;
+use pds2_ml::sgd::SgdConfig;
+use pds2_rewards::shapley::{exact_shapley, monte_carlo_shapley, FnUtility, McConfig};
+use pds2_rewards::utility::MlUtility;
+
+fn bench_exact_toy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_exact_toy");
+    for n in [8usize, 12, 16] {
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                let mut u = FnUtility::new(n, |s: &[usize]| s.len() as f64);
+                exact_shapley(&mut u)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_ml(c: &mut Criterion) {
+    let data = gaussian_blobs(200, 3, 0.7, 1);
+    let (train, test) = data.split(0.3, 2);
+    let shards = train.partition_iid(8, 3);
+    let sgd = SgdConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("shapley_mc_ml_8prov");
+    group.sample_size(10);
+    for perms in [10usize, 50] {
+        group.bench_function(format!("perms{perms}"), |b| {
+            b.iter(|| {
+                let mut u = MlUtility::new(shards.clone(), test.clone(), sgd.clone());
+                monte_carlo_shapley(
+                    &mut u,
+                    &McConfig {
+                        permutations: perms,
+                        truncation_tolerance: 0.005,
+                        seed: 4,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_toy, bench_mc_ml);
+criterion_main!(benches);

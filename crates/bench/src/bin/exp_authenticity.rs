@@ -1,0 +1,140 @@
+//! E9 — §IV-B: data-authenticity pipeline.
+//!
+//! Part 1: device signature generation and executor-side verification
+//! throughput (readings/second).
+//! Part 2: the attack matrix — forged payloads, replays, duplicates,
+//! unendorsed devices — detection rate must be 100% with zero false
+//! positives on honest traffic.
+//!
+//! `cargo run --release -p pds2-bench --bin exp_authenticity`
+
+use pds2_bench::print_table;
+use pds2_core::authenticity::{
+    Device, ManufacturerRegistry, ReadingRejection, ReadingVerifier,
+};
+use pds2_crypto::KeyPair;
+use std::time::Instant;
+
+fn main() {
+    println!("E9: device-signed reading pipeline (§IV-B)\n");
+    let mut registry = ManufacturerRegistry::new();
+    let manufacturer = KeyPair::from_seed(1);
+    registry.register_manufacturer(manufacturer.public.clone());
+
+    // Endorse every device up front (registry is borrowed immutably by
+    // the verifiers below).
+    let mut device = Device::new(1);
+    let mut honest_device = Device::new(2);
+    let mut rogue = Device::new(3); // deliberately NOT endorsed
+    let mut replay_device = Device::new(4);
+    registry.endorse(&manufacturer, &device).unwrap();
+    registry.endorse(&manufacturer, &honest_device).unwrap();
+    registry.endorse(&manufacturer, &replay_device).unwrap();
+
+    // Part 1: throughput.
+    let n = 500usize;
+    let t = Instant::now();
+    let readings: Vec<_> = (0..n)
+        .map(|i| device.sign_reading(i as u64, vec![20.0, 0.5, 1.0, 2.0], 21.0))
+        .collect();
+    let sign_s = t.elapsed().as_secs_f64();
+    let mut verifier = ReadingVerifier::new(&registry);
+    let t = Instant::now();
+    for r in &readings {
+        verifier.verify(r).expect("honest reading");
+    }
+    let verify_s = t.elapsed().as_secs_f64();
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "sign (device)".into(),
+        format!("{:.0}", n as f64 / sign_s),
+        format!("{:.2}", sign_s / n as f64 * 1e3),
+    ]);
+    rows.push(vec![
+        "verify (executor)".into(),
+        format!("{:.0}", n as f64 / verify_s),
+        format!("{:.2}", verify_s / n as f64 * 1e3),
+    ]);
+    print_table(&["operation", "readings/s", "ms/reading"], &rows);
+
+    // Part 2: attack matrix.
+    println!("\nattack matrix (1000 honest + 400 attacks)");
+    let mut verifier = ReadingVerifier::new(&registry);
+    let honest: Vec<_> = (0..1000u64)
+        .map(|t| honest_device.sign_reading(t, vec![20.0 + t as f64 * 0.001], 0.0))
+        .collect();
+    let mut false_positives = 0;
+    for r in &honest {
+        if verifier.verify(r).is_err() {
+            false_positives += 1;
+        }
+    }
+    let mut detections: Vec<(&str, usize, usize)> = Vec::new();
+
+    // Forged payloads.
+    let mut caught = 0;
+    for r in honest.iter().take(100) {
+        let mut f = r.clone();
+        f.target = 1234.5;
+        if verifier.verify(&f) == Err(ReadingRejection::BadSignature) {
+            caught += 1;
+        }
+    }
+    detections.push(("forged payload", caught, 100));
+
+    // Duplicates (resale).
+    let mut caught = 0;
+    for r in honest.iter().take(100) {
+        if verifier.verify(r) == Err(ReadingRejection::Duplicate) {
+            caught += 1;
+        }
+    }
+    detections.push(("duplicate resale", caught, 100));
+
+    // Sequence replays (new blob, old sequence): craft readings with a
+    // fresh device, accept the latest one, then replay earlier ones.
+    let old: Vec<_> = (0..100u64)
+        .map(|t| replay_device.sign_reading(t, vec![t as f64], 0.0))
+        .collect();
+    let newest = replay_device.sign_reading(100, vec![0.0], 0.0);
+    verifier.verify(&newest).unwrap();
+    let mut caught = 0;
+    for r in &old {
+        if verifier.verify(r) == Err(ReadingRejection::SequenceReplay) {
+            caught += 1;
+        }
+    }
+    detections.push(("sequence replay", caught, 100));
+
+    // Unendorsed device.
+    let mut caught = 0;
+    for t in 0..100u64 {
+        let r = rogue.sign_reading(t, vec![1.0], 0.0);
+        if verifier.verify(&r) == Err(ReadingRejection::UntrustedDevice) {
+            caught += 1;
+        }
+    }
+    detections.push(("unendorsed device", caught, 100));
+
+    let rows: Vec<Vec<String>> = detections
+        .iter()
+        .map(|(name, caught, total)| {
+            vec![
+                name.to_string(),
+                format!("{caught}/{total}"),
+                format!("{:.0}%", *caught as f64 / *total as f64 * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["attack", "detected", "rate"], &rows);
+    println!("\nfalse positives on honest traffic: {false_positives}/1000");
+    assert_eq!(false_positives, 0);
+    for (_, caught, total) in &detections {
+        assert_eq!(caught, total, "all attacks must be detected");
+    }
+    println!(
+        "shape: Schnorr verification sustains hundreds of readings/s even \
+         unoptimized; every §IV-B attack class is rejected with zero false \
+         positives."
+    );
+}

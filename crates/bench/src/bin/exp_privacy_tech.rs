@@ -1,0 +1,124 @@
+//! E4 — §III-B: plaintext vs HE vs SMC vs TEE on linear inference,
+//! sweeping the feature dimension. Reproduces the paper's comparative
+//! claims: "HE … large overheads … impractical", "SMC … delays introduced
+//! during communication", "TEEs … smaller overheads … better scalability".
+//!
+//! Ablation A2 sweeps the TEE cost-model parameters.
+//!
+//! `cargo run --release -p pds2-bench --bin exp_privacy_tech`
+
+use pds2_bench::print_table;
+use pds2_he as he;
+use pds2_mpc::{secure_linear_inference, MpcEngine};
+use pds2_tee::cost::CostModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    println!("E4: linear inference under the four §III-B regimes\n");
+    let mut rng = StdRng::seed_from_u64(1);
+    let he_key = he::generate_keypair(&mut rng, 1024).expect("keygen");
+    let tee = CostModel::default();
+
+    let mut rows = Vec::new();
+    for &dim in &[4usize, 16, 64, 256] {
+        let weights: Vec<f64> = (0..dim).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
+        let features: Vec<f64> = (0..dim).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
+
+        // Plaintext.
+        let t = Instant::now();
+        let mut acc = 0.0;
+        let reps = 1_000;
+        for _ in 0..reps {
+            acc += weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>();
+        }
+        std::hint::black_box(acc);
+        let plain_ns = t.elapsed().as_nanos() as u64 / reps;
+
+        // Paillier HE: encrypt weights once, measure the encrypted dot.
+        let fx = |v: f64| (v * 65536.0).round() as i64;
+        let enc_w: Vec<_> = weights
+            .iter()
+            .map(|&w| he_key.public.encrypt_signed(&mut rng, fx(w)).unwrap())
+            .collect();
+        let fixed_x: Vec<i64> = features.iter().map(|&x| fx(x)).collect();
+        let t = Instant::now();
+        let ct = he::encrypted_dot(&he_key.public, &enc_w, &fixed_x).unwrap();
+        let he_us = t.elapsed().as_micros() as u64;
+        let he_bytes: usize = enc_w.iter().map(|c| c.byte_len()).sum();
+        std::hint::black_box(he_key.decrypt_signed(&ct).unwrap());
+
+        // SMC.
+        let mut engine = MpcEngine::new(3, StdRng::seed_from_u64(2));
+        let t = Instant::now();
+        let (_, cost) = secure_linear_inference(&mut engine, &weights, 0.0, &features);
+        let smc_local_us = t.elapsed().as_micros() as u64;
+        let smc_wan_ms = cost.network_time_secs(0.05, 1_250_000.0) * 1e3;
+
+        // TEE: plaintext compute + modelled overhead.
+        let tee_total_ns = tee.total_ns(plain_ns, (dim * 16) as u64, 1);
+
+        rows.push(vec![
+            dim.to_string(),
+            plain_ns.to_string(),
+            format!("{}", he_us),
+            format!("{}", he_bytes),
+            format!("{} (+{:.0}ms WAN)", smc_local_us, smc_wan_ms),
+            format!("{}", cost.bytes_sent),
+            tee_total_ns.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "dim",
+            "plain_ns",
+            "he_us",
+            "he_bytes",
+            "smc_us(local+wan)",
+            "smc_bytes",
+            "tee_ns",
+        ],
+        &rows,
+    );
+
+    // Ablation A2: TEE cost-model sweep on a fixed task.
+    println!("\nA2: TEE cost-model ablation (1 ms plain compute, 256 MiB working set)");
+    let plain_ns = 1_000_000u64;
+    let big_ws = 256 * 1024 * 1024u64;
+    let mut rows = Vec::new();
+    for (name, model) in [
+        ("default (96 MiB EPC)", CostModel::default()),
+        ("no paging (EPC = inf)", CostModel::no_paging()),
+        (
+            "slow transitions (35 us)",
+            CostModel {
+                transition_ns: 35_000,
+                ..CostModel::default()
+            },
+        ),
+        (
+            "no MEE slowdown",
+            CostModel {
+                compute_factor: 1.0,
+                ..CostModel::default()
+            },
+        ),
+    ] {
+        let small = model.total_ns(plain_ns, 1024, 1);
+        let large = model.total_ns(plain_ns, big_ws, 1);
+        rows.push(vec![
+            name.to_string(),
+            small.to_string(),
+            large.to_string(),
+            format!("{:.1}x", large as f64 / small as f64),
+        ]);
+    }
+    print_table(&["model", "small_ws_ns", "large_ws_ns", "paging_penalty"], &rows);
+    println!(
+        "\nshape: HE is orders of magnitude slower than plaintext and grows \
+         linearly in dimension; SMC is locally cheap but pays WAN rounds and \
+         bandwidth; the TEE stays within a small constant factor of plaintext \
+         until the working set spills out of the EPC."
+    );
+}

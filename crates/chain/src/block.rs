@@ -1,0 +1,224 @@
+//! Blocks and headers.
+
+use crate::tx::SignedTransaction;
+use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use pds2_crypto::merkle::MerkleTree;
+use pds2_crypto::schnorr::{KeyPair, PublicKey, Signature};
+use pds2_crypto::sha256::Digest;
+
+/// A block header, signed by the proposing validator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height (genesis = 0).
+    pub height: u64,
+    /// Hash of the parent header (`Digest::ZERO` for genesis).
+    pub parent: Digest,
+    /// State root *after* applying this block.
+    pub state_root: Digest,
+    /// Merkle root over the included transactions.
+    pub tx_root: Digest,
+    /// Logical timestamp (height × block interval).
+    pub timestamp: u64,
+    /// Proposing validator.
+    pub proposer: PublicKey,
+    /// Proposer's signature over the header body.
+    pub signature: Signature,
+}
+
+impl BlockHeader {
+    fn signing_bytes(
+        height: u64,
+        parent: &Digest,
+        state_root: &Digest,
+        tx_root: &Digest,
+        timestamp: u64,
+        proposer: &PublicKey,
+    ) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_raw(b"pds2-block-v1");
+        enc.put_u64(height);
+        enc.put_digest(parent);
+        enc.put_digest(state_root);
+        enc.put_digest(tx_root);
+        enc.put_u64(timestamp);
+        proposer.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Builds and signs a header.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_signed(
+        keys: &KeyPair,
+        height: u64,
+        parent: Digest,
+        state_root: Digest,
+        tx_root: Digest,
+        timestamp: u64,
+    ) -> BlockHeader {
+        let payload = Self::signing_bytes(
+            height,
+            &parent,
+            &state_root,
+            &tx_root,
+            timestamp,
+            &keys.public,
+        );
+        BlockHeader {
+            height,
+            parent,
+            state_root,
+            tx_root,
+            timestamp,
+            proposer: keys.public.clone(),
+            signature: keys.sign(&payload),
+        }
+    }
+
+    /// Verifies the proposer signature.
+    pub fn verify_signature(&self) -> bool {
+        let payload = Self::signing_bytes(
+            self.height,
+            &self.parent,
+            &self.state_root,
+            &self.tx_root,
+            self.timestamp,
+            &self.proposer,
+        );
+        self.proposer.verify(&payload, &self.signature)
+    }
+
+    /// The header hash (block identifier).
+    pub fn hash(&self) -> Digest {
+        self.content_hash()
+    }
+}
+
+impl Encode for BlockHeader {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.height);
+        enc.put_digest(&self.parent);
+        enc.put_digest(&self.state_root);
+        enc.put_digest(&self.tx_root);
+        enc.put_u64(self.timestamp);
+        self.proposer.encode(enc);
+        self.signature.encode(enc);
+    }
+}
+
+impl Decode for BlockHeader {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockHeader {
+            height: dec.get_u64()?,
+            parent: dec.get_digest()?,
+            state_root: dec.get_digest()?,
+            tx_root: dec.get_digest()?,
+            timestamp: dec.get_u64()?,
+            proposer: PublicKey::decode(dec)?,
+            signature: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// A full block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Signed header.
+    pub header: BlockHeader,
+    /// Included transactions, in execution order.
+    pub transactions: Vec<SignedTransaction>,
+}
+
+impl Block {
+    /// Computes the Merkle root over a transaction list.
+    pub fn compute_tx_root(txs: &[SignedTransaction]) -> Digest {
+        let leaves: Vec<Vec<u8>> = txs.iter().map(|t| t.hash().as_bytes().to_vec()).collect();
+        MerkleTree::from_leaves(&leaves).root()
+    }
+
+    /// Checks that the header's tx root matches the body.
+    pub fn tx_root_matches(&self) -> bool {
+        Self::compute_tx_root(&self.transactions) == self.header.tx_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::tx::{Transaction, TxKind};
+
+    fn sample_block(n_txs: usize) -> Block {
+        let validator = KeyPair::from_seed(10);
+        let sender = KeyPair::from_seed(1);
+        let txs: Vec<SignedTransaction> = (0..n_txs as u64)
+            .map(|nonce| {
+                Transaction {
+                    from: sender.public.clone(),
+                    nonce,
+                    kind: TxKind::Transfer {
+                        to: Address::of(&KeyPair::from_seed(2).public),
+                        amount: 1,
+                    },
+                    gas_limit: 30_000,
+                }
+                .sign(&sender)
+            })
+            .collect();
+        let tx_root = Block::compute_tx_root(&txs);
+        let header = BlockHeader::new_signed(
+            &validator,
+            1,
+            Digest::ZERO,
+            pds2_crypto::sha256(b"state"),
+            tx_root,
+            10,
+        );
+        Block {
+            header,
+            transactions: txs,
+        }
+    }
+
+    #[test]
+    fn header_signature_verifies() {
+        let b = sample_block(3);
+        assert!(b.header.verify_signature());
+        assert!(b.tx_root_matches());
+    }
+
+    #[test]
+    fn tampered_header_fails() {
+        let mut b = sample_block(1);
+        b.header.height = 99;
+        assert!(!b.header.verify_signature());
+    }
+
+    #[test]
+    fn tampered_body_breaks_tx_root() {
+        let mut b = sample_block(3);
+        b.transactions.pop();
+        assert!(!b.tx_root_matches());
+        assert!(b.header.verify_signature(), "header itself untouched");
+    }
+
+    #[test]
+    fn empty_block_root_is_zero_sentinel() {
+        assert_eq!(Block::compute_tx_root(&[]), Digest::ZERO);
+    }
+
+    #[test]
+    fn header_codec_roundtrip() {
+        let b = sample_block(2);
+        let bytes = b.header.to_bytes();
+        let back = BlockHeader::from_bytes(&bytes).unwrap();
+        assert_eq!(back, b.header);
+        assert!(back.verify_signature());
+    }
+
+    #[test]
+    fn block_hash_changes_with_contents() {
+        let b1 = sample_block(1);
+        let b2 = sample_block(2);
+        assert_ne!(b1.header.hash(), b2.header.hash());
+    }
+}

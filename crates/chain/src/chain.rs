@@ -1,0 +1,698 @@
+//! The blockchain: proof-of-authority production, mempool, receipts and
+//! queries.
+//!
+//! PDS² selects a permissionless chain (Ethereum) in the paper; this
+//! simulation runs a proof-of-authority committee instead (see DESIGN.md's
+//! substitution table) — block *content* and contract semantics are what
+//! the marketplace depends on, not the Sybil-resistance mechanism.
+//! Validators take turns round-robin; every block is fully validated
+//! (proposer turn, parent hash, header signature, tx root, tx signatures)
+//! before being appended, so the tests can demonstrate tamper rejection.
+
+use crate::block::{Block, BlockHeader};
+use crate::contract::ContractRegistry;
+use crate::event::Event;
+use crate::state::{TxReceipt, WorldState};
+use crate::tx::SignedTransaction;
+use parking_lot::Mutex;
+use pds2_crypto::schnorr::{KeyPair, PublicKey};
+use pds2_crypto::sha256::Digest;
+use std::collections::{HashMap, VecDeque};
+
+/// Chain configuration.
+#[derive(Clone, Debug)]
+pub struct ChainConfig {
+    /// Gas budget per block.
+    pub block_gas_limit: u64,
+    /// Logical seconds between blocks (drives header timestamps).
+    pub block_interval_secs: u64,
+    /// Maximum transactions per block regardless of gas.
+    pub max_txs_per_block: usize,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            block_gas_limit: 30_000_000,
+            block_interval_secs: 12,
+            max_txs_per_block: 1024,
+        }
+    }
+}
+
+/// Errors from block production/validation or submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Submitted transaction has an invalid signature.
+    InvalidSignature,
+    /// Submitted transaction nonce is already used.
+    StaleNonce {
+        /// Account's current nonce.
+        expected: u64,
+        /// Nonce carried by the transaction.
+        got: u64,
+    },
+    /// Duplicate of a transaction already pending or included.
+    Duplicate,
+    /// Block validation failed.
+    InvalidBlock(&'static str),
+    /// The proposer is not the validator whose turn it is.
+    WrongProposer,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::InvalidSignature => write!(f, "invalid transaction signature"),
+            ChainError::StaleNonce { expected, got } => {
+                write!(f, "stale nonce: account at {expected}, tx has {got}")
+            }
+            ChainError::Duplicate => write!(f, "duplicate transaction"),
+            ChainError::InvalidBlock(why) => write!(f, "invalid block: {why}"),
+            ChainError::WrongProposer => write!(f, "proposer out of turn"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A light-client proof that a transaction was included in a block.
+#[derive(Clone, Debug)]
+pub struct InclusionProof {
+    /// Height of the including block.
+    pub block_height: u64,
+    /// The proven transaction hash.
+    pub tx_hash: Digest,
+    /// Merkle path to the header's `tx_root`.
+    pub proof: pds2_crypto::merkle::MerkleProof,
+}
+
+impl InclusionProof {
+    /// Verifies the proof against a trusted block header.
+    pub fn verify(&self, header: &crate::block::BlockHeader) -> bool {
+        header.height == self.block_height
+            && self
+                .proof
+                .verify(self.tx_hash.as_bytes(), &header.tx_root)
+    }
+}
+
+/// The blockchain node (state machine + ledger + mempool).
+pub struct Blockchain {
+    /// Current world state.
+    pub state: WorldState,
+    registry: ContractRegistry,
+    config: ChainConfig,
+    validators: Vec<KeyPair>,
+    blocks: Vec<Block>,
+    receipts: HashMap<Digest, TxReceipt>,
+    events: Vec<Event>,
+    mempool: Mutex<VecDeque<SignedTransaction>>,
+    seen: std::collections::HashSet<Digest>,
+}
+
+impl Blockchain {
+    /// Creates a chain with a validator committee and genesis allocations.
+    pub fn new(
+        validators: Vec<KeyPair>,
+        genesis_alloc: &[(crate::address::Address, u128)],
+        registry: ContractRegistry,
+        config: ChainConfig,
+    ) -> Blockchain {
+        assert!(!validators.is_empty(), "need at least one validator");
+        let mut state = WorldState::new();
+        for (addr, amount) in genesis_alloc {
+            state.genesis_credit(*addr, *amount);
+        }
+        Blockchain {
+            state,
+            registry,
+            config,
+            validators,
+            blocks: Vec::new(),
+            receipts: HashMap::new(),
+            events: Vec::new(),
+            mempool: Mutex::new(VecDeque::new()),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Convenience single-validator chain for tests and examples.
+    pub fn single_validator(
+        seed: u64,
+        genesis_alloc: &[(crate::address::Address, u128)],
+        registry: ContractRegistry,
+    ) -> Blockchain {
+        Blockchain::new(
+            vec![KeyPair::from_seed(seed)],
+            genesis_alloc,
+            registry,
+            ChainConfig::default(),
+        )
+    }
+
+    /// The validator committee's public keys.
+    pub fn validator_set(&self) -> Vec<PublicKey> {
+        self.validators.iter().map(|v| v.public.clone()).collect()
+    }
+
+    /// Next block height.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Hash of the latest block (`Digest::ZERO` before genesis).
+    pub fn head_hash(&self) -> Digest {
+        self.blocks
+            .last()
+            .map_or(Digest::ZERO, |b| b.header.hash())
+    }
+
+    /// Block by height.
+    pub fn block(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Receipt by transaction hash.
+    pub fn receipt(&self, tx_hash: &Digest) -> Option<&TxReceipt> {
+        self.receipts.get(tx_hash)
+    }
+
+    /// All events ever emitted, in chain order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events whose topic starts with `prefix`.
+    pub fn events_by_topic(&self, prefix: &str) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| e.topic.starts_with(prefix))
+            .collect()
+    }
+
+    /// Number of pending mempool transactions.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.lock().len()
+    }
+
+    /// Submits a transaction to the mempool after stateless+stateful
+    /// admission checks.
+    pub fn submit(&mut self, tx: SignedTransaction) -> Result<Digest, ChainError> {
+        if !tx.verify_signature() {
+            return Err(ChainError::InvalidSignature);
+        }
+        let hash = tx.hash();
+        if self.seen.contains(&hash) {
+            return Err(ChainError::Duplicate);
+        }
+        let account_nonce = self.state.nonce(&tx.tx.sender());
+        if tx.tx.nonce < account_nonce {
+            return Err(ChainError::StaleNonce {
+                expected: account_nonce,
+                got: tx.tx.nonce,
+            });
+        }
+        self.seen.insert(hash);
+        self.mempool.lock().push_back(tx);
+        Ok(hash)
+    }
+
+    /// The validator whose turn it is at `height`.
+    fn proposer_for(&self, height: u64) -> &KeyPair {
+        &self.validators[(height as usize) % self.validators.len()]
+    }
+
+    /// Produces, validates and appends the next block from the mempool.
+    ///
+    /// Returns the new block. Transactions that no longer pass nonce
+    /// ordering are retried later (kept in the pool) unless their nonce is
+    /// stale, in which case they are dropped.
+    pub fn produce_block(&mut self) -> Block {
+        let height = self.height();
+        let parent = self.head_hash();
+        let timestamp = height * self.config.block_interval_secs;
+
+        // Select transactions: respect per-sender nonce order and block gas.
+        // Passes repeat until no progress, so a nonce gap filled later in
+        // the pool still lets the earlier-submitted future tx in.
+        let mut selected: Vec<SignedTransaction> = Vec::new();
+        let mut gas_budget = self.config.block_gas_limit;
+        let mut expected_nonces: HashMap<crate::address::Address, u64> = HashMap::new();
+        {
+            let mut pool = self.mempool.lock();
+            let mut pending: VecDeque<SignedTransaction> = std::mem::take(&mut *pool);
+            loop {
+                let mut progressed = false;
+                let mut deferred: VecDeque<SignedTransaction> =
+                    VecDeque::with_capacity(pending.len());
+                while let Some(tx) = pending.pop_front() {
+                    if selected.len() >= self.config.max_txs_per_block {
+                        deferred.push_back(tx);
+                        continue;
+                    }
+                    let sender = tx.tx.sender();
+                    let expected = *expected_nonces
+                        .entry(sender)
+                        .or_insert_with(|| self.state.nonce(&sender));
+                    match tx.tx.nonce.cmp(&expected) {
+                        std::cmp::Ordering::Less => {
+                            // Stale: drop permanently.
+                            progressed = true;
+                            continue;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            // Future nonce: retry after a potential gap fill.
+                            deferred.push_back(tx);
+                            continue;
+                        }
+                        std::cmp::Ordering::Equal => {}
+                    }
+                    if tx.tx.gas_limit > gas_budget {
+                        deferred.push_back(tx);
+                        continue;
+                    }
+                    gas_budget -= tx.tx.gas_limit;
+                    expected_nonces.insert(sender, expected + 1);
+                    selected.push(tx);
+                    progressed = true;
+                }
+                pending = deferred;
+                if !progressed || pending.is_empty() {
+                    break;
+                }
+            }
+            *pool = pending;
+        }
+
+        // Execute.
+        let mut receipts = Vec::with_capacity(selected.len());
+        for (i, tx) in selected.iter().enumerate() {
+            let receipt =
+                self.state
+                    .apply_transaction(&self.registry, tx, height, i as u32);
+            receipts.push(receipt);
+        }
+
+        let tx_root = Block::compute_tx_root(&selected);
+        let state_root = self.state.state_root();
+        let proposer = self.proposer_for(height).clone();
+        let header =
+            BlockHeader::new_signed(&proposer, height, parent, state_root, tx_root, timestamp);
+        let block = Block {
+            header,
+            transactions: selected,
+        };
+
+        // Record.
+        for receipt in receipts {
+            self.events.extend(receipt.events.iter().cloned());
+            self.receipts.insert(receipt.tx_hash, receipt);
+        }
+        self.blocks.push(block.clone());
+        block
+    }
+
+    /// Produces blocks until the mempool is drained (bounded by
+    /// `max_blocks` as a safety stop). Returns the number produced.
+    pub fn produce_until_empty(&mut self, max_blocks: usize) -> usize {
+        let mut produced = 0;
+        while self.mempool_len() > 0 && produced < max_blocks {
+            self.produce_block();
+            produced += 1;
+        }
+        produced
+    }
+
+    /// Validates a block received from elsewhere against the current head
+    /// (used by tests to demonstrate tamper rejection). Does not execute.
+    pub fn validate_external_block(&self, block: &Block) -> Result<(), ChainError> {
+        if block.header.height != self.height() {
+            return Err(ChainError::InvalidBlock("wrong height"));
+        }
+        if block.header.parent != self.head_hash() {
+            return Err(ChainError::InvalidBlock("wrong parent"));
+        }
+        let expected_proposer = &self.proposer_for(block.header.height).public;
+        if &block.header.proposer != expected_proposer {
+            return Err(ChainError::WrongProposer);
+        }
+        if !block.header.verify_signature() {
+            return Err(ChainError::InvalidBlock("bad header signature"));
+        }
+        if !block.tx_root_matches() {
+            return Err(ChainError::InvalidBlock("tx root mismatch"));
+        }
+        for tx in &block.transactions {
+            if !tx.verify_signature() {
+                return Err(ChainError::InvalidBlock("bad tx signature"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Access to the contract registry (e.g. to check registered types).
+    pub fn registry(&self) -> &ContractRegistry {
+        &self.registry
+    }
+
+    /// Produces a light-client inclusion proof for a transaction: the
+    /// block height plus a Merkle path from the transaction hash to the
+    /// block header's `tx_root`. Providers use this to prove to third
+    /// parties (e.g. in a §IV-A reward dispute) that their participation
+    /// was recorded, holding only block headers.
+    pub fn prove_inclusion(&self, tx_hash: &Digest) -> Option<InclusionProof> {
+        for block in &self.blocks {
+            if let Some(index) = block
+                .transactions
+                .iter()
+                .position(|t| &t.hash() == tx_hash)
+            {
+                let leaves: Vec<Vec<u8>> = block
+                    .transactions
+                    .iter()
+                    .map(|t| t.hash().as_bytes().to_vec())
+                    .collect();
+                let tree = pds2_crypto::merkle::MerkleTree::from_leaves(&leaves);
+                return Some(InclusionProof {
+                    block_height: block.header.height,
+                    tx_hash: *tx_hash,
+                    proof: tree.prove(index)?,
+                });
+            }
+        }
+        None
+    }
+
+    /// Applies a block produced by another node: validates it against the
+    /// local head, executes its transactions and appends it.
+    ///
+    /// Execution is deterministic, so after a valid block the local state
+    /// root must equal the header's. A [`ChainError::InvalidBlock`]
+    /// `"state root mismatch"` therefore means the proposer lied about its
+    /// post-state; like a real validator, the caller must halt this
+    /// replica (the local state has already executed the block's
+    /// transactions and is no longer canonical).
+    pub fn apply_external_block(&mut self, block: &Block) -> Result<(), ChainError> {
+        self.validate_external_block(block)?;
+        let height = block.header.height;
+        let mut receipts = Vec::with_capacity(block.transactions.len());
+        for (i, tx) in block.transactions.iter().enumerate() {
+            receipts.push(
+                self.state
+                    .apply_transaction(&self.registry, tx, height, i as u32),
+            );
+        }
+        if self.state.state_root() != block.header.state_root {
+            return Err(ChainError::InvalidBlock("state root mismatch"));
+        }
+        for receipt in receipts {
+            self.events.extend(receipt.events.iter().cloned());
+            self.seen.insert(receipt.tx_hash);
+            self.receipts.insert(receipt.tx_hash, receipt);
+        }
+        // Drop any mempool copies of the included transactions.
+        let included: std::collections::HashSet<Digest> =
+            block.transactions.iter().map(|t| t.hash()).collect();
+        self.mempool.lock().retain(|t| !included.contains(&t.hash()));
+        self.blocks.push(block.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::tx::{Transaction, TxKind};
+
+    fn signed_transfer(kp: &KeyPair, nonce: u64, to: Address, amount: u128) -> SignedTransaction {
+        Transaction {
+            from: kp.public.clone(),
+            nonce,
+            kind: TxKind::Transfer { to, amount },
+            gas_limit: 100_000,
+        }
+        .sign(kp)
+    }
+
+    fn test_chain(alice: &KeyPair) -> Blockchain {
+        Blockchain::single_validator(
+            1000,
+            &[(Address::of(&alice.public), 1_000_000)],
+            ContractRegistry::new(),
+        )
+    }
+
+    #[test]
+    fn produce_empty_block() {
+        let alice = KeyPair::from_seed(1);
+        let mut chain = test_chain(&alice);
+        let b = chain.produce_block();
+        assert_eq!(b.header.height, 0);
+        assert_eq!(b.header.parent, Digest::ZERO);
+        assert!(b.transactions.is_empty());
+        assert_eq!(chain.height(), 1);
+    }
+
+    #[test]
+    fn submit_and_include() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        let tx = signed_transfer(&alice, 0, bob, 500);
+        let hash = chain.submit(tx).unwrap();
+        assert_eq!(chain.mempool_len(), 1);
+        let b = chain.produce_block();
+        assert_eq!(b.transactions.len(), 1);
+        assert_eq!(chain.mempool_len(), 0);
+        let receipt = chain.receipt(&hash).unwrap();
+        assert!(receipt.success);
+        assert_eq!(chain.state.balance(&bob), 500);
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        let tx = signed_transfer(&alice, 0, bob, 1);
+        chain.submit(tx.clone()).unwrap();
+        assert_eq!(chain.submit(tx), Err(ChainError::Duplicate));
+    }
+
+    #[test]
+    fn invalid_signature_rejected_at_submission() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        let mut tx = signed_transfer(&alice, 0, bob, 1);
+        tx.tx.nonce = 1; // tamper
+        assert_eq!(chain.submit(tx), Err(ChainError::InvalidSignature));
+    }
+
+    #[test]
+    fn stale_nonce_rejected_at_submission() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        chain.submit(signed_transfer(&alice, 0, bob, 1)).unwrap();
+        chain.produce_block();
+        let stale = signed_transfer(&alice, 0, bob, 2);
+        assert!(matches!(
+            chain.submit(stale),
+            Err(ChainError::StaleNonce { expected: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn future_nonce_waits_for_gap_fill() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        // Submit nonce 1 before nonce 0.
+        chain.submit(signed_transfer(&alice, 1, bob, 10)).unwrap();
+        let b = chain.produce_block();
+        assert!(b.transactions.is_empty(), "gap: nothing included");
+        assert_eq!(chain.mempool_len(), 1, "future tx retained");
+        chain.submit(signed_transfer(&alice, 0, bob, 5)).unwrap();
+        let b = chain.produce_block();
+        assert_eq!(b.transactions.len(), 2, "both included in order");
+        assert_eq!(chain.state.balance(&bob), 15);
+    }
+
+    #[test]
+    fn round_robin_proposers() {
+        let alice = KeyPair::from_seed(1);
+        let validators: Vec<KeyPair> = (0..3).map(|i| KeyPair::from_seed(2000 + i)).collect();
+        let pubs: Vec<PublicKey> = validators.iter().map(|v| v.public.clone()).collect();
+        let mut chain = Blockchain::new(
+            validators,
+            &[(Address::of(&alice.public), 1000)],
+            ContractRegistry::new(),
+            ChainConfig::default(),
+        );
+        for expected in [0usize, 1, 2, 0, 1] {
+            let b = chain.produce_block();
+            assert_eq!(b.header.proposer, pubs[expected]);
+        }
+    }
+
+    #[test]
+    fn chain_links_parents() {
+        let alice = KeyPair::from_seed(1);
+        let mut chain = test_chain(&alice);
+        let b0 = chain.produce_block();
+        let b1 = chain.produce_block();
+        assert_eq!(b1.header.parent, b0.header.hash());
+        assert_eq!(b1.header.timestamp, 12);
+    }
+
+    #[test]
+    fn external_block_validation_rejects_tampering() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        chain.submit(signed_transfer(&alice, 0, bob, 5)).unwrap();
+
+        // Build a *valid* candidate block on a clone of the chain.
+        let mut shadow = test_chain(&alice);
+        shadow.submit(signed_transfer(&alice, 0, bob, 5)).unwrap();
+        let good = shadow.produce_block();
+        chain.validate_external_block(&good).unwrap();
+
+        // Tamper with the body.
+        let mut bad = good.clone();
+        bad.transactions.clear();
+        assert_eq!(
+            chain.validate_external_block(&bad),
+            Err(ChainError::InvalidBlock("tx root mismatch"))
+        );
+
+        // Wrong proposer.
+        let rogue = KeyPair::from_seed(666);
+        let mut forged = good.clone();
+        forged.header = BlockHeader::new_signed(
+            &rogue,
+            forged.header.height,
+            forged.header.parent,
+            forged.header.state_root,
+            forged.header.tx_root,
+            forged.header.timestamp,
+        );
+        assert_eq!(
+            chain.validate_external_block(&forged),
+            Err(ChainError::WrongProposer)
+        );
+
+        // Wrong height.
+        let mut wrong_height = good.clone();
+        wrong_height.header.height = 7;
+        assert!(chain.validate_external_block(&wrong_height).is_err());
+    }
+
+    #[test]
+    fn block_gas_limit_defers_transactions() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = Blockchain::new(
+            vec![KeyPair::from_seed(1000)],
+            &[(Address::of(&alice.public), 1_000_000)],
+            ContractRegistry::new(),
+            ChainConfig {
+                block_gas_limit: 150_000, // fits one 100k-gas tx only
+                ..Default::default()
+            },
+        );
+        chain.submit(signed_transfer(&alice, 0, bob, 1)).unwrap();
+        chain.submit(signed_transfer(&alice, 1, bob, 1)).unwrap();
+        let b = chain.produce_block();
+        assert_eq!(b.transactions.len(), 1);
+        assert_eq!(chain.mempool_len(), 1);
+        let b = chain.produce_block();
+        assert_eq!(b.transactions.len(), 1);
+    }
+
+    #[test]
+    fn produce_until_empty_drains_pool() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        for nonce in 0..5 {
+            chain.submit(signed_transfer(&alice, nonce, bob, 1)).unwrap();
+        }
+        let produced = chain.produce_until_empty(100);
+        assert!(produced >= 1);
+        assert_eq!(chain.mempool_len(), 0);
+        assert_eq!(chain.state.balance(&bob), 5);
+    }
+
+    #[test]
+    fn events_are_indexed() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        chain.submit(signed_transfer(&alice, 0, bob, 5)).unwrap();
+        chain.produce_block();
+        assert_eq!(chain.events_by_topic("native.").len(), 1);
+        assert!(chain.events_by_topic("erc20.").is_empty());
+    }
+
+    #[test]
+    fn inclusion_proofs_verify_against_headers() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        let mut hashes = Vec::new();
+        for nonce in 0..5 {
+            hashes.push(chain.submit(signed_transfer(&alice, nonce, bob, 1)).unwrap());
+        }
+        chain.produce_block();
+        let header = &chain.block(0).unwrap().header.clone();
+        for h in &hashes {
+            let proof = chain.prove_inclusion(h).expect("included");
+            assert!(proof.verify(header), "proof for {h}");
+            assert_eq!(proof.block_height, 0);
+        }
+        // Unknown tx: no proof.
+        assert!(chain.prove_inclusion(&pds2_crypto::sha256(b"ghost")).is_none());
+        // A proof does not verify against the wrong header.
+        chain.submit(signed_transfer(&alice, 5, bob, 1)).unwrap();
+        chain.produce_block();
+        let other_header = &chain.block(1).unwrap().header;
+        let proof = chain.prove_inclusion(&hashes[0]).unwrap();
+        assert!(!proof.verify(other_header));
+    }
+
+    #[test]
+    fn inclusion_proof_rejects_forged_tx_hash() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        let h = chain.submit(signed_transfer(&alice, 0, bob, 1)).unwrap();
+        chain.produce_block();
+        let header = chain.block(0).unwrap().header.clone();
+        let mut proof = chain.prove_inclusion(&h).unwrap();
+        proof.tx_hash = pds2_crypto::sha256(b"forged");
+        assert!(!proof.verify(&header));
+    }
+
+    #[test]
+    fn native_supply_is_conserved() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        for nonce in 0..10 {
+            chain
+                .submit(signed_transfer(&alice, nonce, bob, 100))
+                .unwrap();
+        }
+        chain.produce_until_empty(10);
+        assert_eq!(chain.state.total_native_supply(), 1_000_000);
+    }
+}

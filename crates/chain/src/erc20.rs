@@ -1,0 +1,665 @@
+//! Fungible tokens — the ERC-20 analogue.
+//!
+//! §III-A: ERC-20 tokens "could be used to handle any kind of rewards
+//! offered by the consumers, which would be split among the providers."
+//! The module supports multiple independent tokens, each with balances,
+//! allowances, minting (creator-controlled) and burning.
+
+use crate::address::Address;
+use crate::event::{Event, EventSink};
+use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use std::collections::BTreeMap;
+
+/// Identifier of a fungible token.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TokenId(pub u64);
+
+impl Encode for TokenId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+}
+
+impl Decode for TokenId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TokenId(dec.get_u64()?))
+    }
+}
+
+/// Operations accepted by the ERC-20 module (carried inside transactions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Erc20Op {
+    /// Creates a new token; the sender becomes its minter.
+    Create {
+        /// Token symbol for display.
+        symbol: String,
+        /// Initial supply minted to the sender.
+        initial_supply: u128,
+    },
+    /// Mints new supply (minter only).
+    Mint {
+        /// Token to mint.
+        token: TokenId,
+        /// Recipient of the minted amount.
+        to: Address,
+        /// Amount to mint.
+        amount: u128,
+    },
+    /// Transfers tokens from the sender.
+    Transfer {
+        /// Token to move.
+        token: TokenId,
+        /// Recipient.
+        to: Address,
+        /// Amount.
+        amount: u128,
+    },
+    /// Approves a spender for an allowance.
+    Approve {
+        /// Token.
+        token: TokenId,
+        /// Spender being approved.
+        spender: Address,
+        /// Allowance amount (replaces previous).
+        amount: u128,
+    },
+    /// Spends an allowance on behalf of `owner`.
+    TransferFrom {
+        /// Token.
+        token: TokenId,
+        /// Account whose tokens move.
+        owner: Address,
+        /// Recipient.
+        to: Address,
+        /// Amount.
+        amount: u128,
+    },
+    /// Destroys tokens held by the sender.
+    Burn {
+        /// Token.
+        token: TokenId,
+        /// Amount to burn.
+        amount: u128,
+    },
+}
+
+const T_CREATE: u8 = 0;
+const T_MINT: u8 = 1;
+const T_TRANSFER: u8 = 2;
+const T_APPROVE: u8 = 3;
+const T_TRANSFER_FROM: u8 = 4;
+const T_BURN: u8 = 5;
+
+impl Encode for Erc20Op {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Erc20Op::Create {
+                symbol,
+                initial_supply,
+            } => {
+                enc.put_u8(T_CREATE);
+                enc.put_str(symbol);
+                enc.put_u128(*initial_supply);
+            }
+            Erc20Op::Mint { token, to, amount } => {
+                enc.put_u8(T_MINT);
+                token.encode(enc);
+                to.encode(enc);
+                enc.put_u128(*amount);
+            }
+            Erc20Op::Transfer { token, to, amount } => {
+                enc.put_u8(T_TRANSFER);
+                token.encode(enc);
+                to.encode(enc);
+                enc.put_u128(*amount);
+            }
+            Erc20Op::Approve {
+                token,
+                spender,
+                amount,
+            } => {
+                enc.put_u8(T_APPROVE);
+                token.encode(enc);
+                spender.encode(enc);
+                enc.put_u128(*amount);
+            }
+            Erc20Op::TransferFrom {
+                token,
+                owner,
+                to,
+                amount,
+            } => {
+                enc.put_u8(T_TRANSFER_FROM);
+                token.encode(enc);
+                owner.encode(enc);
+                to.encode(enc);
+                enc.put_u128(*amount);
+            }
+            Erc20Op::Burn { token, amount } => {
+                enc.put_u8(T_BURN);
+                token.encode(enc);
+                enc.put_u128(*amount);
+            }
+        }
+    }
+}
+
+impl Decode for Erc20Op {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            T_CREATE => Ok(Erc20Op::Create {
+                symbol: dec.get_str()?,
+                initial_supply: dec.get_u128()?,
+            }),
+            T_MINT => Ok(Erc20Op::Mint {
+                token: TokenId::decode(dec)?,
+                to: Address::decode(dec)?,
+                amount: dec.get_u128()?,
+            }),
+            T_TRANSFER => Ok(Erc20Op::Transfer {
+                token: TokenId::decode(dec)?,
+                to: Address::decode(dec)?,
+                amount: dec.get_u128()?,
+            }),
+            T_APPROVE => Ok(Erc20Op::Approve {
+                token: TokenId::decode(dec)?,
+                spender: Address::decode(dec)?,
+                amount: dec.get_u128()?,
+            }),
+            T_TRANSFER_FROM => Ok(Erc20Op::TransferFrom {
+                token: TokenId::decode(dec)?,
+                owner: Address::decode(dec)?,
+                to: Address::decode(dec)?,
+                amount: dec.get_u128()?,
+            }),
+            T_BURN => Ok(Erc20Op::Burn {
+                token: TokenId::decode(dec)?,
+                amount: dec.get_u128()?,
+            }),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Errors from token operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// Token id does not exist.
+    UnknownToken,
+    /// Balance too low.
+    InsufficientBalance,
+    /// Allowance too low.
+    InsufficientAllowance,
+    /// Only the minter may mint.
+    NotMinter,
+    /// Supply arithmetic would overflow.
+    Overflow,
+}
+
+impl std::fmt::Display for TokenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenError::UnknownToken => write!(f, "unknown token"),
+            TokenError::InsufficientBalance => write!(f, "insufficient token balance"),
+            TokenError::InsufficientAllowance => write!(f, "insufficient allowance"),
+            TokenError::NotMinter => write!(f, "sender is not the token minter"),
+            TokenError::Overflow => write!(f, "token supply overflow"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// One fungible token's state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct TokenState {
+    symbol: String,
+    minter: Option<Address>,
+    total_supply: u128,
+    balances: BTreeMap<Address, u128>,
+    allowances: BTreeMap<(Address, Address), u128>,
+}
+
+/// The ERC-20 module holding every fungible token on the chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Erc20Module {
+    tokens: BTreeMap<TokenId, TokenState>,
+    next_id: u64,
+}
+
+impl Erc20Module {
+    /// Applies an operation on behalf of `sender`, emitting events.
+    pub fn apply(
+        &mut self,
+        sender: Address,
+        op: &Erc20Op,
+        events: &mut EventSink,
+    ) -> Result<Option<TokenId>, TokenError> {
+        match op {
+            Erc20Op::Create {
+                symbol,
+                initial_supply,
+            } => {
+                let id = TokenId(self.next_id);
+                self.next_id += 1;
+                let mut state = TokenState {
+                    symbol: symbol.clone(),
+                    minter: Some(sender),
+                    total_supply: *initial_supply,
+                    ..Default::default()
+                };
+                if *initial_supply > 0 {
+                    state.balances.insert(sender, *initial_supply);
+                }
+                self.tokens.insert(id, state);
+                events.emit(Event::token(
+                    "erc20.create",
+                    format!("token={} symbol={symbol} supply={initial_supply}", id.0),
+                ));
+                Ok(Some(id))
+            }
+            Erc20Op::Mint { token, to, amount } => {
+                let state = self.tokens.get_mut(token).ok_or(TokenError::UnknownToken)?;
+                if state.minter != Some(sender) {
+                    return Err(TokenError::NotMinter);
+                }
+                state.total_supply = state
+                    .total_supply
+                    .checked_add(*amount)
+                    .ok_or(TokenError::Overflow)?;
+                *state.balances.entry(*to).or_default() += amount;
+                events.emit(Event::token(
+                    "erc20.mint",
+                    format!("token={} to={to} amount={amount}", token.0),
+                ));
+                Ok(None)
+            }
+            Erc20Op::Transfer { token, to, amount } => {
+                self.move_tokens(*token, sender, *to, *amount)?;
+                events.emit(Event::token(
+                    "erc20.transfer",
+                    format!("token={} from={sender} to={to} amount={amount}", token.0),
+                ));
+                Ok(None)
+            }
+            Erc20Op::Approve {
+                token,
+                spender,
+                amount,
+            } => {
+                let state = self.tokens.get_mut(token).ok_or(TokenError::UnknownToken)?;
+                state.allowances.insert((sender, *spender), *amount);
+                events.emit(Event::token(
+                    "erc20.approve",
+                    format!("token={} owner={sender} spender={spender} amount={amount}", token.0),
+                ));
+                Ok(None)
+            }
+            Erc20Op::TransferFrom {
+                token,
+                owner,
+                to,
+                amount,
+            } => {
+                // Validate allowance AND balance before mutating anything,
+                // so a failed op leaves no partial effects.
+                {
+                    let state = self.tokens.get_mut(token).ok_or(TokenError::UnknownToken)?;
+                    let allowance = state
+                        .allowances
+                        .get(&(*owner, sender))
+                        .copied()
+                        .unwrap_or(0);
+                    if allowance < *amount {
+                        return Err(TokenError::InsufficientAllowance);
+                    }
+                    let balance = state.balances.get(owner).copied().unwrap_or(0);
+                    if balance < *amount {
+                        return Err(TokenError::InsufficientBalance);
+                    }
+                    state.allowances.insert((*owner, sender), allowance - amount);
+                }
+                self.move_tokens(*token, *owner, *to, *amount)?;
+                events.emit(Event::token(
+                    "erc20.transfer_from",
+                    format!(
+                        "token={} owner={owner} spender={sender} to={to} amount={amount}",
+                        token.0
+                    ),
+                ));
+                Ok(None)
+            }
+            Erc20Op::Burn { token, amount } => {
+                let state = self.tokens.get_mut(token).ok_or(TokenError::UnknownToken)?;
+                let bal = state.balances.entry(sender).or_default();
+                if *bal < *amount {
+                    return Err(TokenError::InsufficientBalance);
+                }
+                *bal -= amount;
+                state.total_supply -= amount;
+                events.emit(Event::token(
+                    "erc20.burn",
+                    format!("token={} from={sender} amount={amount}", token.0),
+                ));
+                Ok(None)
+            }
+        }
+    }
+
+    fn move_tokens(
+        &mut self,
+        token: TokenId,
+        from: Address,
+        to: Address,
+        amount: u128,
+    ) -> Result<(), TokenError> {
+        let state = self.tokens.get_mut(&token).ok_or(TokenError::UnknownToken)?;
+        let from_bal = state.balances.entry(from).or_default();
+        if *from_bal < amount {
+            return Err(TokenError::InsufficientBalance);
+        }
+        *from_bal -= amount;
+        *state.balances.entry(to).or_default() += amount;
+        Ok(())
+    }
+
+    /// Transfers tokens without a signed op — used by trusted native
+    /// contracts (e.g. the workload contract paying rewards from escrow).
+    pub fn module_transfer(
+        &mut self,
+        token: TokenId,
+        from: Address,
+        to: Address,
+        amount: u128,
+    ) -> Result<(), TokenError> {
+        self.move_tokens(token, from, to, amount)
+    }
+
+    /// Balance query.
+    pub fn balance_of(&self, token: TokenId, owner: &Address) -> u128 {
+        self.tokens
+            .get(&token)
+            .and_then(|t| t.balances.get(owner).copied())
+            .unwrap_or(0)
+    }
+
+    /// Allowance query.
+    pub fn allowance(&self, token: TokenId, owner: &Address, spender: &Address) -> u128 {
+        self.tokens
+            .get(&token)
+            .and_then(|t| t.allowances.get(&(*owner, *spender)).copied())
+            .unwrap_or(0)
+    }
+
+    /// Total supply query.
+    pub fn total_supply(&self, token: TokenId) -> Option<u128> {
+        self.tokens.get(&token).map(|t| t.total_supply)
+    }
+
+    /// Token symbol query.
+    pub fn symbol(&self, token: TokenId) -> Option<&str> {
+        self.tokens.get(&token).map(|t| t.symbol.as_str())
+    }
+
+    /// Canonical digest of the whole module state (for state roots).
+    pub fn state_digest(&self) -> pds2_crypto::Digest {
+        let mut enc = Encoder::new();
+        enc.put_u64(self.next_id);
+        enc.put_u64(self.tokens.len() as u64);
+        for (id, t) in &self.tokens {
+            id.encode(&mut enc);
+            enc.put_str(&t.symbol);
+            enc.put_option(&t.minter);
+            enc.put_u128(t.total_supply);
+            enc.put_u64(t.balances.len() as u64);
+            for (addr, bal) in &t.balances {
+                addr.encode(&mut enc);
+                enc.put_u128(*bal);
+            }
+            enc.put_u64(t.allowances.len() as u64);
+            for ((o, s), a) in &t.allowances {
+                o.encode(&mut enc);
+                s.encode(&mut enc);
+                enc.put_u128(*a);
+            }
+        }
+        pds2_crypto::sha256(&enc.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds2_crypto::KeyPair;
+
+    fn addr(seed: u64) -> Address {
+        Address::of(&KeyPair::from_seed(seed).public)
+    }
+
+    fn create_token(m: &mut Erc20Module, minter: Address, supply: u128) -> TokenId {
+        let mut events = EventSink::new();
+        m.apply(
+            minter,
+            &Erc20Op::Create {
+                symbol: "PDS".into(),
+                initial_supply: supply,
+            },
+            &mut events,
+        )
+        .unwrap()
+        .unwrap()
+    }
+
+    #[test]
+    fn create_assigns_supply_to_creator() {
+        let mut m = Erc20Module::default();
+        let alice = addr(1);
+        let id = create_token(&mut m, alice, 1000);
+        assert_eq!(m.balance_of(id, &alice), 1000);
+        assert_eq!(m.total_supply(id), Some(1000));
+        assert_eq!(m.symbol(id), Some("PDS"));
+    }
+
+    #[test]
+    fn transfer_moves_balance() {
+        let mut m = Erc20Module::default();
+        let (alice, bob) = (addr(1), addr(2));
+        let id = create_token(&mut m, alice, 100);
+        let mut ev = EventSink::new();
+        m.apply(
+            alice,
+            &Erc20Op::Transfer {
+                token: id,
+                to: bob,
+                amount: 30,
+            },
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(m.balance_of(id, &alice), 70);
+        assert_eq!(m.balance_of(id, &bob), 30);
+        assert_eq!(ev.events().len(), 1);
+    }
+
+    #[test]
+    fn transfer_rejects_overdraft() {
+        let mut m = Erc20Module::default();
+        let (alice, bob) = (addr(1), addr(2));
+        let id = create_token(&mut m, alice, 10);
+        let mut ev = EventSink::new();
+        let err = m
+            .apply(
+                alice,
+                &Erc20Op::Transfer {
+                    token: id,
+                    to: bob,
+                    amount: 11,
+                },
+                &mut ev,
+            )
+            .unwrap_err();
+        assert_eq!(err, TokenError::InsufficientBalance);
+        assert_eq!(m.balance_of(id, &alice), 10, "no partial effects");
+    }
+
+    #[test]
+    fn only_minter_can_mint() {
+        let mut m = Erc20Module::default();
+        let (alice, mallory) = (addr(1), addr(3));
+        let id = create_token(&mut m, alice, 0);
+        let mut ev = EventSink::new();
+        assert_eq!(
+            m.apply(
+                mallory,
+                &Erc20Op::Mint {
+                    token: id,
+                    to: mallory,
+                    amount: 1_000_000
+                },
+                &mut ev
+            )
+            .unwrap_err(),
+            TokenError::NotMinter
+        );
+        m.apply(
+            alice,
+            &Erc20Op::Mint {
+                token: id,
+                to: alice,
+                amount: 5,
+            },
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(m.total_supply(id), Some(5));
+    }
+
+    #[test]
+    fn allowance_workflow() {
+        let mut m = Erc20Module::default();
+        let (alice, bob, carol) = (addr(1), addr(2), addr(3));
+        let id = create_token(&mut m, alice, 100);
+        let mut ev = EventSink::new();
+        m.apply(
+            alice,
+            &Erc20Op::Approve {
+                token: id,
+                spender: bob,
+                amount: 40,
+            },
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(m.allowance(id, &alice, &bob), 40);
+        m.apply(
+            bob,
+            &Erc20Op::TransferFrom {
+                token: id,
+                owner: alice,
+                to: carol,
+                amount: 25,
+            },
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(m.balance_of(id, &carol), 25);
+        assert_eq!(m.allowance(id, &alice, &bob), 15);
+        // Exceeding the remaining allowance fails.
+        assert_eq!(
+            m.apply(
+                bob,
+                &Erc20Op::TransferFrom {
+                    token: id,
+                    owner: alice,
+                    to: carol,
+                    amount: 16
+                },
+                &mut ev
+            )
+            .unwrap_err(),
+            TokenError::InsufficientAllowance
+        );
+    }
+
+    #[test]
+    fn burn_reduces_supply() {
+        let mut m = Erc20Module::default();
+        let alice = addr(1);
+        let id = create_token(&mut m, alice, 100);
+        let mut ev = EventSink::new();
+        m.apply(alice, &Erc20Op::Burn { token: id, amount: 60 }, &mut ev)
+            .unwrap();
+        assert_eq!(m.total_supply(id), Some(40));
+        assert_eq!(m.balance_of(id, &alice), 40);
+        assert_eq!(
+            m.apply(alice, &Erc20Op::Burn { token: id, amount: 41 }, &mut ev)
+                .unwrap_err(),
+            TokenError::InsufficientBalance
+        );
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let mut m = Erc20Module::default();
+        let mut ev = EventSink::new();
+        assert_eq!(
+            m.apply(
+                addr(1),
+                &Erc20Op::Transfer {
+                    token: TokenId(42),
+                    to: addr(2),
+                    amount: 1
+                },
+                &mut ev
+            )
+            .unwrap_err(),
+            TokenError::UnknownToken
+        );
+    }
+
+    #[test]
+    fn state_digest_tracks_changes() {
+        let mut m = Erc20Module::default();
+        let d0 = m.state_digest();
+        let alice = addr(1);
+        let id = create_token(&mut m, alice, 100);
+        let d1 = m.state_digest();
+        assert_ne!(d0, d1);
+        let mut ev = EventSink::new();
+        m.apply(
+            alice,
+            &Erc20Op::Transfer {
+                token: id,
+                to: addr(2),
+                amount: 1,
+            },
+            &mut ev,
+        )
+        .unwrap();
+        assert_ne!(d1, m.state_digest());
+    }
+
+    #[test]
+    fn balance_conservation_under_transfers() {
+        let mut m = Erc20Module::default();
+        let holders: Vec<Address> = (1..=5).map(addr).collect();
+        let id = create_token(&mut m, holders[0], 10_000);
+        let mut ev = EventSink::new();
+        // Shuffle tokens around.
+        for i in 0..20 {
+            let from = holders[i % 5];
+            let to = holders[(i + 2) % 5];
+            let _ = m.apply(
+                from,
+                &Erc20Op::Transfer {
+                    token: id,
+                    to,
+                    amount: 100,
+                },
+                &mut ev,
+            );
+        }
+        let total: u128 = holders.iter().map(|h| m.balance_of(id, h)).sum();
+        assert_eq!(total, 10_000, "transfers must conserve supply");
+    }
+}

@@ -1,0 +1,100 @@
+//! Gas metering.
+//!
+//! Gas is not paid for in currency here (no fee market); it bounds work per
+//! transaction and per block, and `gas_used` is the cost metric experiment
+//! E3 reports per marketplace action.
+
+/// Base cost of any transaction (Ethereum's 21 000 analogue).
+pub const TX_BASE: u64 = 21_000;
+/// Per-byte cost of transaction payload.
+pub const PER_BYTE: u64 = 16;
+/// Cost of one fungible-token operation.
+pub const ERC20_OP: u64 = 5_000;
+/// Cost of one NFT operation.
+pub const ERC721_OP: u64 = 8_000;
+/// Cost of deploying a contract instance.
+pub const DEPLOY: u64 = 32_000;
+/// Base cost of a contract call (before contract-charged gas).
+pub const CALL_BASE: u64 = 2_500;
+/// Cost of emitting one event.
+pub const EVENT: u64 = 375;
+/// Cost per 32-byte word a contract reads or writes to its state.
+pub const STORAGE_WORD: u64 = 200;
+
+/// A per-transaction gas meter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GasMeter {
+    limit: u64,
+    used: u64,
+}
+
+/// Raised when a transaction exceeds its gas limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfGas;
+
+impl std::fmt::Display for OutOfGas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "out of gas")
+    }
+}
+
+impl std::error::Error for OutOfGas {}
+
+impl GasMeter {
+    /// Creates a meter with the transaction's gas limit.
+    pub fn new(limit: u64) -> GasMeter {
+        GasMeter { limit, used: 0 }
+    }
+
+    /// Charges `amount` gas, failing if the limit would be exceeded.
+    pub fn charge(&mut self, amount: u64) -> Result<(), OutOfGas> {
+        let new_used = self.used.saturating_add(amount);
+        if new_used > self.limit {
+            self.used = self.limit;
+            return Err(OutOfGas);
+        }
+        self.used = new_used;
+        Ok(())
+    }
+
+    /// Gas consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_within_limit() {
+        let mut m = GasMeter::new(100);
+        m.charge(60).unwrap();
+        assert_eq!(m.used(), 60);
+        assert_eq!(m.remaining(), 40);
+        m.charge(40).unwrap();
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn charge_over_limit_fails_and_exhausts() {
+        let mut m = GasMeter::new(100);
+        m.charge(90).unwrap();
+        assert_eq!(m.charge(11), Err(OutOfGas));
+        // Out-of-gas consumes the whole budget (as on Ethereum).
+        assert_eq!(m.used(), 100);
+    }
+
+    #[test]
+    fn saturating_charge() {
+        let mut m = GasMeter::new(u64::MAX - 1);
+        m.charge(u64::MAX - 2).unwrap();
+        assert_eq!(m.charge(u64::MAX), Err(OutOfGas), "saturating add still trips the limit");
+    }
+}

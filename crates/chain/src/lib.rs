@@ -1,0 +1,40 @@
+//! # pds2-chain
+//!
+//! The governance-layer substrate of PDS²: an account-based blockchain with
+//! proof-of-authority block production, native smart contracts, gas
+//! metering and ERC-20/ERC-721 token modules — the role §III-A of the paper
+//! assigns to Ethereum (see DESIGN.md for the substitution argument).
+//!
+//! Modules:
+//!
+//! - [`address`] — accounts and address derivation;
+//! - [`tx`] — signed transactions (transfers, token ops, deploy, call);
+//! - [`gas`] — gas schedule and metering;
+//! - [`erc20`] — fungible tokens (consumer rewards);
+//! - [`erc721`] — NFTs committing to datasets and workload code;
+//! - [`contract`] — the native-contract framework with atomic rollback;
+//! - [`state`] — the world state and the transaction execution function;
+//! - [`block`] — blocks, headers, Merkle transaction roots;
+//! - [`chain`] — the ledger: mempool, PoA production, receipts, events;
+//! - [`event`] — the audit-trail event log.
+
+pub mod address;
+pub mod block;
+pub mod chain;
+pub mod contract;
+pub mod erc20;
+pub mod erc721;
+pub mod event;
+pub mod gas;
+pub mod state;
+pub mod tx;
+
+pub use address::{Account, Address};
+pub use block::{Block, BlockHeader};
+pub use chain::{Blockchain, ChainConfig, ChainError};
+pub use contract::{CallCtx, Contract, ContractError, ContractRegistry};
+pub use erc20::{Erc20Module, Erc20Op, TokenError, TokenId};
+pub use erc721::{AssetKind, Erc721Module, Erc721Op, NftError, NftId};
+pub use event::{Event, EventSink};
+pub use state::{TxReceipt, WorldState};
+pub use tx::{SignedTransaction, Transaction, TxKind};

@@ -1,0 +1,308 @@
+//! Transactions: payload kinds, signing and verification.
+
+use crate::address::Address;
+use crate::erc20::Erc20Op;
+use crate::erc721::Erc721Op;
+use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use pds2_crypto::schnorr::{KeyPair, PublicKey, Signature};
+use pds2_crypto::sha256::Digest;
+
+/// What a transaction does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxKind {
+    /// Native-token transfer.
+    Transfer {
+        /// Recipient.
+        to: Address,
+        /// Amount in smallest units.
+        amount: u128,
+    },
+    /// Deploys an instance of a registered contract type.
+    Deploy {
+        /// Name of the registered contract type.
+        code_id: String,
+        /// Constructor input (contract-defined encoding).
+        init: Vec<u8>,
+    },
+    /// Calls a deployed contract.
+    Call {
+        /// Contract instance address.
+        contract: Address,
+        /// Call input (contract-defined encoding).
+        input: Vec<u8>,
+        /// Native tokens attached to the call (escrowed to the contract).
+        value: u128,
+    },
+    /// Fungible-token module operation (ERC-20 analogue).
+    Erc20(Erc20Op),
+    /// Non-fungible-token module operation (ERC-721 analogue).
+    Erc721(Erc721Op),
+}
+
+const TAG_TRANSFER: u8 = 0;
+const TAG_DEPLOY: u8 = 1;
+const TAG_CALL: u8 = 2;
+const TAG_ERC20: u8 = 3;
+const TAG_ERC721: u8 = 4;
+
+impl Encode for TxKind {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            TxKind::Transfer { to, amount } => {
+                enc.put_u8(TAG_TRANSFER);
+                to.encode(enc);
+                enc.put_u128(*amount);
+            }
+            TxKind::Deploy { code_id, init } => {
+                enc.put_u8(TAG_DEPLOY);
+                enc.put_str(code_id);
+                enc.put_bytes(init);
+            }
+            TxKind::Call {
+                contract,
+                input,
+                value,
+            } => {
+                enc.put_u8(TAG_CALL);
+                contract.encode(enc);
+                enc.put_bytes(input);
+                enc.put_u128(*value);
+            }
+            TxKind::Erc20(op) => {
+                enc.put_u8(TAG_ERC20);
+                op.encode(enc);
+            }
+            TxKind::Erc721(op) => {
+                enc.put_u8(TAG_ERC721);
+                op.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for TxKind {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            TAG_TRANSFER => Ok(TxKind::Transfer {
+                to: Address::decode(dec)?,
+                amount: dec.get_u128()?,
+            }),
+            TAG_DEPLOY => Ok(TxKind::Deploy {
+                code_id: dec.get_str()?,
+                init: dec.get_bytes()?,
+            }),
+            TAG_CALL => Ok(TxKind::Call {
+                contract: Address::decode(dec)?,
+                input: dec.get_bytes()?,
+                value: dec.get_u128()?,
+            }),
+            TAG_ERC20 => Ok(TxKind::Erc20(Erc20Op::decode(dec)?)),
+            TAG_ERC721 => Ok(TxKind::Erc721(Erc721Op::decode(dec)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+/// An unsigned transaction body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Sender's public key (the address is derived from it).
+    pub from: PublicKey,
+    /// Sender's account nonce at submission.
+    pub nonce: u64,
+    /// The operation.
+    pub kind: TxKind,
+    /// Gas budget for execution.
+    pub gas_limit: u64,
+}
+
+impl Transaction {
+    /// Sender address.
+    pub fn sender(&self) -> Address {
+        Address::of(&self.from)
+    }
+
+    /// Canonical hash of the unsigned body (what gets signed).
+    pub fn hash(&self) -> Digest {
+        self.content_hash()
+    }
+
+    /// Signs with `keys` (whose public key must equal `self.from`).
+    pub fn sign(self, keys: &KeyPair) -> SignedTransaction {
+        assert_eq!(
+            keys.public, self.from,
+            "signing key does not match tx sender"
+        );
+        let sig = keys.sign(self.hash().as_bytes());
+        SignedTransaction {
+            tx: self,
+            signature: sig,
+        }
+    }
+}
+
+impl Encode for Transaction {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_raw(b"pds2-tx-v1");
+        self.from.encode(enc);
+        enc.put_u64(self.nonce);
+        self.kind.encode(enc);
+        enc.put_u64(self.gas_limit);
+    }
+}
+
+impl Decode for Transaction {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let magic = dec.get_raw(10)?;
+        if magic != b"pds2-tx-v1" {
+            return Err(DecodeError::Invalid("bad tx magic"));
+        }
+        Ok(Transaction {
+            from: PublicKey::decode(dec)?,
+            nonce: dec.get_u64()?,
+            kind: TxKind::decode(dec)?,
+            gas_limit: dec.get_u64()?,
+        })
+    }
+}
+
+/// A signed transaction ready for submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedTransaction {
+    /// The signed body.
+    pub tx: Transaction,
+    /// Schnorr signature over the body hash.
+    pub signature: Signature,
+}
+
+impl SignedTransaction {
+    /// The transaction hash (identifier).
+    pub fn hash(&self) -> Digest {
+        self.tx.hash()
+    }
+
+    /// Verifies the signature against the embedded sender key.
+    pub fn verify_signature(&self) -> bool {
+        self.tx
+            .from
+            .verify(self.tx.hash().as_bytes(), &self.signature)
+    }
+}
+
+impl Encode for SignedTransaction {
+    fn encode(&self, enc: &mut Encoder) {
+        self.tx.encode(enc);
+        self.signature.encode(enc);
+    }
+}
+
+impl Decode for SignedTransaction {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SignedTransaction {
+            tx: Transaction::decode(dec)?,
+            signature: Signature::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erc20::TokenId;
+
+    fn sample_tx(seed: u64, nonce: u64) -> Transaction {
+        let kp = KeyPair::from_seed(seed);
+        Transaction {
+            from: kp.public.clone(),
+            nonce,
+            kind: TxKind::Transfer {
+                to: Address::of(&KeyPair::from_seed(99).public),
+                amount: 1000,
+            },
+            gas_limit: 50_000,
+        }
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(1);
+        let signed = sample_tx(1, 0).sign(&kp);
+        assert!(signed.verify_signature());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn signing_with_wrong_key_panics() {
+        let other = KeyPair::from_seed(2);
+        let _ = sample_tx(1, 0).sign(&other);
+    }
+
+    #[test]
+    fn tampered_tx_fails_verification() {
+        let kp = KeyPair::from_seed(1);
+        let mut signed = sample_tx(1, 0).sign(&kp);
+        signed.tx.nonce = 5;
+        assert!(!signed.verify_signature());
+    }
+
+    #[test]
+    fn tampered_amount_fails_verification() {
+        let kp = KeyPair::from_seed(1);
+        let mut signed = sample_tx(1, 0).sign(&kp);
+        if let TxKind::Transfer { amount, .. } = &mut signed.tx.kind {
+            *amount = u128::MAX;
+        }
+        assert!(!signed.verify_signature());
+    }
+
+    #[test]
+    fn all_kinds_roundtrip_codec() {
+        let kp = KeyPair::from_seed(3);
+        let to = Address::of(&KeyPair::from_seed(4).public);
+        let kinds = vec![
+            TxKind::Transfer { to, amount: 5 },
+            TxKind::Deploy {
+                code_id: "workload".into(),
+                init: vec![1, 2, 3],
+            },
+            TxKind::Call {
+                contract: Address::contract(&to, 0),
+                input: vec![9, 9],
+                value: 77,
+            },
+            TxKind::Erc20(Erc20Op::Transfer {
+                token: TokenId(7),
+                to,
+                amount: 3,
+            }),
+        ];
+        for kind in kinds {
+            let tx = Transaction {
+                from: kp.public.clone(),
+                nonce: 1,
+                kind,
+                gas_limit: 10,
+            };
+            let signed = tx.clone().sign(&kp);
+            let bytes = signed.to_bytes();
+            let back = SignedTransaction::from_bytes(&bytes).unwrap();
+            assert_eq!(back, signed);
+            assert!(back.verify_signature());
+        }
+    }
+
+    #[test]
+    fn hash_distinguishes_transactions() {
+        assert_ne!(sample_tx(1, 0).hash(), sample_tx(1, 1).hash());
+        assert_ne!(sample_tx(1, 0).hash(), sample_tx(2, 0).hash());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let kp = KeyPair::from_seed(1);
+        let signed = sample_tx(1, 0).sign(&kp);
+        let mut bytes = signed.to_bytes();
+        bytes[0] ^= 0xff;
+        assert!(SignedTransaction::from_bytes(&bytes).is_err());
+    }
+}

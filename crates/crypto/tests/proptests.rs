@@ -1,0 +1,154 @@
+//! Property-based tests for the cryptographic substrate.
+
+use pds2_crypto::bigint::BigUint;
+use pds2_crypto::codec::{Decode, Encode, Encoder};
+use pds2_crypto::merkle::MerkleTree;
+use pds2_crypto::sha256::sha256;
+use proptest::prelude::*;
+
+/// Strategy producing BigUints up to ~256 bits from raw byte vectors.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|v| BigUint::from_bytes_be(&v))
+}
+
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|v| v.add(&BigUint::one()))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in biguint(), b in biguint()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn divrem_is_euclidean(a in biguint(), d in biguint_nonzero()) {
+        let (q, r) = a.divrem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    #[test]
+    fn shifts_invert(a in biguint(), s in 0u32..200) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u32..12, m in 2u64..10_000) {
+        let expected = (0..exp).fold(1u128, |acc, _| acc * base as u128 % m as u128);
+        let got = BigUint::from_u64(base)
+            .modpow(&BigUint::from_u64(exp as u64), &BigUint::from_u64(m));
+        prop_assert_eq!(got.to_u128(), Some(expected));
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in 1u64..1_000_000) {
+        // Prime modulus guarantees invertibility for nonzero residues.
+        let p = BigUint::from_u64(1_000_000_007);
+        let av = BigUint::from_u64(a);
+        let inv = av.modinv(&p).unwrap();
+        prop_assert_eq!(av.mul_mod(&inv, &p), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn codec_vec_roundtrip(data in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let mut enc = Encoder::new();
+        enc.put_seq(&data);
+        let bytes = enc.finish();
+        let mut dec = pds2_crypto::codec::Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_seq::<u64>().unwrap(), data);
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn codec_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let encoded = data.to_bytes();
+        prop_assert_eq!(Vec::<u8>::from_bytes(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn merkle_all_proofs_verify(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..24)
+    ) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        let root = tree.root();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.verify(leaf, &root));
+        }
+    }
+
+    #[test]
+    fn merkle_proof_binds_leaf(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..20), 2..16),
+        tamper in any::<u8>(),
+    ) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        let proof = tree.prove(0).unwrap();
+        let mut forged = leaves[0].clone();
+        forged[0] ^= tamper | 1; // guaranteed different
+        prop_assert!(!proof.verify(&forged, &tree.root()));
+    }
+
+    #[test]
+    fn sha256_is_pure(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+    }
+
+    #[test]
+    fn seal_open_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+    ) {
+        let blob = pds2_crypto::chacha20::seal(&key, nonce, &data);
+        prop_assert_eq!(pds2_crypto::chacha20::open(&key, &blob).unwrap(), data);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn schnorr_sign_verify(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let kp = pds2_crypto::KeyPair::from_seed(seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public.verify(&msg, &sig));
+        let mut other = msg.clone();
+        other.push(1);
+        prop_assert!(!kp.public.verify(&other, &sig));
+    }
+}

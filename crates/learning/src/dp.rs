@@ -1,0 +1,190 @@
+//! Differential-privacy mechanisms and budget accounting (§IV-D).
+//!
+//! The paper proposes that "executors could statically or dynamically
+//! analyze each workload to assess the risk of privacy leaks and apply the
+//! most suitable measures to limit it", citing differential privacy. This
+//! module provides the Laplace and Gaussian mechanisms, calibration
+//! helpers, and a simple composition accountant, which experiment E11 uses
+//! to trade attack advantage against model accuracy.
+
+use rand::Rng;
+
+/// Samples Laplace(0, b) noise.
+pub fn laplace_noise<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale > 0.0, "scale must be positive");
+    // Inverse CDF: u uniform in (-0.5, 0.5].
+    let u: f64 = rng.random::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(1e-300).ln()
+}
+
+/// Samples Gaussian(0, sigma²) noise (Box–Muller).
+pub fn gaussian_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The Laplace mechanism: releases `value + Lap(sensitivity / epsilon)`,
+/// which is ε-differentially private for the given L1 sensitivity.
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    rng: &mut R,
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    value + laplace_noise(rng, sensitivity / epsilon)
+}
+
+/// Gaussian-mechanism noise stddev for (ε, δ)-DP with L2 sensitivity
+/// `sensitivity` (the classic analytic bound, valid for ε ≤ 1).
+pub fn gaussian_sigma(sensitivity: f64, epsilon: f64, delta: f64) -> f64 {
+    assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0, "bad (ε, δ)");
+    sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / epsilon
+}
+
+/// The Gaussian mechanism on a vector (adds iid noise per coordinate).
+pub fn gaussian_mechanism_vec<R: Rng + ?Sized>(
+    rng: &mut R,
+    values: &mut [f64],
+    sensitivity: f64,
+    epsilon: f64,
+    delta: f64,
+) {
+    let sigma = gaussian_sigma(sensitivity, epsilon, delta);
+    for v in values {
+        *v += gaussian_noise(rng, sigma);
+    }
+}
+
+/// Tracks cumulative privacy spend under basic (linear) composition.
+///
+/// Basic composition is pessimistic compared to moments accounting, but it
+/// is exact as an upper bound and keeps the accounting auditable — the
+/// governance layer logs the accumulated ε per provider.
+#[derive(Clone, Debug, Default)]
+pub struct PrivacyAccountant {
+    epsilon: f64,
+    delta: f64,
+    releases: u64,
+}
+
+impl PrivacyAccountant {
+    /// Fresh accountant with zero spend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (ε, δ) release.
+    pub fn spend(&mut self, epsilon: f64, delta: f64) {
+        assert!(epsilon >= 0.0 && delta >= 0.0);
+        self.epsilon += epsilon;
+        self.delta += delta;
+        self.releases += 1;
+    }
+
+    /// Total ε under basic composition.
+    pub fn total_epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Total δ under basic composition.
+    pub fn total_delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of releases recorded.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Whether the spend stays within a budget.
+    pub fn within(&self, epsilon_budget: f64, delta_budget: f64) -> bool {
+        self.epsilon <= epsilon_budget && self.delta <= delta_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = 2.0;
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(&mut rng, b)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        // Laplace variance = 2b².
+        assert!((var - 8.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = 3.0;
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian_noise(&mut rng, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spread = |eps: f64| {
+            let mut rng2 = StdRng::seed_from_u64(4);
+            (0..2000)
+                .map(|_| (laplace_mechanism(&mut rng2, 0.0, 1.0, eps)).abs())
+                .sum::<f64>()
+                / 2000.0
+        };
+        let _ = &mut rng;
+        assert!(spread(0.1) > spread(1.0) * 5.0);
+    }
+
+    #[test]
+    fn gaussian_sigma_calibration() {
+        // Known closed form: σ = Δ√(2 ln(1.25/δ)) / ε.
+        let s = gaussian_sigma(1.0, 1.0, 1e-5);
+        assert!((s - (2.0f64 * (1.25f64 / 1e-5).ln()).sqrt()).abs() < 1e-9);
+        // Tighter ε or δ → more noise.
+        assert!(gaussian_sigma(1.0, 0.5, 1e-5) > s);
+        assert!(gaussian_sigma(1.0, 1.0, 1e-9) > s);
+    }
+
+    #[test]
+    fn accountant_composes_linearly() {
+        let mut acc = PrivacyAccountant::new();
+        for _ in 0..10 {
+            acc.spend(0.1, 1e-6);
+        }
+        assert!((acc.total_epsilon() - 1.0).abs() < 1e-9);
+        assert!((acc.total_delta() - 1e-5).abs() < 1e-12);
+        assert_eq!(acc.releases(), 10);
+        assert!(acc.within(1.0, 1e-4));
+        assert!(!acc.within(0.5, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = laplace_mechanism(&mut rng, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn mechanism_vec_perturbs_in_place() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v = vec![1.0; 100];
+        gaussian_mechanism_vec(&mut rng, &mut v, 1.0, 1.0, 1e-5);
+        assert!(v.iter().any(|&x| (x - 1.0).abs() > 1e-6));
+    }
+}

@@ -1,0 +1,562 @@
+//! Gossip learning (Ormándi, Hegedűs & Jelasity) over the event simulator.
+//!
+//! Each node holds a local model and its private shard. On a periodic
+//! timer it pushes `(parameters, age)` to a uniformly random peer; on
+//! receipt it merges the incoming model with its own and takes local SGD
+//! steps on its private data. No coordinator exists — this is the
+//! decentralized aggregation §III-C of the paper selects over federated
+//! learning.
+//!
+//! The merge rule is pluggable for ablation A1: age-weighted averaging
+//! (the rule from the gossip-learning papers), plain averaging, or
+//! replace-if-older.
+
+use pds2_ml::data::Dataset;
+use pds2_ml::linalg::weighted_average;
+use pds2_ml::model::Model;
+use pds2_ml::sgd;
+use pds2_net::{Ctx, Node, NodeId};
+use rand::Rng;
+
+/// Gossip exchange pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GossipProtocol {
+    /// Classic push: each cycle, send the local model to one random peer.
+    Push,
+    /// Push-pull: the receiver answers with its own model, doubling the
+    /// mixing rate per cycle at one extra message.
+    PushPull,
+}
+
+/// How an incoming model is combined with the local one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeRule {
+    /// Weighted average with weights proportional to model ages.
+    AgeWeighted,
+    /// Plain 50/50 average.
+    Average,
+    /// Adopt the incoming model iff it is older (more trained).
+    Replace,
+}
+
+/// Differential-privacy settings for local updates (DP-SGD style).
+#[derive(Clone, Copy, Debug)]
+pub struct DpConfig {
+    /// L2 clip applied to each local gradient.
+    pub clip: f64,
+    /// Gaussian noise stddev = `noise_multiplier * clip / batch`.
+    pub noise_multiplier: f64,
+}
+
+/// Gossip-learning protocol parameters.
+#[derive(Clone, Debug)]
+pub struct GossipConfig {
+    /// Gossip cycle length in simulated microseconds.
+    pub period_us: u64,
+    /// Mini-batch size of each local step.
+    pub batch_size: usize,
+    /// Local SGD steps per received model.
+    pub local_steps: usize,
+    /// Learning rate for local steps.
+    pub learning_rate: f64,
+    /// Merge rule (ablation A1).
+    pub merge: MergeRule,
+    /// Exchange pattern (push vs push-pull).
+    pub protocol: GossipProtocol,
+    /// Optional DP noise on local updates (experiment E11).
+    pub dp: Option<DpConfig>,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            period_us: 1_000_000, // 1 s cycles
+            batch_size: 16,
+            local_steps: 1,
+            learning_rate: 0.1,
+            merge: MergeRule::AgeWeighted,
+            protocol: GossipProtocol::Push,
+            dp: None,
+        }
+    }
+}
+
+/// The message gossiped between peers.
+#[derive(Clone, Debug)]
+pub struct GossipMsg {
+    /// Flat model parameters.
+    pub params: Vec<f64>,
+    /// Number of merge+update events this model has absorbed.
+    pub age: u64,
+    /// Push-pull: the sender expects the receiver's model in return.
+    pub want_reply: bool,
+}
+
+/// A gossip-learning participant.
+pub struct GossipNode<M: Model> {
+    /// The node's current model.
+    pub model: M,
+    /// The node's private shard.
+    pub data: Dataset,
+    /// Model age (training maturity).
+    pub age: u64,
+    /// Protocol parameters.
+    pub cfg: GossipConfig,
+    /// Models sent by this node (communication accounting).
+    pub models_sent: u64,
+    /// Models received and merged.
+    pub models_merged: u64,
+}
+
+impl<M: Model> GossipNode<M> {
+    /// Creates a node from an initial model and its private shard.
+    pub fn new(model: M, data: Dataset, cfg: GossipConfig) -> Self {
+        GossipNode {
+            model,
+            data,
+            age: 0,
+            cfg,
+            models_sent: 0,
+            models_merged: 0,
+        }
+    }
+
+    fn local_update(&mut self, rng: &mut rand::rngs::StdRng) {
+        if self.data.is_empty() {
+            return;
+        }
+        for _ in 0..self.cfg.local_steps {
+            let batch: Vec<usize> = (0..self.cfg.batch_size.min(self.data.len()))
+                .map(|_| rng.random_range(0..self.data.len()))
+                .collect();
+            match self.cfg.dp {
+                None => sgd::step(
+                    &mut self.model,
+                    &self.data,
+                    &batch,
+                    self.cfg.learning_rate,
+                    None,
+                ),
+                Some(dp) => {
+                    // Clip, then add Gaussian noise scaled to the clip.
+                    let mut grad = self.model.gradient(&self.data, &batch);
+                    pds2_ml::linalg::clip_norm(&mut grad, dp.clip);
+                    let sigma = dp.noise_multiplier * dp.clip / batch.len() as f64;
+                    for g in &mut grad {
+                        *g += sigma * gaussian(rng);
+                    }
+                    let mut params = self.model.params();
+                    for (p, g) in params.iter_mut().zip(&grad) {
+                        *p -= self.cfg.learning_rate * g;
+                    }
+                    self.model.set_params(&params);
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, incoming: &GossipMsg) {
+        let my = self.model.params();
+        let merged = match self.cfg.merge {
+            MergeRule::AgeWeighted => {
+                let wa = (self.age as f64).max(1.0);
+                let wb = (incoming.age as f64).max(1.0);
+                weighted_average(&my, wa, &incoming.params, wb)
+            }
+            MergeRule::Average => weighted_average(&my, 1.0, &incoming.params, 1.0),
+            MergeRule::Replace => {
+                if incoming.age > self.age {
+                    incoming.params.clone()
+                } else {
+                    my
+                }
+            }
+        };
+        self.model.set_params(&merged);
+        self.age = self.age.max(incoming.age) + 1;
+        self.models_merged += 1;
+    }
+}
+
+/// Standard-normal sample via Box–Muller (local helper to avoid a
+/// distribution dependency).
+fn gaussian(rng: &mut rand::rngs::StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl<M: Model> Node for GossipNode<M> {
+    type Msg = GossipMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GossipMsg>) {
+        // Desynchronize cycles with a random initial offset.
+        let offset = ctx.rng().random_range(0..self.cfg.period_us.max(1));
+        ctx.set_timer(offset, 0);
+        // Bootstrap the local model so the first gossip is meaningful.
+        let mut seed_rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(ctx.id as u64)
+        };
+        self.local_update(&mut seed_rng);
+        self.age = 1;
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, GossipMsg>, from: NodeId, msg: GossipMsg) {
+        let want_reply = msg.want_reply;
+        self.merge(&msg);
+        let mut rng = {
+            use rand::SeedableRng;
+            let s: u64 = ctx.rng().random();
+            rand::rngs::StdRng::seed_from_u64(s)
+        };
+        self.local_update(&mut rng);
+        if want_reply {
+            ctx.send(
+                from,
+                GossipMsg {
+                    params: self.model.params(),
+                    age: self.age,
+                    want_reply: false,
+                },
+            );
+            self.models_sent += 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GossipMsg>, _tag: u64) {
+        if let Some(peer) = ctx.random_peer() {
+            ctx.send(
+                peer,
+                GossipMsg {
+                    params: self.model.params(),
+                    age: self.age,
+                    want_reply: self.cfg.protocol == GossipProtocol::PushPull,
+                },
+            );
+            self.models_sent += 1;
+        }
+        ctx.set_timer(self.cfg.period_us, 0);
+    }
+
+    fn msg_size(msg: &GossipMsg) -> u64 {
+        (msg.params.len() * 8 + 17) as u64
+    }
+}
+
+/// Builds a gossip simulation over label-partitioned data and runs it,
+/// returning mean test accuracy over online nodes, sampled at each element
+/// of `eval_at_us`.
+///
+/// This is the E5/E6 workhorse; `make_model` supplies the (identical)
+/// initial model for every node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gossip_experiment<M, F>(
+    shards: Vec<Dataset>,
+    test: &Dataset,
+    cfg: GossipConfig,
+    link: pds2_net::LinkModel,
+    seed: u64,
+    eval_at_us: &[u64],
+    churn: Option<(f64, u64)>, // (fail probability, horizon_us); permanent failures
+    make_model: F,
+) -> GossipOutcome
+where
+    M: Model,
+    F: Fn() -> M,
+{
+    let nodes: Vec<GossipNode<M>> = shards
+        .into_iter()
+        .map(|shard| GossipNode::new(make_model(), shard, cfg.clone()))
+        .collect();
+    let mut sim = pds2_net::Simulator::new(nodes, link, seed);
+    if let Some((prob, horizon)) = churn {
+        sim.schedule_random_churn(prob, horizon, 0);
+    }
+    let mut accuracy_curve = Vec::with_capacity(eval_at_us.len());
+    for &t in eval_at_us {
+        sim.run_until(t);
+        let mut accs = Vec::new();
+        for id in 0..sim.len() {
+            if !sim.is_online(id) {
+                continue;
+            }
+            let model = &sim.node(id).model;
+            let preds: Vec<f64> = test
+                .x
+                .iter()
+                .map(|x| if model.predict(x) >= 0.5 { 1.0 } else { 0.0 })
+                .collect();
+            accs.push(pds2_ml::metrics::accuracy(&preds, &test.y));
+        }
+        let mean = if accs.is_empty() {
+            0.0
+        } else {
+            accs.iter().sum::<f64>() / accs.len() as f64
+        };
+        accuracy_curve.push(mean);
+    }
+    let stats = sim.stats();
+    let models_transferred = sim.stats().delivered;
+    GossipOutcome {
+        accuracy_curve,
+        models_transferred,
+        bytes_transferred: stats.bytes_delivered,
+        online_nodes: sim.online_count(),
+    }
+}
+
+/// Result of a gossip-learning run.
+#[derive(Clone, Debug)]
+pub struct GossipOutcome {
+    /// Mean online-node test accuracy at each evaluation time.
+    pub accuracy_curve: Vec<f64>,
+    /// Models delivered over the network.
+    pub models_transferred: u64,
+    /// Bytes delivered.
+    pub bytes_transferred: u64,
+    /// Nodes still online at the end.
+    pub online_nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds2_ml::data::gaussian_blobs;
+    use pds2_ml::model::LogisticRegression;
+    use pds2_net::LinkModel;
+
+    fn quick_run(merge: MergeRule, churn: Option<(f64, u64)>) -> GossipOutcome {
+        let data = gaussian_blobs(600, 3, 0.7, 1);
+        let (train, test) = data.split(0.25, 2);
+        let shards = train.partition_iid(10, 3);
+        run_gossip_experiment(
+            shards,
+            &test,
+            GossipConfig {
+                period_us: 100_000,
+                merge,
+                ..Default::default()
+            },
+            LinkModel::instant(),
+            7,
+            &[5_000_000],
+            churn,
+            || LogisticRegression::new(3),
+        )
+    }
+
+    #[test]
+    fn gossip_converges_on_blobs() {
+        let out = quick_run(MergeRule::AgeWeighted, None);
+        assert!(
+            out.accuracy_curve[0] > 0.9,
+            "accuracy {:?}",
+            out.accuracy_curve
+        );
+        assert!(out.models_transferred > 100);
+    }
+
+    #[test]
+    fn all_merge_rules_learn() {
+        for rule in [MergeRule::AgeWeighted, MergeRule::Average, MergeRule::Replace] {
+            let out = quick_run(rule, None);
+            assert!(
+                out.accuracy_curve[0] > 0.8,
+                "{rule:?}: {:?}",
+                out.accuracy_curve
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_survives_churn() {
+        // 30% of nodes fail permanently; the rest still converge —
+        // the §III-C robustness claim for coordinator-free aggregation.
+        let out = quick_run(MergeRule::AgeWeighted, Some((0.3, 2_000_000)));
+        assert!(out.online_nodes <= 10);
+        assert!(
+            out.accuracy_curve[0] > 0.85,
+            "accuracy under churn {:?}",
+            out.accuracy_curve
+        );
+    }
+
+    #[test]
+    fn merge_age_weighted_prefers_mature_model() {
+        let data = gaussian_blobs(50, 2, 1.0, 1);
+        let mut node = GossipNode::new(
+            LogisticRegression::new(2),
+            data,
+            GossipConfig::default(),
+        );
+        node.age = 1;
+        let incoming = GossipMsg {
+            params: vec![10.0, 10.0, 10.0],
+            age: 9,
+            want_reply: false,
+        };
+        node.merge(&incoming);
+        // Age-weighted: (1*0 + 9*10)/10 = 9.
+        assert!((node.model.params()[0] - 9.0).abs() < 1e-9);
+        assert_eq!(node.age, 10);
+        assert_eq!(node.models_merged, 1);
+    }
+
+    #[test]
+    fn merge_replace_ignores_younger() {
+        let data = gaussian_blobs(50, 2, 1.0, 1);
+        let mut node = GossipNode::new(
+            LogisticRegression::new(2),
+            data,
+            GossipConfig {
+                merge: MergeRule::Replace,
+                ..Default::default()
+            },
+        );
+        node.age = 5;
+        let before = node.model.params();
+        node.merge(&GossipMsg {
+            params: vec![9.0, 9.0, 9.0],
+            age: 2,
+            want_reply: false,
+        });
+        assert_eq!(node.model.params(), before, "younger model rejected");
+        node.merge(&GossipMsg {
+            params: vec![9.0, 9.0, 9.0],
+            age: 20,
+            want_reply: false,
+        });
+        assert_eq!(node.model.params(), vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn dp_noise_perturbs_updates() {
+        let data = gaussian_blobs(100, 2, 1.0, 1);
+        let shards = data.partition_iid(4, 1);
+        let run = |dp| {
+            run_gossip_experiment(
+                shards.clone(),
+                &data,
+                GossipConfig {
+                    period_us: 100_000,
+                    dp,
+                    ..Default::default()
+                },
+                LinkModel::instant(),
+                3,
+                &[1_000_000],
+                None,
+                || LogisticRegression::new(2),
+            )
+        };
+        let clean = run(None);
+        let noisy = run(Some(DpConfig {
+            clip: 1.0,
+            noise_multiplier: 20.0,
+        }));
+        // Heavy noise must hurt accuracy relative to the clean run.
+        assert!(
+            noisy.accuracy_curve[0] <= clean.accuracy_curve[0] + 0.02,
+            "clean {:?} noisy {:?}",
+            clean.accuracy_curve,
+            noisy.accuracy_curve
+        );
+    }
+
+    #[test]
+    fn push_pull_doubles_mixing_per_cycle() {
+        let data = gaussian_blobs(400, 3, 0.7, 1);
+        let (train, test) = data.split(0.25, 2);
+        let shards = train.partition_iid(8, 3);
+        let run = |protocol| {
+            run_gossip_experiment(
+                shards.clone(),
+                &test,
+                GossipConfig {
+                    period_us: 200_000,
+                    protocol,
+                    ..Default::default()
+                },
+                LinkModel::instant(),
+                7,
+                &[2_000_000],
+                None,
+                || LogisticRegression::new(3),
+            )
+        };
+        let push = run(GossipProtocol::Push);
+        let push_pull = run(GossipProtocol::PushPull);
+        // Push-pull moves roughly twice the models in the same sim time.
+        assert!(
+            push_pull.models_transferred > push.models_transferred * 3 / 2,
+            "push {} vs push-pull {}",
+            push.models_transferred,
+            push_pull.models_transferred
+        );
+        // Both converge on this easy task.
+        assert!(push.accuracy_curve[0] > 0.9);
+        assert!(push_pull.accuracy_curve[0] > 0.9);
+    }
+
+    #[test]
+    fn gossip_is_model_generic_multiclass_softmax() {
+        // The protocol averages flat parameter vectors, so any Model works —
+        // here a 3-class softmax over three Gaussian clusters.
+        use pds2_ml::model::SoftmaxRegression;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let centers = [(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..600 {
+            let c = i % 3;
+            x.push(vec![
+                centers[c].0 + rng.random::<f64>() - 0.5,
+                centers[c].1 + rng.random::<f64>() - 0.5,
+            ]);
+            y.push(c as f64);
+        }
+        let data = pds2_ml::data::Dataset::new(x, y);
+        let (train, test) = data.split(0.25, 2);
+        let shards = train.partition_iid(6, 3);
+        let nodes: Vec<GossipNode<SoftmaxRegression>> = shards
+            .into_iter()
+            .map(|shard| {
+                GossipNode::new(
+                    SoftmaxRegression::new(2, 3),
+                    shard,
+                    GossipConfig {
+                        period_us: 100_000,
+                        learning_rate: 0.3,
+                        local_steps: 2,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let mut sim = pds2_net::Simulator::new(nodes, LinkModel::instant(), 7);
+        sim.run_until(5_000_000);
+        // Every node's model classifies the held-out set well.
+        for id in 0..sim.len() {
+            let model = &sim.node(id).model;
+            let preds: Vec<f64> = test.x.iter().map(|x| model.classify(x)).collect();
+            let acc = pds2_ml::metrics::accuracy(&preds, &test.y);
+            assert!(acc > 0.9, "node {id} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn message_size_tracks_dimension() {
+        let msg = GossipMsg {
+            params: vec![0.0; 100],
+            age: 1,
+            want_reply: false,
+        };
+        assert_eq!(
+            <GossipNode<LogisticRegression> as Node>::msg_size(&msg),
+            817
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Dense vector kernels used by the models and aggregation protocols.
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` in place.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Element-wise weighted average: `(wa*a + wb*b) / (wa + wb)`.
+pub fn weighted_average(a: &[f64], wa: f64, b: &[f64], wb: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "weighted_average: dimension mismatch");
+    assert!(wa + wb > 0.0, "weights must be positive");
+    let total = wa + wb;
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (wa * x + wb * y) / total)
+        .collect()
+}
+
+/// Average of many vectors with per-vector weights.
+pub fn weighted_mean(vectors: &[Vec<f64>], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(vectors.len(), weights.len(), "weighted_mean: length mismatch");
+    assert!(!vectors.is_empty(), "weighted_mean of nothing");
+    let dim = vectors[0].len();
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let mut out = vec![0.0; dim];
+    for (v, &w) in vectors.iter().zip(weights) {
+        assert_eq!(v.len(), dim, "weighted_mean: dimension mismatch");
+        axpy(w / total, v, &mut out);
+    }
+    out
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Clips a vector to a maximum L2 norm (in place). Returns the scaling
+/// factor applied (1.0 if no clipping occurred).
+pub fn clip_norm(x: &mut [f64], max_norm: f64) -> f64 {
+    let n = norm(x);
+    if n > max_norm && n > 0.0 {
+        let factor = max_norm / n;
+        scale(factor, x);
+        factor
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn norm_basic() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_average_blends() {
+        let avg = weighted_average(&[0.0, 10.0], 1.0, &[10.0, 0.0], 3.0);
+        assert_eq!(avg, vec![7.5, 2.5]);
+        // Equal weights = plain mean.
+        let avg = weighted_average(&[2.0], 1.0, &[4.0], 1.0);
+        assert_eq!(avg, vec![3.0]);
+    }
+
+    #[test]
+    fn weighted_mean_many() {
+        let vs = vec![vec![1.0, 0.0], vec![3.0, 4.0]];
+        let m = weighted_mean(&vs, &[1.0, 1.0]);
+        assert_eq!(m, vec![2.0, 2.0]);
+        let m = weighted_mean(&vs, &[3.0, 1.0]);
+        assert_eq!(m, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+        // Symmetry: σ(-z) = 1 - σ(z).
+        for z in [-3.0, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_norm_behaviour() {
+        let mut x = vec![3.0, 4.0]; // norm 5
+        let f = clip_norm(&mut x, 10.0);
+        assert_eq!(f, 1.0);
+        assert_eq!(x, vec![3.0, 4.0]);
+        let f = clip_norm(&mut x, 1.0);
+        assert!((f - 0.2).abs() < 1e-12);
+        assert!((norm(&x) - 1.0).abs() < 1e-12);
+        // Zero vector is untouched.
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(clip_norm(&mut z, 1.0), 1.0);
+    }
+}

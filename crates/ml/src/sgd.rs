@@ -1,0 +1,195 @@
+//! Mini-batch stochastic gradient descent.
+
+use crate::data::Dataset;
+use crate::linalg::clip_norm;
+use crate::model::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SGD hyperparameters.
+#[derive(Clone, Debug)]
+pub struct SgdConfig {
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Multiplicative decay applied after each epoch.
+    pub lr_decay: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Optional gradient-norm clip (used by DP-SGD).
+    pub clip: Option<f64>,
+    /// RNG seed for batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            learning_rate: 0.1,
+            lr_decay: 0.99,
+            batch_size: 32,
+            epochs: 10,
+            clip: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains `model` in place on `data`; returns the per-epoch training loss.
+pub fn train<M: Model>(model: &mut M, data: &Dataset, cfg: &SgdConfig) -> Vec<f64> {
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut lr = cfg.learning_rate;
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    for _ in 0..cfg.epochs {
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for batch in order.chunks(cfg.batch_size) {
+            step(model, data, batch, lr, cfg.clip);
+        }
+        losses.push(model.loss(data));
+        lr *= cfg.lr_decay;
+    }
+    losses
+}
+
+/// One SGD step on an explicit batch (exposed for the decentralized
+/// protocols, which interleave local steps with merges).
+pub fn step<M: Model>(model: &mut M, data: &Dataset, batch: &[usize], lr: f64, clip: Option<f64>) {
+    let mut grad = model.gradient(data, batch);
+    if let Some(c) = clip {
+        clip_norm(&mut grad, c);
+    }
+    let mut params = model.params();
+    for (p, g) in params.iter_mut().zip(&grad) {
+        *p -= lr * g;
+    }
+    model.set_params(&params);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{gaussian_blobs, noisy_linear, two_spirals};
+    use crate::metrics::accuracy;
+    use crate::model::{LinearRegression, LogisticRegression, Mlp};
+
+    #[test]
+    fn linreg_fits_linear_data() {
+        let data = noisy_linear(500, 4, 0.05, 1);
+        let mut m = LinearRegression::new(4);
+        let losses = train(
+            &mut m,
+            &data,
+            &SgdConfig {
+                learning_rate: 0.05,
+                epochs: 50,
+                ..Default::default()
+            },
+        );
+        assert!(losses.last().unwrap() < &0.05, "final loss {losses:?}");
+        assert!(losses.first().unwrap() > losses.last().unwrap());
+    }
+
+    #[test]
+    fn logreg_separates_blobs() {
+        let data = gaussian_blobs(400, 3, 0.6, 2);
+        let (train_set, test_set) = data.split(0.25, 3);
+        let mut m = LogisticRegression::new(3);
+        train(
+            &mut m,
+            &train_set,
+            &SgdConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
+        let preds: Vec<f64> = test_set.x.iter().map(|x| m.classify(x)).collect();
+        let acc = accuracy(&preds, &test_set.y);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_beats_linear_on_spirals() {
+        let data = two_spirals(600, 0.05, 3);
+        let (tr, te) = data.split(0.3, 4);
+        let mut lin = LogisticRegression::new(2);
+        train(
+            &mut lin,
+            &tr,
+            &SgdConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        );
+        let mut mlp = Mlp::new(2, 16, 5);
+        train(
+            &mut mlp,
+            &tr,
+            &SgdConfig {
+                learning_rate: 0.3,
+                lr_decay: 0.995,
+                epochs: 300,
+                batch_size: 16,
+                ..Default::default()
+            },
+        );
+        let lin_acc = accuracy(
+            &te.x.iter().map(|x| lin.classify(x)).collect::<Vec<_>>(),
+            &te.y,
+        );
+        let mlp_acc = accuracy(
+            &te.x.iter().map(|x| mlp.classify(x)).collect::<Vec<_>>(),
+            &te.y,
+        );
+        assert!(
+            mlp_acc > lin_acc + 0.1,
+            "mlp {mlp_acc} should clearly beat linear {lin_acc} on spirals"
+        );
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let data = noisy_linear(100, 3, 10.0, 6); // noisy -> big gradients
+        let mut clipped = LinearRegression::new(3);
+        let batch: Vec<usize> = (0..100).collect();
+        let before = clipped.params();
+        step(&mut clipped, &data, &batch, 1.0, Some(0.001));
+        let after = clipped.params();
+        let delta: f64 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(delta <= 0.001 + 1e-9, "clipped update too large: {delta}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = gaussian_blobs(100, 2, 1.0, 7);
+        let cfg = SgdConfig::default();
+        let mut m1 = LogisticRegression::new(2);
+        let mut m2 = LogisticRegression::new(2);
+        train(&mut m1, &data, &cfg);
+        train(&mut m2, &data, &cfg);
+        assert_eq!(m1.params(), m2.params());
+    }
+
+    #[test]
+    fn empty_dataset_is_noop() {
+        let data = Dataset::new(Vec::new(), Vec::new());
+        let mut m = LinearRegression::new(2);
+        let losses = train(&mut m, &data, &SgdConfig::default());
+        assert!(losses.is_empty());
+        assert_eq!(m.params(), vec![0.0, 0.0, 0.0]);
+    }
+}

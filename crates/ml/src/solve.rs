@@ -1,0 +1,193 @@
+//! Direct linear solvers: Gaussian elimination and closed-form ridge
+//! regression.
+//!
+//! Executors use ridge regression for regression workloads because it is
+//! deterministic and scale-robust (no learning-rate tuning on raw sensor
+//! units), which keeps all executors' results bit-identical for the
+//! on-chain agreement step.
+
+use crate::data::Dataset;
+use crate::model::LinearRegression;
+
+/// Solves `A x = b` for a square system by Gaussian elimination with
+/// partial pivoting. Returns `None` if the matrix is singular.
+///
+/// `a` is row-major `n × n`.
+#[allow(clippy::needless_range_loop)] // augmented-matrix elimination
+pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            assert_eq!(row.len(), n, "matrix must be square");
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        let pivot_val = m[col][col];
+        for row in col + 1..n {
+            let factor = m[row][col] / pivot_val;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                let delta = factor * m[col][k];
+                m[row][k] -= delta;
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Closed-form ridge regression: minimizes `‖Xw + b − y‖² + λ‖w‖²`
+/// (bias unpenalized) via the normal equations on the bias-augmented
+/// design matrix.
+pub fn ridge_fit(data: &Dataset, lambda: f64) -> LinearRegression {
+    let d = data.dim();
+    let n = data.len();
+    if n == 0 || d == 0 {
+        return LinearRegression::new(d);
+    }
+    let dim = d + 1; // augmented with the bias column
+    let mut xtx = vec![vec![0.0; dim]; dim];
+    let mut xty = vec![0.0; dim];
+    for (row, &y) in data.x.iter().zip(&data.y) {
+        for i in 0..d {
+            for j in 0..d {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xtx[i][d] += row[i];
+            xtx[d][i] += row[i];
+            xty[i] += row[i] * y;
+        }
+        xtx[d][d] += 1.0;
+        xty[d] += y;
+    }
+    for (i, row) in xtx.iter_mut().enumerate().take(d) {
+        row[i] += lambda; // no penalty on the bias entry
+    }
+    match solve_linear_system(&xtx, &xty) {
+        Some(sol) => {
+            let mut model = LinearRegression::new(d);
+            model.weights.copy_from_slice(&sol[..d]);
+            model.bias = sol[d];
+            model
+        }
+        None => {
+            // Singular system (e.g. constant features): retry with a
+            // stronger ridge, which is always nonsingular.
+            ridge_fit_regularized_fallback(data, lambda.max(1e-6) * 1000.0)
+        }
+    }
+}
+
+fn ridge_fit_regularized_fallback(data: &Dataset, lambda: f64) -> LinearRegression {
+    if lambda > 1e12 {
+        // Give up gracefully: predict the mean.
+        let d = data.dim();
+        let mut m = LinearRegression::new(d);
+        m.bias = data.y.iter().sum::<f64>() / data.len().max(1) as f64;
+        return m;
+    }
+    ridge_fit(data, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{iot_sensor_series, noisy_linear};
+    use crate::model::Model;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear_system(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear_system(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear_system(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_ground_truth() {
+        let data = noisy_linear(500, 4, 0.01, 1);
+        let model = ridge_fit(&data, 1e-6);
+        assert!(model.loss(&data) < 0.01, "loss {}", model.loss(&data));
+    }
+
+    #[test]
+    fn ridge_is_scale_robust() {
+        // Raw IoT temperatures (~20 with small variance) blow up naive
+        // SGD; ridge must fit them without tuning.
+        let data = iot_sensor_series(200, 0.5, 0.2, 2);
+        let model = ridge_fit(&data, 1e-6);
+        let loss = model.loss(&data);
+        assert!(loss.is_finite());
+        assert!(loss < 1.0, "loss {loss}");
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let data = noisy_linear(100, 3, 0.1, 3);
+        let loose = ridge_fit(&data, 1e-9);
+        let tight = ridge_fit(&data, 1e6);
+        let norm = |m: &LinearRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose) * 0.01);
+    }
+
+    #[test]
+    fn empty_data_yields_zero_model() {
+        let model = ridge_fit(&Dataset::new(Vec::new(), Vec::new()), 0.1);
+        assert_eq!(model.weights.len(), 0);
+        assert_eq!(model.bias, 0.0);
+    }
+
+    #[test]
+    fn constant_feature_falls_back() {
+        // A constant zero feature makes XtX singular at lambda=0.
+        let data = Dataset::new(
+            vec![vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]],
+            vec![2.0, 4.0, 6.0],
+        );
+        let model = ridge_fit(&data, 0.0);
+        let pred = model.predict(&[0.0, 1.5]);
+        assert!((pred - 3.0).abs() < 0.2, "pred {pred}");
+    }
+}

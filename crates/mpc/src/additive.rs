@@ -1,0 +1,217 @@
+//! Additive secret sharing and Beaver multiplication triples.
+//!
+//! A value `x` is split into `n` random shares summing to `x` (mod p). Any
+//! `n-1` shares are uniformly random and reveal nothing; all `n` reconstruct
+//! exactly. Multiplication of two shared values consumes a pre-distributed
+//! Beaver triple `(a, b, c = a·b)` and requires one communication round to
+//! open the masked differences.
+
+use crate::field::Fp;
+use rand::Rng;
+
+/// The shares of a single secret, one per party.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shares(pub Vec<Fp>);
+
+impl Shares {
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Local (communication-free) share-wise addition.
+    pub fn add(&self, other: &Shares) -> Shares {
+        assert_eq!(self.parties(), other.parties(), "party count mismatch");
+        Shares(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.add(*b))
+                .collect(),
+        )
+    }
+
+    /// Local share-wise subtraction.
+    pub fn sub(&self, other: &Shares) -> Shares {
+        assert_eq!(self.parties(), other.parties(), "party count mismatch");
+        Shares(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.sub(*b))
+                .collect(),
+        )
+    }
+
+    /// Local multiplication by a public constant.
+    pub fn mul_public(&self, k: Fp) -> Shares {
+        Shares(self.0.iter().map(|s| s.mul(k)).collect())
+    }
+
+    /// Local addition of a public constant (applied to share 0 only).
+    pub fn add_public(&self, k: Fp) -> Shares {
+        let mut out = self.0.clone();
+        out[0] = out[0].add(k);
+        Shares(out)
+    }
+}
+
+/// Splits `secret` into `n` additive shares.
+pub fn share<R: Rng + ?Sized>(rng: &mut R, secret: Fp, n: usize) -> Shares {
+    assert!(n >= 2, "need at least two parties");
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = Fp::ZERO;
+    for _ in 0..n - 1 {
+        let s = Fp::random(rng);
+        acc = acc.add(s);
+        shares.push(s);
+    }
+    shares.push(secret.sub(acc));
+    Shares(shares)
+}
+
+/// Reconstructs the secret from all shares.
+pub fn reconstruct(shares: &Shares) -> Fp {
+    shares.0.iter().fold(Fp::ZERO, |acc, s| acc.add(*s))
+}
+
+/// A Beaver multiplication triple in shared form: `c = a · b`.
+#[derive(Clone, Debug)]
+pub struct BeaverTriple {
+    /// Shares of the random mask `a`.
+    pub a: Shares,
+    /// Shares of the random mask `b`.
+    pub b: Shares,
+    /// Shares of the product `c = a·b`.
+    pub c: Shares,
+}
+
+/// Dealer-generated Beaver triple (trusted-dealer model, as in Falcon's
+/// offline phase).
+pub fn generate_triple<R: Rng + ?Sized>(rng: &mut R, n: usize) -> BeaverTriple {
+    let a = Fp::random(rng);
+    let b = Fp::random(rng);
+    let c = a.mul(b);
+    BeaverTriple {
+        a: share(rng, a, n),
+        b: share(rng, b, n),
+        c: share(rng, c, n),
+    }
+}
+
+/// The two masked openings exchanged during a Beaver multiplication.
+#[derive(Clone, Copy, Debug)]
+pub struct MaskedPair {
+    /// `d = x - a`, publicly opened.
+    pub d: Fp,
+    /// `e = y - b`, publicly opened.
+    pub e: Fp,
+}
+
+/// Executes the share-side of a Beaver multiplication.
+///
+/// Returns the product shares and the values that had to be publicly
+/// opened (`d`, `e`) — the caller's engine charges one round and
+/// `2 · n` field elements of traffic for the opening.
+pub fn beaver_mul(x: &Shares, y: &Shares, triple: &BeaverTriple) -> (Shares, MaskedPair) {
+    let n = x.parties();
+    assert_eq!(y.parties(), n);
+    assert_eq!(triple.a.parties(), n);
+    // Open d = x - a and e = y - b (requires reconstructing the differences).
+    let d = reconstruct(&x.sub(&triple.a));
+    let e = reconstruct(&y.sub(&triple.b));
+    // z = c + d·b + e·a + d·e  (d·e added by party 0 only).
+    let z = triple
+        .c
+        .add(&triple.b.mul_public(d))
+        .add(&triple.a.mul_public(e))
+        .add_public(d.mul(e));
+    (z, MaskedPair { d, e })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn share_reconstruct_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 2..=8 {
+            for v in [0i64, 1, -5, 123456789] {
+                let s = share(&mut rng, Fp::from_signed(v), n);
+                assert_eq!(reconstruct(&s).to_signed(), v, "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn shares_individually_hide_secret() {
+        // Two sharings of very different secrets produce statistically
+        // indistinguishable individual shares; sanity-check that a single
+        // share does not equal the secret (overwhelmingly likely).
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = share(&mut rng, Fp::new(42), 3);
+        let equal_count = s.0.iter().filter(|sh| sh.value() == 42).count();
+        assert!(equal_count < 3, "shares should not all leak the secret");
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = share(&mut rng, Fp::from_signed(100), 4);
+        let y = share(&mut rng, Fp::from_signed(-30), 4);
+        assert_eq!(reconstruct(&x.add(&y)).to_signed(), 70);
+        assert_eq!(reconstruct(&x.sub(&y)).to_signed(), 130);
+        assert_eq!(
+            reconstruct(&x.mul_public(Fp::from_signed(3))).to_signed(),
+            300
+        );
+        assert_eq!(
+            reconstruct(&x.add_public(Fp::from_signed(5))).to_signed(),
+            105
+        );
+    }
+
+    #[test]
+    fn beaver_multiplication_is_correct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (xv, yv) in [(3i64, 4i64), (-7, 9), (0, 5), (-2, -8)] {
+            let x = share(&mut rng, Fp::from_signed(xv), 3);
+            let y = share(&mut rng, Fp::from_signed(yv), 3);
+            let t = generate_triple(&mut rng, 3);
+            let (z, _) = beaver_mul(&x, &y, &t);
+            assert_eq!(reconstruct(&z).to_signed(), xv * yv, "{xv}*{yv}");
+        }
+    }
+
+    #[test]
+    fn beaver_openings_mask_inputs() {
+        // The opened values d = x-a, e = y-b are uniformly masked; they
+        // must not equal the raw inputs except by chance.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = share(&mut rng, Fp::new(1234), 3);
+        let y = share(&mut rng, Fp::new(5678), 3);
+        let t = generate_triple(&mut rng, 3);
+        let (_, opened) = beaver_mul(&x, &y, &t);
+        assert_ne!(opened.d.value(), 1234);
+        assert_ne!(opened.e.value(), 5678);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_party_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = share(&mut rng, Fp::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "party count mismatch")]
+    fn mismatched_party_counts_panic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = share(&mut rng, Fp::ZERO, 2);
+        let y = share(&mut rng, Fp::ZERO, 3);
+        let _ = x.add(&y);
+    }
+}

@@ -1,0 +1,373 @@
+//! SMC protocol engine with communication accounting.
+//!
+//! The engine evaluates arithmetic over secret-shared vectors while
+//! charging every interactive step to a [`CostReport`]: Beaver
+//! multiplications cost one round (all elements in a batch are opened
+//! together, as a real implementation would), openings cost one round,
+//! and sharing inputs costs one round of point-to-point sends.
+//!
+//! This gives experiment E4 the quantity the paper cares about: SMC's
+//! "active participation … coupled with delays introduced during
+//! communication" — i.e. round counts and bytes on the wire — versus the
+//! compute-only overheads of HE and TEE.
+
+use crate::additive::{beaver_mul, generate_triple, reconstruct, share, Shares};
+use crate::field::Fp;
+use rand::Rng;
+
+/// Size of one serialized field element on the wire.
+pub const FIELD_ELEM_BYTES: u64 = 8;
+
+/// Accumulated communication and computation costs of a protocol run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Interactive rounds (network latency multiplier).
+    pub rounds: u64,
+    /// Total bytes sent across all parties.
+    pub bytes_sent: u64,
+    /// Local field operations performed (compute proxy).
+    pub field_ops: u64,
+    /// Beaver triples consumed from the offline phase.
+    pub triples_used: u64,
+}
+
+impl CostReport {
+    /// Estimated wall-clock communication delay given per-round latency
+    /// and bandwidth (bytes/sec).
+    pub fn network_time_secs(&self, round_latency_secs: f64, bandwidth_bytes_per_sec: f64) -> f64 {
+        self.rounds as f64 * round_latency_secs + self.bytes_sent as f64 / bandwidth_bytes_per_sec
+    }
+}
+
+/// A vector of secret-shared values handled by the engine.
+#[derive(Clone, Debug)]
+pub struct SharedVec {
+    elems: Vec<Shares>,
+    parties: usize,
+}
+
+impl SharedVec {
+    /// Number of shared elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+}
+
+/// The SMC engine: a fixed party count, an RNG for masks and a cost meter.
+pub struct MpcEngine<R: Rng> {
+    parties: usize,
+    rng: R,
+    cost: CostReport,
+}
+
+impl<R: Rng> MpcEngine<R> {
+    /// Creates an engine for `parties` computing parties (>= 2).
+    pub fn new(parties: usize, rng: R) -> Self {
+        assert!(parties >= 2, "SMC needs at least two parties");
+        MpcEngine {
+            parties,
+            rng,
+            cost: CostReport::default(),
+        }
+    }
+
+    /// Number of computing parties.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Cost accumulated so far.
+    pub fn cost(&self) -> CostReport {
+        self.cost
+    }
+
+    /// Resets the cost meter (e.g. between benchmark iterations).
+    pub fn reset_cost(&mut self) {
+        self.cost = CostReport::default();
+    }
+
+    /// Secret-shares an input vector held by one party.
+    ///
+    /// Costs one round: the input owner sends one share per element to each
+    /// other party.
+    pub fn share_input(&mut self, values: &[Fp]) -> SharedVec {
+        let elems: Vec<Shares> = values
+            .iter()
+            .map(|&v| share(&mut self.rng, v, self.parties))
+            .collect();
+        self.cost.rounds += 1;
+        self.cost.bytes_sent +=
+            values.len() as u64 * (self.parties as u64 - 1) * FIELD_ELEM_BYTES;
+        self.cost.field_ops += values.len() as u64 * self.parties as u64;
+        SharedVec {
+            elems,
+            parties: self.parties,
+        }
+    }
+
+    /// Secret-shares a vector of fixed-point floats.
+    pub fn share_input_fixed(&mut self, values: &[f64]) -> SharedVec {
+        let encoded: Vec<Fp> = values.iter().map(|&v| crate::field::encode_fixed(v)).collect();
+        self.share_input(&encoded)
+    }
+
+    /// Element-wise addition (local, free of communication).
+    pub fn add(&mut self, a: &SharedVec, b: &SharedVec) -> SharedVec {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        let elems = a
+            .elems
+            .iter()
+            .zip(&b.elems)
+            .map(|(x, y)| x.add(y))
+            .collect();
+        self.cost.field_ops += a.len() as u64 * self.parties as u64;
+        SharedVec {
+            elems,
+            parties: self.parties,
+        }
+    }
+
+    /// Element-wise multiplication by public constants (local).
+    pub fn mul_public(&mut self, a: &SharedVec, k: &[Fp]) -> SharedVec {
+        assert_eq!(a.len(), k.len(), "length mismatch");
+        let elems = a
+            .elems
+            .iter()
+            .zip(k)
+            .map(|(x, &c)| x.mul_public(c))
+            .collect();
+        self.cost.field_ops += a.len() as u64 * self.parties as u64;
+        SharedVec {
+            elems,
+            parties: self.parties,
+        }
+    }
+
+    /// Element-wise Beaver multiplication of two shared vectors.
+    ///
+    /// All element multiplications in the batch share a single round (their
+    /// masked openings are sent together), at `2 · n · len` field elements
+    /// broadcast.
+    pub fn mul(&mut self, a: &SharedVec, b: &SharedVec) -> SharedVec {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        let elems: Vec<Shares> = a
+            .elems
+            .iter()
+            .zip(&b.elems)
+            .map(|(x, y)| {
+                let triple = generate_triple(&mut self.rng, self.parties);
+                let (z, _) = beaver_mul(x, y, &triple);
+                z
+            })
+            .collect();
+        self.cost.rounds += 1;
+        self.cost.triples_used += a.len() as u64;
+        // Each party broadcasts its shares of d and e for each element.
+        self.cost.bytes_sent += 2
+            * a.len() as u64
+            * self.parties as u64
+            * (self.parties as u64 - 1)
+            * FIELD_ELEM_BYTES;
+        self.cost.field_ops += 8 * a.len() as u64 * self.parties as u64;
+        SharedVec {
+            elems,
+            parties: self.parties,
+        }
+    }
+
+    /// Sums all elements of a shared vector into a single shared scalar
+    /// (local).
+    pub fn sum(&mut self, a: &SharedVec) -> SharedVec {
+        assert!(!a.is_empty(), "sum of empty vector");
+        let mut acc = a.elems[0].clone();
+        for e in &a.elems[1..] {
+            acc = acc.add(e);
+        }
+        self.cost.field_ops += a.len() as u64 * self.parties as u64;
+        SharedVec {
+            elems: vec![acc],
+            parties: self.parties,
+        }
+    }
+
+    /// Secure dot product: element-wise Beaver multiply, then local sum.
+    pub fn dot(&mut self, a: &SharedVec, b: &SharedVec) -> SharedVec {
+        let prods = self.mul(a, b);
+        self.sum(&prods)
+    }
+
+    /// Opens (reconstructs) a shared vector. Costs one round in which each
+    /// party broadcasts its shares.
+    pub fn open(&mut self, a: &SharedVec) -> Vec<Fp> {
+        self.cost.rounds += 1;
+        self.cost.bytes_sent +=
+            a.len() as u64 * self.parties as u64 * (self.parties as u64 - 1) * FIELD_ELEM_BYTES;
+        self.cost.field_ops += a.len() as u64 * self.parties as u64;
+        a.elems.iter().map(reconstruct).collect()
+    }
+}
+
+/// Computes a full linear-model inference `w · x + b` under SMC and returns
+/// `(result, cost)`. Both the weights (consumer secret) and the features
+/// (provider secret) stay shared throughout; only the final score is opened.
+pub fn secure_linear_inference<R: Rng>(
+    engine: &mut MpcEngine<R>,
+    weights: &[f64],
+    bias: f64,
+    features: &[f64],
+) -> (f64, CostReport) {
+    assert_eq!(weights.len(), features.len(), "dimension mismatch");
+    engine.reset_cost();
+    let w = engine.share_input_fixed(weights);
+    let x = engine.share_input_fixed(features);
+    let dot = engine.dot(&w, &x);
+    let with_bias = {
+        // Bias enters at double scale to match the product scale.
+        let b = crate::field::Fp::from_signed(
+            (bias * crate::field::FIXED_SCALE * crate::field::FIXED_SCALE).round() as i64,
+        );
+        SharedVec {
+            elems: vec![dot.elems[0].add_public(b)],
+            parties: dot.parties,
+        }
+    };
+    let opened = engine.open(&with_bias);
+    let result = crate::field::decode_fixed_product(opened[0]);
+    (result, engine.cost())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{encode_fixed, Fp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(parties: usize) -> MpcEngine<StdRng> {
+        MpcEngine::new(parties, StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn share_open_roundtrip() {
+        let mut e = engine(3);
+        let values: Vec<Fp> = [1i64, -2, 300].iter().map(|&v| Fp::from_signed(v)).collect();
+        let shared = e.share_input(&values);
+        let opened = e.open(&shared);
+        assert_eq!(opened, values);
+    }
+
+    #[test]
+    fn add_and_mul_public_are_free_of_rounds() {
+        let mut e = engine(3);
+        let a = e.share_input(&[Fp::from_signed(10)]);
+        let b = e.share_input(&[Fp::from_signed(5)]);
+        let rounds_before = e.cost().rounds;
+        let sum = e.add(&a, &b);
+        let scaled = e.mul_public(&sum, &[Fp::from_signed(2)]);
+        assert_eq!(e.cost().rounds, rounds_before, "local ops must be round-free");
+        let opened = e.open(&scaled);
+        assert_eq!(opened[0].to_signed(), 30);
+    }
+
+    #[test]
+    fn mul_consumes_one_round_per_batch() {
+        let mut e = engine(3);
+        let a = e.share_input(&[Fp::from_signed(3); 10]);
+        let b = e.share_input(&[Fp::from_signed(4); 10]);
+        let before = e.cost();
+        let prod = e.mul(&a, &b);
+        let after = e.cost();
+        assert_eq!(after.rounds - before.rounds, 1, "batched mul = 1 round");
+        assert_eq!(after.triples_used - before.triples_used, 10);
+        let opened = e.open(&prod);
+        assert!(opened.iter().all(|v| v.to_signed() == 12));
+    }
+
+    #[test]
+    fn dot_product_correct() {
+        let mut e = engine(4);
+        let a = e.share_input(&[Fp::from_signed(1), Fp::from_signed(2), Fp::from_signed(3)]);
+        let b = e.share_input(&[Fp::from_signed(4), Fp::from_signed(-5), Fp::from_signed(6)]);
+        let dot = e.dot(&a, &b);
+        let opened = e.open(&dot);
+        assert_eq!(opened[0].to_signed(), 4 - 10 + 18);
+    }
+
+    #[test]
+    fn secure_linear_inference_matches_plaintext() {
+        let weights = [0.5, -1.25, 2.0];
+        let features = [4.0, 2.0, 0.5];
+        let bias = 0.75;
+        let expected: f64 =
+            weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias;
+        let mut e = engine(3);
+        let (result, cost) = secure_linear_inference(&mut e, &weights, bias, &features);
+        assert!((result - expected).abs() < 1e-3, "{result} vs {expected}");
+        assert!(cost.rounds >= 4, "share x2 + mul + open");
+        assert!(cost.bytes_sent > 0);
+        assert_eq!(cost.triples_used, 3);
+    }
+
+    #[test]
+    fn cost_scales_with_dimension() {
+        let d1 = {
+            let mut e = engine(3);
+            let w = vec![1.0; 8];
+            let x = vec![1.0; 8];
+            secure_linear_inference(&mut e, &w, 0.0, &x).1
+        };
+        let d2 = {
+            let mut e = engine(3);
+            let w = vec![1.0; 64];
+            let x = vec![1.0; 64];
+            secure_linear_inference(&mut e, &w, 0.0, &x).1
+        };
+        assert!(d2.bytes_sent > d1.bytes_sent * 4, "bytes grow with dimension");
+        assert_eq!(d1.rounds, d2.rounds, "rounds stay constant (batching)");
+    }
+
+    #[test]
+    fn network_time_model() {
+        let cost = CostReport {
+            rounds: 10,
+            bytes_sent: 1_000_000,
+            field_ops: 0,
+            triples_used: 0,
+        };
+        let t = cost.network_time_secs(0.05, 1_000_000.0);
+        assert!((t - 1.5).abs() < 1e-9); // 10*0.05 + 1.0
+    }
+
+    #[test]
+    fn fixed_point_encoding_survives_engine() {
+        let mut e = engine(3);
+        let shared = e.share_input_fixed(&[1.5, -2.25]);
+        let opened = e.open(&shared);
+        assert!((crate::field::decode_fixed(opened[0]) - 1.5).abs() < 1e-3);
+        assert!((crate::field::decode_fixed(opened[1]) + 2.25).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_party_engine_rejected() {
+        let _ = engine(1);
+    }
+
+    #[test]
+    fn multiplication_uses_fresh_triples() {
+        let _ = encode_fixed(0.0); // keep import used in all cfg combinations
+        let mut e = engine(2);
+        let a = e.share_input(&[Fp::from_signed(7)]);
+        let b = e.share_input(&[Fp::from_signed(7)]);
+        let p1 = e.mul(&a, &b);
+        let p2 = e.mul(&a, &b);
+        // Same product, different share randomness.
+        assert_eq!(e.open(&p1)[0].to_signed(), 49);
+        assert_eq!(e.open(&p2)[0].to_signed(), 49);
+    }
+}

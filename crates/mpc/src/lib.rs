@@ -1,0 +1,26 @@
+//! # pds2-mpc
+//!
+//! Secure multiparty computation — the **SMC** candidate from §III-B of the
+//! PDS² paper (Falcon-style secret sharing with a trusted-dealer offline
+//! phase).
+//!
+//! - [`field`] — the prime field F_{2^61-1} all arithmetic lives in;
+//! - [`additive`] — n-out-of-n additive secret sharing and Beaver triples;
+//! - [`shamir`] — (t, n) threshold sharing with Lagrange reconstruction;
+//! - [`engine`] — a protocol engine that executes shared-vector arithmetic
+//!   while metering rounds, bytes and triples, so experiment E4 can compare
+//!   SMC's communication profile against HE's and the TEE's compute
+//!   profiles.
+//!
+//! The paper's verdict — "the active participation required from the data
+//! provider coupled with delays introduced during communication makes it
+//! difficult to employ SMC for applications that use many operations" — is
+//! exactly what [`engine::CostReport`] quantifies.
+
+pub mod additive;
+pub mod engine;
+pub mod field;
+pub mod shamir;
+
+pub use engine::{secure_linear_inference, CostReport, MpcEngine, SharedVec};
+pub use field::Fp;

@@ -1,0 +1,189 @@
+//! Shamir (t, n) threshold secret sharing over F_{2^61 - 1}.
+//!
+//! Used where the marketplace needs robustness to missing parties (e.g.
+//! splitting a storage decryption key across Key-Keeper-style nodes, as in
+//! the related work the paper surveys): any `t` of `n` shares reconstruct,
+//! fewer reveal nothing.
+
+use crate::field::Fp;
+use rand::Rng;
+
+/// A single Shamir share: the evaluation point and the polynomial value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShamirShare {
+    /// Evaluation point `x` (nonzero).
+    pub x: Fp,
+    /// Share value `f(x)`.
+    pub y: Fp,
+}
+
+/// Errors from Shamir operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShamirError {
+    /// Threshold must satisfy `1 <= t <= n`.
+    BadThreshold,
+    /// Not enough shares to reconstruct.
+    NotEnoughShares,
+    /// Two shares carry the same evaluation point.
+    DuplicatePoint,
+}
+
+impl std::fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShamirError::BadThreshold => write!(f, "threshold must satisfy 1 <= t <= n"),
+            ShamirError::NotEnoughShares => write!(f, "not enough shares to reconstruct"),
+            ShamirError::DuplicatePoint => write!(f, "duplicate evaluation point"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `t`.
+pub fn split<R: Rng + ?Sized>(
+    rng: &mut R,
+    secret: Fp,
+    t: usize,
+    n: usize,
+) -> Result<Vec<ShamirShare>, ShamirError> {
+    if t == 0 || t > n {
+        return Err(ShamirError::BadThreshold);
+    }
+    // Random polynomial of degree t-1 with f(0) = secret.
+    let mut coeffs = Vec::with_capacity(t);
+    coeffs.push(secret);
+    for _ in 1..t {
+        coeffs.push(Fp::random(rng));
+    }
+    let shares = (1..=n as u64)
+        .map(|i| {
+            let x = Fp::new(i);
+            // Horner evaluation.
+            let y = coeffs.iter().rev().fold(Fp::ZERO, |acc, &c| acc.mul(x).add(c));
+            ShamirShare { x, y }
+        })
+        .collect();
+    Ok(shares)
+}
+
+/// Reconstructs the secret from at least `t` shares by Lagrange
+/// interpolation at zero.
+pub fn reconstruct(shares: &[ShamirShare], t: usize) -> Result<Fp, ShamirError> {
+    if shares.len() < t {
+        return Err(ShamirError::NotEnoughShares);
+    }
+    let points = &shares[..t];
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[i + 1..] {
+            if a.x == b.x {
+                return Err(ShamirError::DuplicatePoint);
+            }
+        }
+    }
+    let mut secret = Fp::ZERO;
+    for (i, si) in points.iter().enumerate() {
+        // Lagrange basis at x = 0: Π_{j≠i} x_j / (x_j - x_i)
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (j, sj) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = num.mul(sj.x);
+            den = den.mul(sj.x.sub(si.x));
+        }
+        let basis = num.mul(den.inv().expect("distinct points imply invertible denominator"));
+        secret = secret.add(si.y.mul(basis));
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_reconstruct_all_shares() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let secret = Fp::from_signed(987654321);
+        let shares = split(&mut rng, secret, 3, 5).unwrap();
+        assert_eq!(shares.len(), 5);
+        assert_eq!(reconstruct(&shares, 3).unwrap(), secret);
+    }
+
+    #[test]
+    fn any_t_shares_suffice() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let secret = Fp::new(424242);
+        let shares = split(&mut rng, secret, 3, 6).unwrap();
+        // Try several subsets of exactly t shares.
+        for subset in [[0usize, 1, 2], [3, 4, 5], [0, 2, 4], [1, 3, 5]] {
+            let picked: Vec<ShamirShare> = subset.iter().map(|&i| shares[i]).collect();
+            assert_eq!(reconstruct(&picked, 3).unwrap(), secret, "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn fewer_than_t_shares_fail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let shares = split(&mut rng, Fp::new(7), 4, 6).unwrap();
+        assert_eq!(
+            reconstruct(&shares[..3], 4).unwrap_err(),
+            ShamirError::NotEnoughShares
+        );
+    }
+
+    #[test]
+    fn fewer_than_t_shares_reveal_nothing() {
+        // Interpolating t-1 shares with a *wrong* threshold yields an
+        // unrelated value, not the secret.
+        let mut rng = StdRng::seed_from_u64(4);
+        let secret = Fp::new(123456);
+        let shares = split(&mut rng, secret, 3, 5).unwrap();
+        let guess = reconstruct(&shares[..2], 2).unwrap();
+        assert_ne!(guess, secret);
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            split(&mut rng, Fp::ZERO, 0, 5).unwrap_err(),
+            ShamirError::BadThreshold
+        );
+        assert_eq!(
+            split(&mut rng, Fp::ZERO, 6, 5).unwrap_err(),
+            ShamirError::BadThreshold
+        );
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let shares = split(&mut rng, Fp::new(1), 2, 3).unwrap();
+        let dup = vec![shares[0], shares[0]];
+        assert_eq!(reconstruct(&dup, 2).unwrap_err(), ShamirError::DuplicatePoint);
+    }
+
+    #[test]
+    fn t_equals_one_is_replication() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let secret = Fp::new(99);
+        let shares = split(&mut rng, secret, 1, 4).unwrap();
+        for s in &shares {
+            assert_eq!(reconstruct(std::slice::from_ref(s), 1).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn t_equals_n_needs_all() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let secret = Fp::new(31337);
+        let shares = split(&mut rng, secret, 4, 4).unwrap();
+        assert_eq!(reconstruct(&shares, 4).unwrap(), secret);
+        assert!(reconstruct(&shares[..3], 4).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! # pds2-net
+//!
+//! A deterministic discrete-event network simulator: the substrate under
+//! the decentralized-learning experiments (E5/E6). Protocols implement the
+//! [`Node`] trait; the [`Simulator`] owns the virtual clock, delivers
+//! messages through a configurable [`LinkModel`] (latency, bandwidth,
+//! jitter, loss, per-node slowdown) and injects churn.
+//!
+//! Everything is seeded: the same seed reproduces the same event trace,
+//! which the integration tests assert.
+
+pub mod link;
+pub mod sim;
+
+pub use link::LinkModel;
+pub use sim::{Ctx, NetStats, Node, NodeId, SimTime, Simulator};

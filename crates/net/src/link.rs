@@ -1,0 +1,151 @@
+//! Link models: latency, bandwidth, jitter, loss and node heterogeneity.
+
+use rand::Rng;
+
+/// Parameters describing the network links between simulated nodes.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    /// Base one-way latency in microseconds.
+    pub base_latency_us: u64,
+    /// Uniform jitter added on top, in microseconds.
+    pub jitter_us: u64,
+    /// Link bandwidth in bytes per second (serialization delay).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Probability that any message is silently lost.
+    pub drop_probability: f64,
+    /// Optional per-node speed multipliers (>1 = slower node). Models the
+    /// "highly heterogeneous environments" of the gossip-learning papers
+    /// the PDS² paper cites.
+    pub node_slowdown: Vec<f64>,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            base_latency_us: 50_000, // 50 ms WAN-ish
+            jitter_us: 10_000,
+            bandwidth_bytes_per_sec: 1_250_000, // 10 Mbit/s
+            drop_probability: 0.0,
+            node_slowdown: Vec::new(),
+        }
+    }
+}
+
+impl LinkModel {
+    /// An idealized instantaneous network (for protocol-logic tests).
+    pub fn instant() -> Self {
+        LinkModel {
+            base_latency_us: 1,
+            jitter_us: 0,
+            bandwidth_bytes_per_sec: u64::MAX,
+            drop_probability: 0.0,
+            node_slowdown: Vec::new(),
+        }
+    }
+
+    /// Samples the delivery delay for a message of `size_bytes` from
+    /// `from` to `to`.
+    pub fn delay_us<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        from: usize,
+        to: usize,
+        size_bytes: u64,
+    ) -> u64 {
+        let jitter = if self.jitter_us > 0 {
+            rng.random_range(0..=self.jitter_us)
+        } else {
+            0
+        };
+        let serialization = if self.bandwidth_bytes_per_sec == u64::MAX {
+            0
+        } else {
+            size_bytes.saturating_mul(1_000_000) / self.bandwidth_bytes_per_sec.max(1)
+        };
+        let slowdown = self.slowdown(from).max(self.slowdown(to));
+        let raw = self.base_latency_us + jitter + serialization;
+        (raw as f64 * slowdown) as u64
+    }
+
+    /// Whether a message is dropped in transit.
+    pub fn drops<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.drop_probability > 0.0 && rng.random::<f64>() < self.drop_probability
+    }
+
+    fn slowdown(&self, node: usize) -> f64 {
+        self.node_slowdown.get(node).copied().unwrap_or(1.0).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instant_model_is_fast_and_lossless() {
+        let m = LinkModel::instant();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.delay_us(&mut rng, 0, 1, 1_000_000), 1);
+        assert!(!m.drops(&mut rng));
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let m = LinkModel {
+            base_latency_us: 0,
+            jitter_us: 0,
+            bandwidth_bytes_per_sec: 1_000_000, // 1 MB/s
+            drop_probability: 0.0,
+            node_slowdown: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        // 1 MB at 1 MB/s = 1 second = 1e6 us.
+        assert_eq!(m.delay_us(&mut rng, 0, 1, 1_000_000), 1_000_000);
+        assert_eq!(m.delay_us(&mut rng, 0, 1, 500_000), 500_000);
+    }
+
+    #[test]
+    fn slowdown_applies_to_either_endpoint() {
+        let m = LinkModel {
+            base_latency_us: 100,
+            jitter_us: 0,
+            bandwidth_bytes_per_sec: u64::MAX,
+            drop_probability: 0.0,
+            node_slowdown: vec![1.0, 3.0],
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.delay_us(&mut rng, 0, 1, 0), 300);
+        assert_eq!(m.delay_us(&mut rng, 1, 0, 0), 300);
+        // Unlisted nodes default to 1.0.
+        assert_eq!(m.delay_us(&mut rng, 0, 7, 0), 100);
+    }
+
+    #[test]
+    fn drop_probability_statistics() {
+        let m = LinkModel {
+            drop_probability: 0.3,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let drops = (0..10_000).filter(|_| m.drops(&mut rng)).count();
+        assert!((2500..3500).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let m = LinkModel {
+            base_latency_us: 1000,
+            jitter_us: 100,
+            bandwidth_bytes_per_sec: u64::MAX,
+            drop_probability: 0.0,
+            node_slowdown: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let d = m.delay_us(&mut rng, 0, 1, 0);
+            assert!((1000..=1100).contains(&d));
+        }
+    }
+}

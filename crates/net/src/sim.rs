@@ -1,0 +1,515 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Protocol logic is written against the [`Node`] trait; the simulator owns
+//! all node instances, a global virtual clock in microseconds and an event
+//! queue. Determinism: a seeded RNG drives every random choice, and ties in
+//! the queue break on a monotone sequence number.
+
+use crate::link::LinkModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a node in the simulation.
+pub type NodeId = usize;
+
+/// One simulated microsecond-resolution timestamp.
+pub type SimTime = u64;
+
+/// A protocol participant.
+pub trait Node {
+    /// Message type exchanged by this protocol.
+    type Msg: Clone;
+
+    /// Called once when the simulation starts (schedule initial timers
+    /// here).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a message arrives.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, tag: u64);
+
+    /// Wire size of a message in bytes (drives serialization delay and
+    /// traffic accounting).
+    fn msg_size(msg: &Self::Msg) -> u64 {
+        let _ = msg;
+        64
+    }
+}
+
+/// Context handed to node callbacks: clock, RNG and outgoing actions.
+pub struct Ctx<'a, M> {
+    /// This node's id.
+    pub id: NodeId,
+    /// Current simulated time (µs).
+    pub now: SimTime,
+    /// Total number of nodes in the simulation.
+    pub n_nodes: usize,
+    rng: &'a mut StdRng,
+    actions: Vec<Action<M>>,
+}
+
+enum Action<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay_us: u64, tag: u64 },
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Sends a message (subject to link latency/loss and the recipient
+    /// being online at delivery time).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedules `on_timer(tag)` after `delay_us`.
+    pub fn set_timer(&mut self, delay_us: u64, tag: u64) {
+        self.actions.push(Action::Timer { delay_us, tag });
+    }
+
+    /// Seeded RNG for protocol randomness (peer sampling etc.).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Samples a uniformly random peer different from this node.
+    pub fn random_peer(&mut self) -> Option<NodeId> {
+        if self.n_nodes < 2 {
+            return None;
+        }
+        loop {
+            let p = self.rng.random_range(0..self.n_nodes);
+            if p != self.id {
+                return Some(p);
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M, size: u64 },
+    Timer { node: NodeId, tag: u64 },
+    SetOnline { node: NodeId, online: bool },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Traffic and liveness statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to an online node.
+    pub delivered: u64,
+    /// Messages lost to random link loss.
+    pub dropped_loss: u64,
+    /// Messages addressed to an offline node.
+    pub dropped_offline: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<N: Node> {
+    nodes: Vec<N>,
+    online: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<N::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    link: LinkModel,
+    rng: StdRng,
+    stats: NetStats,
+    started: bool,
+}
+
+impl<N: Node> Simulator<N> {
+    /// Creates a simulator over `nodes` with the given link model and seed.
+    pub fn new(nodes: Vec<N>, link: LinkModel, seed: u64) -> Self {
+        let n = nodes.len();
+        Simulator {
+            nodes,
+            online: vec![true; n],
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            link,
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            started: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulated time (µs).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node's state (for experiment instrumentation).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Whether a node is currently online.
+    pub fn is_online(&self, id: NodeId) -> bool {
+        self.online[id]
+    }
+
+    /// Number of currently online nodes.
+    pub fn online_count(&self) -> usize {
+        self.online.iter().filter(|&&o| o).count()
+    }
+
+    /// Schedules a node to go offline at `at` and return at `until`
+    /// (`until = SimTime::MAX` for a permanent failure).
+    pub fn schedule_outage(&mut self, node: NodeId, at: SimTime, until: SimTime) {
+        self.push(at, EventKind::SetOnline { node, online: false });
+        if until != SimTime::MAX {
+            self.push(until, EventKind::SetOnline { node, online: true });
+        }
+    }
+
+    /// Schedules random outages: each node independently fails with
+    /// probability `fail_prob` at a uniform time within `[0, horizon_us)`,
+    /// staying down for `downtime_us` (or forever if `downtime_us == 0`).
+    pub fn schedule_random_churn(
+        &mut self,
+        fail_prob: f64,
+        horizon_us: SimTime,
+        downtime_us: SimTime,
+    ) {
+        for node in 0..self.nodes.len() {
+            if self.rng.random::<f64>() < fail_prob {
+                let at = self.rng.random_range(0..horizon_us.max(1));
+                let until = if downtime_us == 0 {
+                    SimTime::MAX
+                } else {
+                    at + downtime_us
+                };
+                self.schedule_outage(node, at, until);
+            }
+        }
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn dispatch_actions(&mut self, origin: NodeId, actions: Vec<Action<N::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    self.stats.sent += 1;
+                    if self.link.drops(&mut self.rng) {
+                        self.stats.dropped_loss += 1;
+                        continue;
+                    }
+                    let size = N::msg_size(&msg);
+                    let delay = self.link.delay_us(&mut self.rng, origin, to, size);
+                    let at = self.now + delay;
+                    self.push(
+                        at,
+                        EventKind::Deliver {
+                            from: origin,
+                            to,
+                            msg,
+                            size,
+                        },
+                    );
+                }
+                Action::Timer { delay_us, tag } => {
+                    let at = self.now + delay_us;
+                    self.push(at, EventKind::Timer { node: origin, tag });
+                }
+            }
+        }
+    }
+
+    fn call_node<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Ctx<'_, N::Msg>),
+    {
+        let mut ctx = Ctx {
+            id,
+            now: self.now,
+            n_nodes: self.nodes.len(),
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        f(&mut self.nodes[id], &mut ctx);
+        let actions = ctx.actions;
+        self.dispatch_actions(id, actions);
+    }
+
+    /// Runs `on_start` on every node (idempotent).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            self.call_node(id, |n, ctx| n.on_start(ctx));
+        }
+    }
+
+    /// Processes events until the queue is empty or `deadline_us` passes.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline_us: SimTime) -> u64 {
+        self.start();
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > deadline_us {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().unwrap();
+            self.now = ev.time;
+            processed += 1;
+            match ev.kind {
+                EventKind::SetOnline { node, online } => {
+                    self.online[node] = online;
+                }
+                EventKind::Timer { node, tag } => {
+                    if self.online[node] {
+                        self.stats.timers_fired += 1;
+                        self.call_node(node, |n, ctx| n.on_timer(ctx, tag));
+                    } else {
+                        // Timers on offline nodes are silently skipped;
+                        // protocols re-arm on their own schedule.
+                        self.stats.timers_fired += 1;
+                    }
+                }
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg,
+                    size,
+                } => {
+                    if self.online[to] {
+                        self.stats.delivered += 1;
+                        self.stats.bytes_delivered += size;
+                        self.call_node(to, |n, ctx| n.on_message(ctx, from, msg));
+                    } else {
+                        self.stats.dropped_offline += 1;
+                    }
+                }
+            }
+        }
+        self.now = self.now.max(deadline_us.min(self.now).max(self.now));
+        processed
+    }
+
+    /// Consumes the simulator, returning the node states.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test protocol: a ping-pong counter. Node 0 starts; each node
+    /// forwards `count+1` to a fixed next hop until TTL.
+    struct Ring {
+        next: NodeId,
+        received: Vec<u64>,
+        start: bool,
+    }
+
+    impl Node for Ring {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.start {
+                ctx.send(self.next, 1);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+            self.received.push(msg);
+            if msg < 10 {
+                ctx.send(self.next, msg + 1);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>, _tag: u64) {}
+
+        fn msg_size(_msg: &u64) -> u64 {
+            8
+        }
+    }
+
+    fn ring(n: usize) -> Vec<Ring> {
+        (0..n)
+            .map(|i| Ring {
+                next: (i + 1) % n,
+                received: Vec::new(),
+                start: i == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn messages_travel_the_ring() {
+        let mut sim = Simulator::new(ring(3), LinkModel::instant(), 1);
+        sim.run_until(1_000_000);
+        // 10 hops total: counts 1..=10 distributed around the ring.
+        let total: usize = sim.nodes().map(|n| n.received.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(sim.stats().sent, 10);
+        assert_eq!(sim.stats().delivered, 10);
+        assert_eq!(sim.stats().bytes_delivered, 80);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = Simulator::new(ring(5), LinkModel::default(), seed);
+            sim.run_until(10_000_000);
+            (sim.now(), sim.stats())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn offline_nodes_drop_messages() {
+        let mut sim = Simulator::new(ring(3), LinkModel::instant(), 1);
+        sim.schedule_outage(1, 0, SimTime::MAX);
+        sim.run_until(1_000_000);
+        // Node 0 sends to 1 which is down: chain stops immediately.
+        assert_eq!(sim.stats().dropped_offline, 1);
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.online_count(), 2);
+    }
+
+    #[test]
+    fn outage_with_recovery() {
+        let mut sim = Simulator::new(ring(2), LinkModel::instant(), 1);
+        sim.schedule_outage(1, 0, 500);
+        sim.run_until(400);
+        assert!(!sim.is_online(1));
+        sim.run_until(1_000);
+        assert!(sim.is_online(1));
+    }
+
+    #[test]
+    fn timers_fire() {
+        struct TimerNode {
+            fired: Vec<(SimTime, u64)>,
+        }
+        impl Node for TimerNode {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(100, 1);
+                ctx.set_timer(50, 2);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: u64) {
+                self.fired.push((ctx.now, tag));
+            }
+        }
+        let mut sim = Simulator::new(vec![TimerNode { fired: Vec::new() }], LinkModel::instant(), 1);
+        sim.run_until(1_000);
+        assert_eq!(sim.node(0).fired, vec![(50, 2), (100, 1)]);
+    }
+
+    #[test]
+    fn random_peer_excludes_self() {
+        struct P;
+        impl Node for P {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                for _ in 0..100 {
+                    let peer = ctx.random_peer().unwrap();
+                    assert_ne!(peer, ctx.id);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: u64) {}
+        }
+        let mut sim = Simulator::new(vec![P, P, P], LinkModel::instant(), 3);
+        sim.start();
+    }
+
+    #[test]
+    fn lossy_links_drop_statistically() {
+        // Broadcast-ish: node 0 sends 1000 one-off messages via timers.
+        struct Spammer {
+            n: u32,
+        }
+        impl Node for Spammer {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.id == 0 {
+                    for _ in 0..self.n {
+                        ctx.send(1, ());
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: u64) {}
+        }
+        let link = LinkModel {
+            drop_probability: 0.5,
+            ..LinkModel::instant()
+        };
+        let mut sim = Simulator::new(vec![Spammer { n: 1000 }, Spammer { n: 0 }], link, 5);
+        sim.run_until(10_000_000);
+        let s = sim.stats();
+        assert_eq!(s.sent, 1000);
+        assert!((300..700).contains(&s.dropped_loss), "{}", s.dropped_loss);
+        assert_eq!(s.delivered + s.dropped_loss, 1000);
+    }
+}

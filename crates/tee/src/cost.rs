@@ -1,0 +1,181 @@
+//! SGX performance cost model.
+//!
+//! The simulation charges the published overhead sources of real SGX
+//! hardware:
+//!
+//! - **enclave transitions** (ecall/ocall): ~8,000–12,000 cycles each in
+//!   the literature; defaults to 3.5 µs round-trip;
+//! - **EPC paging**: working sets beyond the Enclave Page Cache limit
+//!   (96 MiB usable on v1 hardware) incur encrypted page swaps, charged
+//!   per 4 KiB page;
+//! - **memory-encryption slowdown**: a multiplicative factor on in-enclave
+//!   compute (MEE overhead, typically 1.2–2× for memory-bound code).
+//!
+//! Ablation A2 sweeps these parameters to show which regime dominates.
+
+/// Parameters of the simulated SGX platform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// One ecall+ocall round trip, in nanoseconds.
+    pub transition_ns: u64,
+    /// Usable Enclave Page Cache in bytes (v1 hardware: ~96 MiB usable).
+    pub epc_limit_bytes: u64,
+    /// Page size for EPC paging.
+    pub page_bytes: u64,
+    /// Cost of swapping one page in/out of the EPC, in nanoseconds.
+    pub paging_ns_per_page: u64,
+    /// Multiplicative slowdown on in-enclave compute (memory encryption).
+    pub compute_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            transition_ns: 3_500,
+            epc_limit_bytes: 96 * 1024 * 1024,
+            page_bytes: 4096,
+            paging_ns_per_page: 40_000,
+            compute_factor: 1.3,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with paging disabled (infinite EPC), for ablations.
+    pub fn no_paging() -> Self {
+        CostModel {
+            epc_limit_bytes: u64::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Estimated overhead added by the enclave to a task, in nanoseconds.
+    ///
+    /// * `plain_compute_ns` — what the same work costs outside the enclave;
+    /// * `working_set_bytes` — peak enclave memory the task touches;
+    /// * `transitions` — number of ecall/ocall round trips.
+    pub fn overhead_ns(
+        &self,
+        plain_compute_ns: u64,
+        working_set_bytes: u64,
+        transitions: u64,
+    ) -> u64 {
+        let compute_extra =
+            (plain_compute_ns as f64 * (self.compute_factor - 1.0)).max(0.0) as u64;
+        let transition_cost = transitions.saturating_mul(self.transition_ns);
+        let paging_cost = if working_set_bytes > self.epc_limit_bytes {
+            let excess = working_set_bytes - self.epc_limit_bytes;
+            let pages = excess.div_ceil(self.page_bytes);
+            pages.saturating_mul(self.paging_ns_per_page)
+        } else {
+            0
+        };
+        compute_extra + transition_cost + paging_cost
+    }
+
+    /// Total in-enclave time for a task (plain compute + overhead).
+    pub fn total_ns(
+        &self,
+        plain_compute_ns: u64,
+        working_set_bytes: u64,
+        transitions: u64,
+    ) -> u64 {
+        plain_compute_ns + self.overhead_ns(plain_compute_ns, working_set_bytes, transitions)
+    }
+}
+
+/// Running meter for a single enclave's charged costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostMeter {
+    /// Total charged nanoseconds (simulated).
+    pub charged_ns: u64,
+    /// Transitions performed.
+    pub transitions: u64,
+    /// Pages swapped.
+    pub pages_swapped: u64,
+}
+
+impl CostMeter {
+    /// Adds a task execution to the meter.
+    pub fn charge(
+        &mut self,
+        model: &CostModel,
+        plain_compute_ns: u64,
+        working_set_bytes: u64,
+        transitions: u64,
+    ) {
+        self.charged_ns += model.total_ns(plain_compute_ns, working_set_bytes, transitions);
+        self.transitions += transitions;
+        if working_set_bytes > model.epc_limit_bytes {
+            self.pages_swapped +=
+                (working_set_bytes - model.epc_limit_bytes).div_ceil(model.page_bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_overhead_for_free_task() {
+        let m = CostModel::default();
+        assert_eq!(m.overhead_ns(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn transitions_charged_linearly() {
+        let m = CostModel::default();
+        assert_eq!(m.overhead_ns(0, 0, 10), 10 * m.transition_ns);
+    }
+
+    #[test]
+    fn compute_factor_applies() {
+        let m = CostModel {
+            compute_factor: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(m.overhead_ns(1_000_000, 0, 0), 1_000_000);
+        assert_eq!(m.total_ns(1_000_000, 0, 0), 2_000_000);
+    }
+
+    #[test]
+    fn paging_kicks_in_above_epc_limit() {
+        let m = CostModel {
+            epc_limit_bytes: 1024 * 1024,
+            page_bytes: 4096,
+            paging_ns_per_page: 1000,
+            compute_factor: 1.0,
+            transition_ns: 0,
+        };
+        assert_eq!(m.overhead_ns(0, 1024 * 1024, 0), 0, "at limit: no paging");
+        // 8 KiB over the limit = 2 pages.
+        assert_eq!(m.overhead_ns(0, 1024 * 1024 + 8192, 0), 2000);
+        // Partial page rounds up.
+        assert_eq!(m.overhead_ns(0, 1024 * 1024 + 1, 0), 1000);
+    }
+
+    #[test]
+    fn no_paging_model_never_pages() {
+        let m = CostModel::no_paging();
+        assert_eq!(m.overhead_ns(0, u64::MAX / 2, 0), 0);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let m = CostModel {
+            transition_ns: 100,
+            compute_factor: 1.0,
+            epc_limit_bytes: 1000,
+            page_bytes: 100,
+            paging_ns_per_page: 10,
+        };
+        let mut meter = CostMeter::default();
+        meter.charge(&m, 500, 1200, 2);
+        assert_eq!(meter.transitions, 2);
+        assert_eq!(meter.pages_swapped, 2);
+        assert_eq!(meter.charged_ns, 500 + 200 + 20);
+        meter.charge(&m, 0, 0, 1);
+        assert_eq!(meter.transitions, 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Asset tour (§III-A): the governance layer's token machinery end to end —
+//! ERC-20 reward tokens, ERC-721 dataset/workload-code NFTs, a
+//! token-denominated workload, and light-client participation proofs.
+//!
+//! Run with: `cargo run --release --example asset_tour`
+
+use pds2::chain::erc721::AssetKind;
+use pds2::market::marketplace::{Marketplace, StorageChoice};
+use pds2::market::workload::{RewardScheme, TaskKind, WorkloadSpec};
+use pds2::ml::data::gaussian_blobs;
+use pds2::storage::semantic::{MetaValue, Metadata, Requirement};
+use pds2::tee::measurement::EnclaveCode;
+
+fn main() {
+    let mut market = Marketplace::new(99);
+    let consumer = market.register_consumer(1, 1_000_000);
+
+    // 1. The consumer issues a fungible reward token (ERC-20): "used to
+    //    handle any kind of rewards offered by the consumers".
+    let token = market
+        .consumer_create_reward_token(consumer, "DATA", 500_000)
+        .expect("token creation");
+    println!(
+        "ERC-20 reward token {} (symbol {:?}, supply {:?})",
+        token.0,
+        market.chain.state.erc20.symbol(token),
+        market.chain.state.erc20.total_supply(token)
+    );
+
+    // 2. Providers register; each ingested dataset mints an ERC-721 NFT
+    //    committing to its content hash: "particularly useful to model
+    //    data and workload code".
+    let data = gaussian_blobs(240, 3, 0.7, 7);
+    let (train, validation) = data.split(0.2, 8);
+    let shards = train.partition_iid(3, 9);
+    let meta = || {
+        Metadata::new().with(
+            "type",
+            MetaValue::Class("sensor/environment/temperature".into()),
+            0,
+        )
+    };
+    let mut providers = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let p = market.register_provider(100 + i as u64, StorageChoice::Local);
+        market.provider_add_device(p).unwrap();
+        let record = market.provider_ingest(p, 0, shard, meta()).unwrap();
+        let nft = market
+            .chain
+            .state
+            .erc721
+            .find_by_content(AssetKind::Dataset, &record.0)
+            .expect("dataset NFT minted at ingestion");
+        println!(
+            "provider {p}: dataset NFT #{} committing to {}",
+            nft.0,
+            record.0.short()
+        );
+        providers.push(p);
+    }
+
+    // 3. A token-denominated workload: escrow and payouts all in DATA.
+    let code = EnclaveCode::new("trainer", 3, b"trainer-v3".to_vec());
+    let spec = WorkloadSpec {
+        title: "token-paid-classifier".into(),
+        precondition: Requirement::HasClass {
+            attr: "type".into(),
+            class: "sensor/environment".into(),
+        },
+        task: TaskKind::BinaryClassification,
+        feature_dim: 3,
+        provider_reward: 60_000,
+        executor_fee: 5_000,
+        reward_scheme: RewardScheme::ShapleyExact,
+        min_providers: 3,
+        min_records: 50,
+        code_measurement: code.measurement(),
+        validation,
+        local_epochs: 8,
+        aggregation_rounds: 2,
+        dp_noise_multiplier: None,
+        reward_token: Some(token),
+        data_bounds: Some((-50.0, 50.0)),
+    };
+    let workload = market.submit_workload(consumer, spec, code, 1).unwrap();
+    let code_nft_events = market.chain.events_by_topic("erc721.mint").len();
+    println!("\nworkload {workload}: code NFT minted (total NFT mints: {code_nft_events})");
+
+    let executor = market.register_executor(500);
+    market.executor_join(executor, workload).unwrap();
+    let assignments: Vec<_> = providers.iter().map(|&p| (p, executor)).collect();
+    let (exec, fin) = market.run_full_lifecycle(workload, &assignments).unwrap();
+
+    println!("\n== settlement in DATA tokens ==");
+    for (p, share) in &fin.provider_shares {
+        println!(
+            "provider {p}: {share} DATA (on-chain: {})",
+            market.chain.state.erc20.balance_of(token, p)
+        );
+    }
+    println!(
+        "executor fee: {} DATA; consumer refund brings balance to {}",
+        market.chain.state.erc20.balance_of(token, &executor),
+        market.chain.state.erc20.balance_of(token, &consumer)
+    );
+    println!("validation accuracy: {:.3}", exec.validation_score);
+
+    // 4. Light-client participation proofs (reward-dispute evidence).
+    println!("\n== participation proofs ==");
+    for &p in &providers {
+        let (proof, header) = market.prove_participation(workload, p).unwrap();
+        assert!(proof.verify(&header));
+        println!(
+            "provider {p}: participation tx {} proven in block {}",
+            proof.tx_hash.short(),
+            proof.block_height
+        );
+    }
+
+    // Supply is conserved: nothing minted or burned by the lifecycle.
+    assert_eq!(market.chain.state.erc20.total_supply(token), Some(500_000));
+    println!("\ntoken supply conserved at 500000 DATA");
+}

@@ -1,0 +1,161 @@
+//! IoT fleet scenario: a smart-building operator buys a next-hour
+//! temperature forecaster trained on sensor streams owned by individual
+//! device users — the §I motivating workload.
+//!
+//! Demonstrates: regression workloads, outsourced sealed storage for every
+//! provider, an adversary injecting forged and replayed readings (rejected
+//! by the §IV-B pipeline), and a slashed lying executor.
+//!
+//! Run with: `cargo run --release --example iot_fleet`
+
+use pds2::crypto::sha256;
+use pds2::market::authenticity::{Device, ManufacturerRegistry, ReadingVerifier};
+use pds2::market::marketplace::{Marketplace, StorageChoice};
+use pds2::market::workload::{RewardScheme, TaskKind, WorkloadSpec};
+use pds2::ml::data::{iot_sensor_series, Dataset};
+use pds2::storage::semantic::{MetaValue, Metadata, Requirement};
+use pds2::tee::measurement::EnclaveCode;
+use pds2_crypto::KeyPair;
+
+fn main() {
+    let mut market = Marketplace::new(7);
+    let operator = market.register_consumer(1, 2_000_000);
+
+    // Eight households, each with one endorsed temperature sensor and
+    // outsourced (sealed) storage.
+    let n_providers = 8;
+    let mut providers = Vec::new();
+    let mut household_data = Vec::new();
+    for i in 0..n_providers {
+        let p = market.register_provider(
+            100 + i as u64,
+            StorageChoice::ThirdParty { publish_level: 1 },
+        );
+        market.provider_add_device(p).unwrap();
+        // Device-specific daily phase: heterogeneous providers.
+        let series = iot_sensor_series(96, i as f64 * 0.4, 0.3, 10 + i as u64);
+        let meta = Metadata::new()
+            .with(
+                "type",
+                MetaValue::Class("sensor/environment/temperature".into()),
+                0,
+            )
+            .with("sample-rate-hz", MetaValue::Num(1.0), 1)
+            .with("building-zone", MetaValue::Str(format!("zone-{}", i % 3)), 1);
+        market.provider_ingest(p, 0, &series, meta).unwrap();
+        providers.push(p);
+        household_data.push(series);
+    }
+
+    // Validation series from a held-out device.
+    let validation = iot_sensor_series(48, 1.7, 0.3, 99);
+
+    let code = EnclaveCode::new("forecaster", 2, b"forecaster-binary-v2".to_vec());
+    let spec = WorkloadSpec {
+        title: "next-hour-temperature".into(),
+        precondition: Requirement::All(vec![
+            Requirement::HasClass {
+                attr: "type".into(),
+                class: "sensor/environment/temperature".into(),
+            },
+            Requirement::NumInRange {
+                attr: "sample-rate-hz".into(),
+                min: 0.5,
+                max: 4.0,
+            },
+        ]),
+        task: TaskKind::Regression,
+        feature_dim: 4,
+        provider_reward: 80_000,
+        executor_fee: 2_000,
+        reward_scheme: RewardScheme::ProportionalToRecords,
+        min_providers: 6,
+        min_records: 400,
+        code_measurement: code.measurement(),
+        validation: validation.clone(),
+        local_epochs: 20,
+        aggregation_rounds: 4,
+        dp_noise_multiplier: None,
+        reward_token: None,
+        data_bounds: None,
+    };
+    let workload = market.submit_workload(operator, spec, code, 3).unwrap();
+
+    // Three executors; one will later lie about the result.
+    let executors: Vec<_> = (0..3).map(|i| market.register_executor(500 + i)).collect();
+    for &e in &executors {
+        market.executor_join(e, workload).unwrap();
+    }
+
+    // Providers accept, spread across executors.
+    for (i, &p) in providers.iter().enumerate() {
+        market
+            .provider_accept(p, workload, executors[i % 2]) // executor 2 gets no data
+            .unwrap();
+    }
+    assert!(market.try_start(workload).unwrap());
+    let exec = market.execute(workload).unwrap();
+
+    // Executor 2 (dataless, greedy) submits a forged hash.
+    market
+        .executor_submit_forged_result(executors[2], workload, sha256(b"fake"))
+        .unwrap();
+    let fin = market.finalize(workload).unwrap();
+
+    println!("== forecaster workload ==");
+    println!("validation -MSE : {:.4}", exec.validation_score);
+    println!(
+        "readings        : {} accepted / {} rejected",
+        exec.readings_accepted, exec.readings_rejected
+    );
+    println!("slashed executor: {:?}", fin.slashed);
+    assert_eq!(fin.slashed, vec![executors[2]]);
+    let total_rewards: u128 = fin.provider_shares.iter().map(|(_, v)| v).sum();
+    println!("rewards paid    : {total_rewards} across {} households", fin.provider_shares.len());
+
+    // ------------------------------------------------------------------
+    // Standalone §IV-B demonstration: forged and replayed readings.
+    // ------------------------------------------------------------------
+    println!("\n== authenticity pipeline under attack ==");
+    let mut registry = ManufacturerRegistry::new();
+    let manufacturer = KeyPair::from_seed(42);
+    registry.register_manufacturer(manufacturer.public.clone());
+    let mut honest_device = Device::new(1);
+    registry.endorse(&manufacturer, &honest_device).unwrap();
+    let mut rogue_device = Device::new(2); // never endorsed
+
+    let mut verifier = ReadingVerifier::new(&registry);
+    let mut outcomes = Vec::new();
+    // Honest readings.
+    for t in 0..50 {
+        let r = honest_device.sign_reading(t, vec![20.0 + t as f64 * 0.01], 0.0);
+        outcomes.push(("honest", verifier.verify(&r).is_ok()));
+    }
+    // Replay the last honest reading 10 times (resale attempt).
+    let replay = honest_device.sign_reading(100, vec![21.0], 0.0);
+    verifier.verify(&replay).unwrap();
+    for _ in 0..10 {
+        outcomes.push(("replay", verifier.verify(&replay).is_ok()));
+    }
+    // Tampered payload (forged label).
+    let mut forged = honest_device.sign_reading(101, vec![21.0], 0.0);
+    forged.target = 99.0;
+    outcomes.push(("forged", verifier.verify(&forged).is_ok()));
+    // Unendorsed device.
+    let rogue = rogue_device.sign_reading(1, vec![1.0], 0.0);
+    outcomes.push(("unendorsed", verifier.verify(&rogue).is_ok()));
+
+    let accepted_honest = outcomes.iter().filter(|(k, ok)| *k == "honest" && *ok).count();
+    let rejected_attacks = outcomes
+        .iter()
+        .filter(|(k, ok)| *k != "honest" && !*ok)
+        .count();
+    println!("honest accepted : {accepted_honest}/50");
+    println!("attacks rejected: {rejected_attacks}/12");
+    assert_eq!(accepted_honest, 50);
+    assert_eq!(rejected_attacks, 12);
+
+    // Sanity: pooled data really predicts.
+    let pooled = Dataset::concat(&household_data);
+    println!("\npooled fleet data: {} readings from {n_providers} devices", pooled.len());
+}

@@ -1,0 +1,117 @@
+//! Quickstart: one consumer, three providers, one executor — the complete
+//! Fig. 2 lifecycle in ~80 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pds2::market::marketplace::{Marketplace, StorageChoice};
+use pds2::market::workload::{RewardScheme, TaskKind, WorkloadSpec};
+use pds2::ml::data::gaussian_blobs;
+use pds2::storage::semantic::{MetaValue, Metadata, Requirement};
+use pds2::tee::measurement::EnclaveCode;
+
+fn main() {
+    // Boot the marketplace: governance chain, attestation service,
+    // manufacturer registry and the shared ontology.
+    let mut market = Marketplace::new(2026);
+    let consumer = market.register_consumer(1, 1_000_000);
+
+    // Three smart-device users become data providers. One outsources
+    // storage to an untrusted operator (sealed, Fig. 3 right).
+    let data = gaussian_blobs(300, 3, 0.7, 7);
+    let (train, validation) = data.split(0.2, 8);
+    let shards = train.partition_iid(3, 9);
+    let meta = || {
+        Metadata::new()
+            .with(
+                "type",
+                MetaValue::Class("sensor/environment/temperature".into()),
+                0,
+            )
+            .with("sample-rate-hz", MetaValue::Num(1.0), 1)
+    };
+    let mut providers = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let storage = if i == 2 {
+            StorageChoice::ThirdParty { publish_level: 1 }
+        } else {
+            StorageChoice::Local
+        };
+        let p = market.register_provider(100 + i as u64, storage);
+        market.provider_add_device(p).expect("provider registered");
+        let record = market
+            .provider_ingest(p, 0, shard, meta())
+            .expect("device-signed ingestion");
+        println!("provider {p} registered dataset {}", record.0.short());
+        providers.push(p);
+    }
+
+    // The consumer publishes a training workload bound to approved
+    // enclave code, with escrowed rewards.
+    let code = EnclaveCode::new("logistic-trainer", 1, b"trainer-binary-v1".to_vec());
+    let spec = WorkloadSpec {
+        title: "temperature-anomaly-classifier".into(),
+        precondition: Requirement::HasClass {
+            attr: "type".into(),
+            class: "sensor/environment".into(),
+        },
+        task: TaskKind::BinaryClassification,
+        feature_dim: 3,
+        provider_reward: 10_000,
+        executor_fee: 500,
+        reward_scheme: RewardScheme::ShapleyExact,
+        min_providers: 3,
+        min_records: 50,
+        code_measurement: code.measurement(),
+        validation,
+        local_epochs: 10,
+        aggregation_rounds: 3,
+        dp_noise_multiplier: None,
+        reward_token: None,
+        data_bounds: None,
+    };
+    let workload = market
+        .submit_workload(consumer, spec, code, 1)
+        .expect("workload submission");
+    println!(
+        "workload {workload} deployed at {}",
+        market.workload_contract(workload).unwrap()
+    );
+
+    // An executor with TEE hardware joins; its enclave attests the
+    // approved measurement before any provider shares data.
+    let executor = market.register_executor(500);
+    market.executor_join(executor, workload).expect("attestation");
+
+    // Eligible providers (matched on published metadata only) accept.
+    let eligible = market.eligible_providers(workload).unwrap();
+    println!("eligible providers: {}", eligible.len());
+    let assignments: Vec<_> = providers.iter().map(|&p| (p, executor)).collect();
+    let (exec, fin) = market
+        .run_full_lifecycle(workload, &assignments)
+        .expect("lifecycle");
+
+    println!("\n== execution ==");
+    println!("result hash        : {}", exec.result_hash.short());
+    println!("validation accuracy: {:.3}", exec.validation_score);
+    println!(
+        "readings verified  : {} accepted, {} rejected",
+        exec.readings_accepted, exec.readings_rejected
+    );
+
+    println!("\n== rewards (exact Shapley) ==");
+    for (p, share) in &fin.provider_shares {
+        println!("provider {p}: {share} tokens (on-chain balance {})",
+            market.chain.state.balance(p));
+    }
+    println!("executors paid: {}", fin.paid_executors.len());
+
+    println!("\n== on-chain audit trail ==");
+    for topic in ["erc721.mint", "workload.funded", "workload.participation",
+                  "workload.started", "workload.completed"] {
+        println!("{topic}: {} events", market.chain.events_by_topic(topic).len());
+    }
+    println!("chain height: {}", market.chain.height());
+
+    let model = market.consumer_retrieve_result(workload).unwrap();
+    println!("\nconsumer retrieved model with {} parameters", model.len());
+}

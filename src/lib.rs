@@ -1,0 +1,12 @@
+//! PDS2 umbrella crate: re-exports the full stack.
+pub use pds2_chain as chain;
+pub use pds2_core as market;
+pub use pds2_crypto as crypto;
+pub use pds2_he as he;
+pub use pds2_learning as learning;
+pub use pds2_ml as ml;
+pub use pds2_mpc as mpc;
+pub use pds2_net as net;
+pub use pds2_rewards as rewards;
+pub use pds2_storage as storage;
+pub use pds2_tee as tee;

@@ -1,0 +1,252 @@
+//! Adversarial integration tests (experiment E12): every §II-E
+//! tamper-resistance requirement is attacked and the platform must detect
+//! and contain each attack.
+
+use pds2::crypto::sha256;
+use pds2::market::marketplace::{MarketError, Marketplace, StorageChoice};
+use pds2::market::workload::{RewardScheme, TaskKind, WorkloadSpec};
+use pds2::ml::data::gaussian_blobs;
+use pds2::storage::semantic::{MetaValue, Metadata, Requirement};
+use pds2::tee::measurement::EnclaveCode;
+use pds2_chain::address::Address;
+use pds2_chain::block::BlockHeader;
+use pds2_chain::chain::{Blockchain, ChainError};
+use pds2_chain::contract::ContractRegistry;
+use pds2_chain::tx::{Transaction, TxKind};
+use pds2_crypto::KeyPair;
+
+fn meta() -> Metadata {
+    Metadata::new().with(
+        "type",
+        MetaValue::Class("sensor/environment/temperature".into()),
+        0,
+    )
+}
+
+fn spec_for(code: &EnclaveCode, min_providers: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        title: "adversarial".into(),
+        precondition: Requirement::HasClass {
+            attr: "type".into(),
+            class: "sensor/environment".into(),
+        },
+        task: TaskKind::BinaryClassification,
+        feature_dim: 3,
+        provider_reward: 10_000,
+        executor_fee: 500,
+        reward_scheme: RewardScheme::ProportionalToRecords,
+        min_providers,
+        min_records: 10,
+        code_measurement: code.measurement(),
+        validation: gaussian_blobs(20, 3, 0.7, 5),
+        local_epochs: 4,
+        aggregation_rounds: 2,
+        dp_noise_multiplier: None,
+        reward_token: None,
+        data_bounds: None,
+    }
+}
+
+/// Attack 1: an executor on a *revoked* platform (disclosed side-channel
+/// compromise) tries to join a workload.
+#[test]
+fn revoked_platform_cannot_join() {
+    let mut market = Marketplace::new(1);
+    let consumer = market.register_consumer(1, 1_000_000);
+    let provider = market.register_provider(2, StorageChoice::Local);
+    market.provider_add_device(provider).unwrap();
+    market
+        .provider_ingest(provider, 0, &gaussian_blobs(40, 3, 0.7, 3), meta())
+        .unwrap();
+    let compromised = market.register_executor(10);
+    let healthy = market.register_executor(11);
+    let code = EnclaveCode::new("trainer", 1, b"bin".to_vec());
+    let workload = market
+        .submit_workload(consumer, spec_for(&code, 1), code, 2)
+        .unwrap();
+    // Governance revokes the compromised executor's platform. Platforms
+    // are seed-deterministic, so the id can be recomputed independently.
+    let compromised_platform = {
+        use pds2::tee::cost::CostModel;
+        use pds2::tee::platform::Platform;
+        Platform::new(10, CostModel::default()).id()
+    };
+    market.attestation.revoke(compromised_platform);
+    let err = market.executor_join(compromised, workload).unwrap_err();
+    assert!(matches!(err, MarketError::Attestation(_)), "{err}");
+    // The healthy platform still joins fine.
+    market.executor_join(healthy, workload).unwrap();
+}
+
+/// Attack 2: the workload consumer ships different code than the spec
+/// promised providers.
+#[test]
+fn code_swap_rejected_at_submission() {
+    let mut market = Marketplace::new(2);
+    let consumer = market.register_consumer(1, 1_000_000);
+    let advertised = EnclaveCode::new("trainer", 1, b"advertised".to_vec());
+    let actual = EnclaveCode::new("trainer", 1, b"data-exfiltrator".to_vec());
+    let err = market
+        .submit_workload(consumer, spec_for(&advertised, 1), actual, 1)
+        .unwrap_err();
+    assert!(matches!(err, MarketError::Attestation(_)));
+}
+
+/// Attack 3: a forged block from a non-validator is rejected by honest
+/// nodes.
+#[test]
+fn forged_block_rejected() {
+    let alice = KeyPair::from_seed(1);
+    let chain = Blockchain::single_validator(
+        1000,
+        &[(Address::of(&alice.public), 1_000)],
+        ContractRegistry::new(),
+    );
+    let rogue = KeyPair::from_seed(666);
+    let header = BlockHeader::new_signed(
+        &rogue,
+        0,
+        pds2::crypto::Digest::ZERO,
+        sha256(b"fake-state"),
+        pds2::crypto::Digest::ZERO,
+        0,
+    );
+    let block = pds2_chain::block::Block {
+        header,
+        transactions: Vec::new(),
+    };
+    assert_eq!(
+        chain.validate_external_block(&block),
+        Err(ChainError::WrongProposer)
+    );
+}
+
+/// Attack 4: replaying a transaction (double spend attempt).
+#[test]
+fn transaction_replay_rejected() {
+    let alice = KeyPair::from_seed(1);
+    let bob = Address::of(&KeyPair::from_seed(2).public);
+    let mut chain = Blockchain::single_validator(
+        1000,
+        &[(Address::of(&alice.public), 1_000)],
+        ContractRegistry::new(),
+    );
+    let tx = Transaction {
+        from: alice.public.clone(),
+        nonce: 0,
+        kind: TxKind::Transfer {
+            to: bob,
+            amount: 600,
+        },
+        gas_limit: 100_000,
+    }
+    .sign(&alice);
+    chain.submit(tx.clone()).unwrap();
+    chain.produce_block();
+    assert_eq!(chain.state.balance(&bob), 600);
+    // Replay: identical bytes.
+    assert_eq!(chain.submit(tx.clone()), Err(ChainError::Duplicate));
+    // Replay with a "new" submission after pruning the seen-set is still
+    // dead because the nonce moved on.
+    let replayed = Transaction {
+        from: alice.public.clone(),
+        nonce: 0,
+        kind: TxKind::Transfer {
+            to: bob,
+            amount: 600,
+        },
+        gas_limit: 100_001, // different hash, same nonce
+    }
+    .sign(&alice);
+    assert!(matches!(
+        chain.submit(replayed),
+        Err(ChainError::StaleNonce { .. })
+    ));
+    assert_eq!(chain.state.balance(&bob), 600, "no double spend");
+}
+
+/// Attack 5: a lying executor fleet — 1 of 3 forges; the forged result is
+/// outvoted and the forger slashed. With 2 of 3 forging *different*
+/// values, finalization is blocked entirely.
+#[test]
+fn result_forgery_contained_by_agreement() {
+    let mut market = Marketplace::new(3);
+    let consumer = market.register_consumer(1, 1_000_000);
+    let mut providers = Vec::new();
+    let shards = gaussian_blobs(120, 3, 0.7, 3).partition_iid(2, 4);
+    for (i, shard) in shards.iter().enumerate() {
+        let p = market.register_provider(100 + i as u64, StorageChoice::Local);
+        market.provider_add_device(p).unwrap();
+        market.provider_ingest(p, 0, shard, meta()).unwrap();
+        providers.push(p);
+    }
+    let executors: Vec<_> = (0..3).map(|i| market.register_executor(200 + i)).collect();
+    let code = EnclaveCode::new("trainer", 1, b"bin".to_vec());
+    let workload = market
+        .submit_workload(consumer, spec_for(&code, 2), code, 3)
+        .unwrap();
+    for &e in &executors {
+        market.executor_join(e, workload).unwrap();
+    }
+    // Data goes to executors 0 and 1; executor 2 stays dataless.
+    market
+        .provider_accept(providers[0], workload, executors[0])
+        .unwrap();
+    market
+        .provider_accept(providers[1], workload, executors[1])
+        .unwrap();
+    assert!(market.try_start(workload).unwrap());
+    let exec = market.execute(workload).unwrap();
+    market
+        .executor_submit_forged_result(executors[2], workload, sha256(b"lie"))
+        .unwrap();
+    let fin = market.finalize(workload).unwrap();
+    assert_eq!(fin.slashed, vec![executors[2]]);
+    let st = market.workload_state(workload).unwrap();
+    assert_eq!(st.result, Some(exec.result_hash), "honest result prevailed");
+}
+
+/// Attack 6: storage operator serves corrupted ciphertext — the executor
+/// detects it via the authentication tag.
+#[test]
+fn corrupted_sealed_payload_detected() {
+    use pds2::crypto::chacha20::{seal, SealedBlob};
+    use pds2::storage::store::ThirdPartyStore;
+    let key = [7u8; 32];
+    let blob = seal(&key, [1u8; 12], b"sensor readings");
+    // Operator flips a ciphertext bit in transit.
+    let corrupted = SealedBlob {
+        nonce: blob.nonce,
+        ciphertext: {
+            let mut c = blob.ciphertext.clone();
+            c[0] ^= 1;
+            c
+        },
+        tag: blob.tag,
+    };
+    assert!(ThirdPartyStore::unseal_payload(&key, &corrupted).is_err());
+    assert!(ThirdPartyStore::unseal_payload(&key, &blob).is_ok());
+}
+
+/// Attack 7: certificate tampering — inflating the reading count to claim
+/// a larger reward share.
+#[test]
+fn certificate_inflation_detected() {
+    use pds2::market::certificate::ParticipationCertificate;
+    use pds2::storage::store::RecordId;
+    let provider = KeyPair::from_seed(9);
+    let executor = Address::of(&KeyPair::from_seed(10).public);
+    let contract = Address::contract(&executor, 0);
+    let mut cert = ParticipationCertificate::issue(
+        &provider,
+        1,
+        contract,
+        vec![RecordId(sha256(b"r"))],
+        50,
+        executor,
+        100,
+    );
+    assert!(cert.verify(1, contract, executor, 10));
+    cert.n_readings = 5_000;
+    assert!(!cert.verify(1, contract, executor, 10));
+}

@@ -1,0 +1,83 @@
+//! Decode-robustness: every parser that faces bytes from the network or
+//! the chain must reject hostile input with an error — never panic, never
+//! over-allocate.
+
+use pds2::market::authenticity::SignedReading;
+use pds2::market::certificate::ParticipationCertificate;
+use pds2::market::workload::WorkloadSpec;
+use pds2::market::WorkloadState;
+use pds2::storage::semantic::Requirement;
+use pds2_chain::block::BlockHeader;
+use pds2_chain::erc20::Erc20Op;
+use pds2_chain::erc721::Erc721Op;
+use pds2_chain::tx::SignedTransaction;
+use pds2_crypto::codec::Decode;
+use proptest::prelude::*;
+
+fn arbitrary_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+}
+
+macro_rules! fuzz_decode {
+    ($name:ident, $ty:ty) => {
+        proptest! {
+            #[test]
+            fn $name(bytes in arbitrary_bytes()) {
+                // Must return Ok or Err, never panic or hang.
+                let _ = <$ty>::from_bytes(&bytes);
+            }
+        }
+    };
+}
+
+fuzz_decode!(signed_transaction_never_panics, SignedTransaction);
+fuzz_decode!(block_header_never_panics, BlockHeader);
+fuzz_decode!(erc20_op_never_panics, Erc20Op);
+fuzz_decode!(erc721_op_never_panics, Erc721Op);
+fuzz_decode!(workload_spec_never_panics, WorkloadSpec);
+fuzz_decode!(signed_reading_never_panics, SignedReading);
+fuzz_decode!(certificate_never_panics, ParticipationCertificate);
+fuzz_decode!(requirement_never_panics, Requirement);
+
+proptest! {
+    #[test]
+    fn workload_state_never_panics(bytes in arbitrary_bytes()) {
+        let _ = WorkloadState::from_snapshot(&bytes);
+    }
+
+    /// Bit-flipping a valid encoding either still decodes (to a different
+    /// value whose signature then fails) or errors — never panics.
+    #[test]
+    fn bitflipped_transaction_is_rejected_or_unverifiable(
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        use pds2_chain::address::Address;
+        use pds2_chain::tx::{Transaction, TxKind};
+        use pds2_crypto::{Encode, KeyPair};
+        let kp = KeyPair::from_seed(1);
+        let tx = Transaction {
+            from: kp.public.clone(),
+            nonce: 3,
+            kind: TxKind::Transfer {
+                to: Address::of(&KeyPair::from_seed(2).public),
+                amount: 77,
+            },
+            gas_limit: 55_000,
+        }
+        .sign(&kp);
+        let mut bytes = tx.to_bytes();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        match SignedTransaction::from_bytes(&bytes) {
+            Err(_) => {} // malformed: rejected at decode
+            Ok(decoded) => {
+                // Structurally valid: the signature must catch the change.
+                prop_assert!(
+                    !decoded.verify_signature() || decoded == tx,
+                    "bit flip must invalidate the signature"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary inputs across the PDS² stack.
+
+use pds2::market::authenticity::Device;
+use pds2::market::certificate::ParticipationCertificate;
+use pds2::market::workload::{RewardScheme, TaskKind, WorkloadSpec};
+use pds2::ml::data::Dataset;
+use pds2::mpc::Fp;
+use pds2::storage::semantic::{MetaValue, Metadata, Ontology, Requirement};
+use pds2::storage::store::RecordId;
+use pds2::tee::measurement::Measurement;
+use pds2_chain::address::Address;
+use pds2_crypto::codec::{Decode, Encode};
+use pds2_crypto::{sha256, KeyPair};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Workload specifications round-trip through the canonical codec for
+    /// arbitrary field values.
+    #[test]
+    fn workload_spec_codec_roundtrip(
+        title in "[a-z]{1,20}",
+        reward in 0u128..1_000_000_000,
+        fee in 0u128..1_000_000,
+        min_providers in 1u32..100,
+        min_records in 1u64..100_000,
+        epochs in 1u32..50,
+        dp in proptest::option::of(0.01f64..10.0),
+        n_rows in 0usize..10,
+    ) {
+        let validation = Dataset::new(
+            (0..n_rows).map(|i| vec![i as f64, -(i as f64)]).collect(),
+            (0..n_rows).map(|i| (i % 2) as f64).collect(),
+        );
+        let spec = WorkloadSpec {
+            title,
+            precondition: Requirement::Exists { attr: "type".into() },
+            task: TaskKind::BinaryClassification,
+            feature_dim: 2,
+            provider_reward: reward,
+            executor_fee: fee,
+            reward_scheme: RewardScheme::ShapleyMonteCarlo { permutations: 7 },
+            min_providers,
+            min_records,
+            code_measurement: Measurement::of(b"code", 1),
+            validation,
+            local_epochs: epochs,
+            aggregation_rounds: 1,
+            dp_noise_multiplier: dp,
+            reward_token: None,
+            data_bounds: None,
+        };
+        let back = WorkloadSpec::from_bytes(&spec.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.spec_hash(), spec.spec_hash());
+    }
+
+    /// Participation certificates verify after a codec round trip and
+    /// reject any scope change, for arbitrary contents.
+    #[test]
+    fn certificate_scope_binding(
+        workload_id in any::<u64>(),
+        n_records in 1usize..10,
+        n_readings in 1u64..10_000,
+        expiry in 1u64..u64::MAX,
+        provider_seed in 0u64..1_000,
+    ) {
+        let provider = KeyPair::from_seed(provider_seed);
+        let executor = Address::of(&KeyPair::from_seed(provider_seed + 1).public);
+        let contract = Address::contract(&executor, 3);
+        let records: Vec<RecordId> = (0..n_records)
+            .map(|i| RecordId(sha256(&[i as u8])))
+            .collect();
+        let cert = ParticipationCertificate::issue(
+            &provider, workload_id, contract, records, n_readings, executor, expiry,
+        );
+        let back = ParticipationCertificate::from_bytes(&cert.to_bytes()).unwrap();
+        prop_assert!(back.verify(workload_id, contract, executor, 0));
+        prop_assert!(!back.verify(workload_id.wrapping_add(1), contract, executor, 0));
+        prop_assert!(!back.verify(workload_id, contract, Address::contract(&executor, 9), 0));
+    }
+
+    /// Device readings always verify when untampered and never verify
+    /// after any single-field tamper.
+    #[test]
+    fn reading_tamper_detection(
+        seed in 0u64..500,
+        ts in 0u64..1_000_000,
+        features in proptest::collection::vec(-1e6f64..1e6, 0..8),
+        target in -1e6f64..1e6,
+        tamper_field in 0usize..3,
+    ) {
+        let mut device = Device::new(seed);
+        let reading = device.sign_reading(ts, features.clone(), target);
+        prop_assert!(reading.signature_valid());
+        let mut tampered = reading.clone();
+        match tamper_field {
+            0 => tampered.target += 1.0,
+            1 => tampered.timestamp = tampered.timestamp.wrapping_add(1),
+            _ => tampered.sequence = tampered.sequence.wrapping_add(1),
+        }
+        prop_assert!(!tampered.signature_valid());
+    }
+
+    /// Field axioms for the SMC prime field under arbitrary u64 inputs.
+    #[test]
+    fn fp_field_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (Fp::new(a), Fp::new(b), Fp::new(c));
+        prop_assert_eq!(x.add(y), y.add(x));
+        prop_assert_eq!(x.mul(y), y.mul(x));
+        prop_assert_eq!(x.mul(y.add(z)), x.mul(y).add(x.mul(z)));
+        prop_assert_eq!(x.add(x.neg()), Fp::ZERO);
+        if x != Fp::ZERO {
+            prop_assert_eq!(x.mul(x.inv().unwrap()), Fp::ONE);
+        }
+    }
+
+    /// Shamir reconstruct∘split is the identity for any (t, n) and secret.
+    #[test]
+    fn shamir_roundtrip(secret in any::<u64>(), t in 1usize..6, extra in 0usize..4) {
+        use pds2::mpc::shamir::{reconstruct, split};
+        let n = t + extra;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(secret);
+        let shares = split(&mut rng, Fp::new(secret), t, n).unwrap();
+        prop_assert_eq!(reconstruct(&shares[..t], t).unwrap(), Fp::new(secret));
+        prop_assert_eq!(reconstruct(&shares[extra..], t).unwrap(), Fp::new(secret));
+    }
+
+    /// Reward shares never exceed the pool and always sum to it (after
+    /// integer conversion) for arbitrary valuations.
+    #[test]
+    fn reward_shares_are_a_partition(
+        valuations in proptest::collection::vec(-100.0f64..100.0, 1..20),
+        total in 1u128..1_000_000,
+    ) {
+        use pds2::rewards::shapley::to_reward_shares;
+        let shares = to_reward_shares(&valuations, total as f64);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!(shares.iter().all(|&s| s >= 0.0));
+        prop_assert!((sum - total as f64).abs() < 1e-6 * total as f64 + 1e-6);
+    }
+
+    /// Metadata redaction is monotone: raising the level never hides an
+    /// attribute that a lower level exposed, and leakage is monotone too.
+    #[test]
+    fn redaction_monotonicity(
+        ranks in proptest::collection::vec(0u8..6, 1..10),
+    ) {
+        let mut meta = Metadata::new();
+        for (i, &rank) in ranks.iter().enumerate() {
+            meta = meta.with(&format!("attr{i}"), MetaValue::Num(i as f64), rank);
+        }
+        let ontology = Ontology::new();
+        let mut previous_len = 0;
+        let mut previous_leak = 0.0;
+        for level in 0u8..6 {
+            let view = meta.redact(level);
+            prop_assert!(view.len() >= previous_len);
+            let leak = view.leakage_bits(&ontology);
+            prop_assert!(leak >= previous_leak - 1e-9);
+            previous_len = view.len();
+            previous_leak = leak;
+        }
+        prop_assert_eq!(meta.redact(5).len(), ranks.len());
+    }
+
+    /// Chain transfers conserve total native supply for arbitrary
+    /// transfer sequences (failed ones included).
+    #[test]
+    fn chain_conserves_supply(
+        amounts in proptest::collection::vec(0u128..2_000, 1..20),
+    ) {
+        use pds2_chain::chain::Blockchain;
+        use pds2_chain::contract::ContractRegistry;
+        use pds2_chain::tx::{Transaction, TxKind};
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let initial = 10_000u128;
+        let mut chain = Blockchain::single_validator(
+            77,
+            &[(Address::of(&alice.public), initial)],
+            ContractRegistry::new(),
+        );
+        for (nonce, &amount) in amounts.iter().enumerate() {
+            let tx = Transaction {
+                from: alice.public.clone(),
+                nonce: nonce as u64,
+                kind: TxKind::Transfer { to: bob, amount },
+                gas_limit: 100_000,
+            }
+            .sign(&alice);
+            chain.submit(tx).unwrap();
+        }
+        chain.produce_until_empty(100);
+        prop_assert_eq!(chain.state.total_native_supply(), initial);
+    }
+}
