@@ -59,5 +59,11 @@ fn bench_merkle(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_schnorr, bench_bigint, bench_merkle);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_schnorr,
+    bench_bigint,
+    bench_merkle
+);
 criterion_main!(benches);

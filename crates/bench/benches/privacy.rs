@@ -21,14 +21,7 @@ fn vectors() -> (Vec<f64>, Vec<f64>) {
 fn bench_plaintext(c: &mut Criterion) {
     let (w, x) = vectors();
     c.bench_function("privacy/plaintext_dot32", |b| {
-        b.iter(|| {
-            black_box(
-                w.iter()
-                    .zip(black_box(&x))
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>(),
-            )
-        })
+        b.iter(|| black_box(w.iter().zip(black_box(&x)).map(|(a, b)| a * b).sum::<f64>()))
     });
 }
 
@@ -84,7 +77,9 @@ fn bench_oblivious(c: &mut Criterion) {
     // Side-channel ablation: the §III-B oblivious primitives vs their
     // trace-leaking counterparts.
     use pds2_tee::oblivious::{o_access, o_sort};
-    let data: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let data: Vec<u64> = (0..256u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
     c.bench_function("oblivious/o_sort_256", |b| {
         b.iter(|| {
             let mut v = data.clone();
@@ -107,5 +102,12 @@ fn bench_oblivious(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_plaintext, bench_he, bench_smc, bench_tee, bench_oblivious);
+criterion_group!(
+    benches,
+    bench_plaintext,
+    bench_he,
+    bench_smc,
+    bench_tee,
+    bench_oblivious
+);
 criterion_main!(benches);

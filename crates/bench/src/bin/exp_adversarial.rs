@@ -49,7 +49,9 @@ fn main() {
             StorageChoice::Local
         });
         let p = w.providers[0];
-        w.market.provider_accept(p, w.workload, w.executors[0]).unwrap();
+        w.market
+            .provider_accept(p, w.workload, w.executors[0])
+            .unwrap();
         let err = w.market.provider_accept(p, w.workload, w.executors[1]);
         rows.push(vec![
             "provider double-claims reward".into(),
@@ -128,7 +130,11 @@ fn main() {
         let contract = w.market.workload_contract(w.workload).unwrap();
         let inflated = calls::finalize(&[(w.providers[0], u128::MAX / 2)]);
         let consumer_keys = KeyPair::from_seed(1); // consumer seed in build_world
-        let nonce = w.market.chain.state.nonce(&Address::of(&consumer_keys.public));
+        let nonce = w
+            .market
+            .chain
+            .state
+            .nonce(&Address::of(&consumer_keys.public));
         let tx = Transaction {
             from: consumer_keys.public.clone(),
             nonce,
@@ -175,5 +181,9 @@ fn main() {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }

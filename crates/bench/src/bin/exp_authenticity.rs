@@ -9,9 +9,7 @@
 //! `cargo run --release -p pds2-bench --bin exp_authenticity`
 
 use pds2_bench::print_table;
-use pds2_core::authenticity::{
-    Device, ManufacturerRegistry, ReadingRejection, ReadingVerifier,
-};
+use pds2_core::authenticity::{Device, ManufacturerRegistry, ReadingRejection, ReadingVerifier};
 use pds2_crypto::KeyPair;
 use std::time::Instant;
 

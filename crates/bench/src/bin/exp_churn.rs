@@ -62,11 +62,19 @@ fn main() {
         ]);
     }
     print_table(
-        &["failure rate", "gossip_acc", "alive", "fedavg_acc", "fed_wasted_rounds"],
+        &[
+            "failure rate",
+            "gossip_acc",
+            "alive",
+            "fedavg_acc",
+            "fed_wasted_rounds",
+        ],
         &rows,
     );
 
-    println!("\nE6 part 2: coordinator failure at round 5 (FedAvg only — gossip has no coordinator)");
+    println!(
+        "\nE6 part 2: coordinator failure at round 5 (FedAvg only — gossip has no coordinator)"
+    );
     let fed_dead = run_fedavg(
         &shards,
         &test,
@@ -123,7 +131,11 @@ fn main() {
         ]);
     }
     print_table(
-        &["nodes", "coordinator transfers/round", "gossip models/node/period"],
+        &[
+            "nodes",
+            "coordinator transfers/round",
+            "gossip models/node/period",
+        ],
         &rows,
     );
     println!(

@@ -66,7 +66,10 @@ fn main() {
             value: "EU".into(),
         },
     ]);
-    println!("precondition complexity: {} atomic predicates\n", requirement.complexity());
+    println!(
+        "precondition complexity: {} atomic predicates\n",
+        requirement.complexity()
+    );
 
     let mut rows = Vec::new();
     for level in 0u8..=3 {
@@ -100,7 +103,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["publish level", "bits leaked/record", "matched", "precision", "recall"],
+        &[
+            "publish level",
+            "bits leaked/record",
+            "matched",
+            "precision",
+            "recall",
+        ],
         &rows,
     );
 

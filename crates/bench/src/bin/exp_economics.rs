@@ -110,7 +110,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["providers", "val_acc", "tokens spent", "tokens per accuracy point"],
+        &[
+            "providers",
+            "val_acc",
+            "tokens spent",
+            "tokens per accuracy point",
+        ],
         &rows,
     );
 

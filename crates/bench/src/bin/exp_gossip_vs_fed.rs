@@ -77,7 +77,10 @@ fn main() {
                 format!("~{}", fed_models),
             ]);
         }
-        print_table(&["sim time", "gossip_acc", "fedavg_acc", "fed_models"], &rows);
+        print_table(
+            &["sim time", "gossip_acc", "fedavg_acc", "fed_models"],
+            &rows,
+        );
         println!(
             "gossip moved {} models total, coordinator-free; fedavg moved {} \
              models, all through one server\n",
@@ -89,7 +92,11 @@ fn main() {
     println!("A1: gossip merge-rule ablation (non-IID)");
     let shards = train.partition_noniid(n_nodes, 3);
     let mut rows = Vec::new();
-    for rule in [MergeRule::AgeWeighted, MergeRule::Average, MergeRule::Replace] {
+    for rule in [
+        MergeRule::AgeWeighted,
+        MergeRule::Average,
+        MergeRule::Replace,
+    ] {
         let out = run_gossip_experiment(
             shards.clone(),
             &test,

@@ -17,7 +17,11 @@ use std::time::Instant;
 
 fn main() {
     println!("E2: Fig. 3 hardware configurations (6 providers, 40 records each)\n");
-    type ConfigRow = (&'static str, Box<dyn Fn(usize) -> StorageChoice>, &'static str);
+    type ConfigRow = (
+        &'static str,
+        Box<dyn Fn(usize) -> StorageChoice>,
+        &'static str,
+    );
     let configs: Vec<ConfigRow> = vec![
         (
             "A: own storage + own executor",

@@ -28,7 +28,10 @@ fn main() {
 
         let t = Instant::now();
         for (p, e) in &assignments {
-            world.market.provider_accept(*p, world.workload, *e).unwrap();
+            world
+                .market
+                .provider_accept(*p, world.workload, *e)
+                .unwrap();
         }
         let accept_ms = t.elapsed().as_secs_f64() * 1e3;
 

@@ -76,7 +76,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["noise sigma", "attack advantage", "train/test loss gap", "test accuracy"],
+        &[
+            "noise sigma",
+            "attack advantage",
+            "train/test loss gap",
+            "test accuracy",
+        ],
         &rows,
     );
     println!(

@@ -31,7 +31,11 @@ fn main() {
         let mut acc = 0.0;
         let reps = 1_000;
         for _ in 0..reps {
-            acc += weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>();
+            acc += weights
+                .iter()
+                .zip(&features)
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
         }
         std::hint::black_box(acc);
         let plain_ns = t.elapsed().as_nanos() as u64 / reps;
@@ -114,7 +118,10 @@ fn main() {
             format!("{:.1}x", large as f64 / small as f64),
         ]);
     }
-    print_table(&["model", "small_ws_ns", "large_ws_ns", "paging_penalty"], &rows);
+    print_table(
+        &["model", "small_ws_ns", "large_ws_ns", "paging_penalty"],
+        &rows,
+    );
     println!(
         "\nshape: HE is orders of magnitude slower than plaintext and grows \
          linearly in dimension; SMC is locally cheap but pays WAN rounds and \

@@ -33,7 +33,10 @@ fn main() {
             format!("{:.1}", phi.iter().sum::<f64>()),
         ]);
     }
-    print_table(&["providers", "utility evals", "time_ms", "sum(phi)"], &rows);
+    print_table(
+        &["providers", "utility evals", "time_ms", "sum(phi)"],
+        &rows,
+    );
     println!("(n = 21 is rejected by the library as infeasible)\n");
 
     println!("E7 part 2 / A3: truncated Monte-Carlo error vs permutation budget (ML utility, 8 providers)");
@@ -74,7 +77,10 @@ fn main() {
             format!("{:.4}", err),
         ]);
     }
-    print_table(&["permutations", "training runs", "time_ms", "max |err|"], &rows);
+    print_table(
+        &["permutations", "training runs", "time_ms", "max |err|"],
+        &rows,
+    );
     println!("exact reference: {exact_runs} training runs, {exact_ms:.1} ms\n");
 
     println!("E7 part 3: monte-carlo Shapley scales to 64 providers");

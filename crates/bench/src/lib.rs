@@ -30,7 +30,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", out.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         line(row);
     }
@@ -151,14 +154,9 @@ mod tests {
 
     #[test]
     fn build_world_is_ready_to_run() {
-        let mut w = build_world(
-            1,
-            3,
-            2,
-            40,
-            RewardScheme::ProportionalToRecords,
-            |_| StorageChoice::Local,
-        );
+        let mut w = build_world(1, 3, 2, 40, RewardScheme::ProportionalToRecords, |_| {
+            StorageChoice::Local
+        });
         let assignments = round_robin_assignments(&w);
         let (exec, fin) = w
             .market

@@ -2,7 +2,7 @@
 
 use crate::tx::SignedTransaction;
 use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
-use pds2_crypto::merkle::MerkleTree;
+use pds2_crypto::merkle::{self, MerkleTree};
 use pds2_crypto::schnorr::{KeyPair, PublicKey, Signature};
 use pds2_crypto::sha256::Digest;
 
@@ -130,9 +130,14 @@ pub struct Block {
 
 impl Block {
     /// Computes the Merkle root over a transaction list.
+    ///
+    /// Leaves are the domain-separated hashes of the (cached) transaction
+    /// digests, computed in parallel in index order — the same tree
+    /// `MerkleTree::from_leaves` would build over the digest bytes.
     pub fn compute_tx_root(txs: &[SignedTransaction]) -> Digest {
-        let leaves: Vec<Vec<u8>> = txs.iter().map(|t| t.hash().as_bytes().to_vec()).collect();
-        MerkleTree::from_leaves(&leaves).root()
+        let leaf_hashes =
+            pds2_par::par_map_indexed(txs, |_, t| merkle::leaf_hash(t.hash().as_bytes()));
+        MerkleTree::from_leaf_hashes(leaf_hashes).root()
     }
 
     /// Checks that the header's tx root matches the body.

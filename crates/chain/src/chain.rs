@@ -91,9 +91,7 @@ impl InclusionProof {
     /// Verifies the proof against a trusted block header.
     pub fn verify(&self, header: &crate::block::BlockHeader) -> bool {
         header.height == self.block_height
-            && self
-                .proof
-                .verify(self.tx_hash.as_bytes(), &header.tx_root)
+            && self.proof.verify(self.tx_hash.as_bytes(), &header.tx_root)
     }
 }
 
@@ -163,9 +161,7 @@ impl Blockchain {
 
     /// Hash of the latest block (`Digest::ZERO` before genesis).
     pub fn head_hash(&self) -> Digest {
-        self.blocks
-            .last()
-            .map_or(Digest::ZERO, |b| b.header.hash())
+        self.blocks.last().map_or(Digest::ZERO, |b| b.header.hash())
     }
 
     /// Block by height.
@@ -293,9 +289,9 @@ impl Blockchain {
         // Execute.
         let mut receipts = Vec::with_capacity(selected.len());
         for (i, tx) in selected.iter().enumerate() {
-            let receipt =
-                self.state
-                    .apply_transaction(&self.registry, tx, height, i as u32);
+            let receipt = self
+                .state
+                .apply_transaction(&self.registry, tx, height, i as u32);
             receipts.push(receipt);
         }
 
@@ -348,10 +344,14 @@ impl Blockchain {
         if !block.tx_root_matches() {
             return Err(ChainError::InvalidBlock("tx root mismatch"));
         }
-        for tx in &block.transactions {
-            if !tx.verify_signature() {
-                return Err(ChainError::InvalidBlock("bad tx signature"));
-            }
+        // Signature checks are independent per transaction, so they fan
+        // out across the pds2-par worker pool; the verdict (all-true) is
+        // order-insensitive, and each check also warms the transaction's
+        // digest cache for later Merkle/receipt lookups.
+        let verdicts =
+            pds2_par::par_map_indexed(&block.transactions, |_, tx| tx.verify_signature());
+        if !verdicts.into_iter().all(|ok| ok) {
+            return Err(ChainError::InvalidBlock("bad tx signature"));
         }
         Ok(())
     }
@@ -368,17 +368,14 @@ impl Blockchain {
     /// was recorded, holding only block headers.
     pub fn prove_inclusion(&self, tx_hash: &Digest) -> Option<InclusionProof> {
         for block in &self.blocks {
-            if let Some(index) = block
-                .transactions
-                .iter()
-                .position(|t| &t.hash() == tx_hash)
-            {
-                let leaves: Vec<Vec<u8>> = block
-                    .transactions
-                    .iter()
-                    .map(|t| t.hash().as_bytes().to_vec())
-                    .collect();
-                let tree = pds2_crypto::merkle::MerkleTree::from_leaves(&leaves);
+            if let Some(index) = block.transactions.iter().position(|t| &t.hash() == tx_hash) {
+                // Same leaf construction as `Block::compute_tx_root`, so
+                // the path verifies against the header's tx_root; digests
+                // are already cached from validation.
+                let leaf_hashes = pds2_par::par_map_indexed(&block.transactions, |_, t| {
+                    pds2_crypto::merkle::leaf_hash(t.hash().as_bytes())
+                });
+                let tree = pds2_crypto::merkle::MerkleTree::from_leaf_hashes(leaf_hashes);
                 return Some(InclusionProof {
                     block_height: block.header.height,
                     tx_hash: *tx_hash,
@@ -419,7 +416,9 @@ impl Blockchain {
         // Drop any mempool copies of the included transactions.
         let included: std::collections::HashSet<Digest> =
             block.transactions.iter().map(|t| t.hash()).collect();
-        self.mempool.lock().retain(|t| !included.contains(&t.hash()));
+        self.mempool
+            .lock()
+            .retain(|t| !included.contains(&t.hash()));
         self.blocks.push(block.clone());
         Ok(())
     }
@@ -506,7 +505,10 @@ mod tests {
         let stale = signed_transfer(&alice, 0, bob, 2);
         assert!(matches!(
             chain.submit(stale),
-            Err(ChainError::StaleNonce { expected: 1, got: 0 })
+            Err(ChainError::StaleNonce {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 
@@ -624,7 +626,9 @@ mod tests {
         let bob = Address::of(&KeyPair::from_seed(2).public);
         let mut chain = test_chain(&alice);
         for nonce in 0..5 {
-            chain.submit(signed_transfer(&alice, nonce, bob, 1)).unwrap();
+            chain
+                .submit(signed_transfer(&alice, nonce, bob, 1))
+                .unwrap();
         }
         let produced = chain.produce_until_empty(100);
         assert!(produced >= 1);
@@ -650,7 +654,11 @@ mod tests {
         let mut chain = test_chain(&alice);
         let mut hashes = Vec::new();
         for nonce in 0..5 {
-            hashes.push(chain.submit(signed_transfer(&alice, nonce, bob, 1)).unwrap());
+            hashes.push(
+                chain
+                    .submit(signed_transfer(&alice, nonce, bob, 1))
+                    .unwrap(),
+            );
         }
         chain.produce_block();
         let header = &chain.block(0).unwrap().header.clone();
@@ -660,7 +668,9 @@ mod tests {
             assert_eq!(proof.block_height, 0);
         }
         // Unknown tx: no proof.
-        assert!(chain.prove_inclusion(&pds2_crypto::sha256(b"ghost")).is_none());
+        assert!(chain
+            .prove_inclusion(&pds2_crypto::sha256(b"ghost"))
+            .is_none());
         // A proof does not verify against the wrong header.
         chain.submit(signed_transfer(&alice, 5, bob, 1)).unwrap();
         chain.produce_block();

@@ -291,7 +291,10 @@ impl Erc20Module {
                 state.allowances.insert((sender, *spender), *amount);
                 events.emit(Event::token(
                     "erc20.approve",
-                    format!("token={} owner={sender} spender={spender} amount={amount}", token.0),
+                    format!(
+                        "token={} owner={sender} spender={spender} amount={amount}",
+                        token.0
+                    ),
                 ));
                 Ok(None)
             }
@@ -317,7 +320,9 @@ impl Erc20Module {
                     if balance < *amount {
                         return Err(TokenError::InsufficientBalance);
                     }
-                    state.allowances.insert((*owner, sender), allowance - amount);
+                    state
+                        .allowances
+                        .insert((*owner, sender), allowance - amount);
                 }
                 self.move_tokens(*token, *owner, *to, *amount)?;
                 events.emit(Event::token(
@@ -353,7 +358,10 @@ impl Erc20Module {
         to: Address,
         amount: u128,
     ) -> Result<(), TokenError> {
-        let state = self.tokens.get_mut(&token).ok_or(TokenError::UnknownToken)?;
+        let state = self
+            .tokens
+            .get_mut(&token)
+            .ok_or(TokenError::UnknownToken)?;
         let from_bal = state.balances.entry(from).or_default();
         if *from_bal < amount {
             return Err(TokenError::InsufficientBalance);
@@ -587,13 +595,27 @@ mod tests {
         let alice = addr(1);
         let id = create_token(&mut m, alice, 100);
         let mut ev = EventSink::new();
-        m.apply(alice, &Erc20Op::Burn { token: id, amount: 60 }, &mut ev)
-            .unwrap();
+        m.apply(
+            alice,
+            &Erc20Op::Burn {
+                token: id,
+                amount: 60,
+            },
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(m.total_supply(id), Some(40));
         assert_eq!(m.balance_of(id, &alice), 40);
         assert_eq!(
-            m.apply(alice, &Erc20Op::Burn { token: id, amount: 41 }, &mut ev)
-                .unwrap_err(),
+            m.apply(
+                alice,
+                &Erc20Op::Burn {
+                    token: id,
+                    amount: 41
+                },
+                &mut ev
+            )
+            .unwrap_err(),
             TokenError::InsufficientBalance
         );
     }

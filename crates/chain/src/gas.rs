@@ -95,6 +95,10 @@ mod tests {
     fn saturating_charge() {
         let mut m = GasMeter::new(u64::MAX - 1);
         m.charge(u64::MAX - 2).unwrap();
-        assert_eq!(m.charge(u64::MAX), Err(OutOfGas), "saturating add still trips the limit");
+        assert_eq!(
+            m.charge(u64::MAX),
+            Err(OutOfGas),
+            "saturating add still trips the limit"
+        );
     }
 }

@@ -157,8 +157,8 @@ impl WorldState {
         let sender_nonce_used = signed.tx.nonce;
 
         let mut meter = GasMeter::new(signed.tx.gas_limit);
-        let intrinsic = gas::TX_BASE
-            .saturating_add(signed.tx.to_bytes().len() as u64 * gas::PER_BYTE);
+        let intrinsic =
+            gas::TX_BASE.saturating_add(signed.tx.to_bytes().len() as u64 * gas::PER_BYTE);
         if meter.charge(intrinsic).is_err() {
             return fail("out of gas (intrinsic)".into(), meter.used());
         }
@@ -204,13 +204,15 @@ impl WorldState {
                 Err(_) => Err("out of gas".into()),
                 Ok(()) => {
                     let addr = Address::contract(&sender, sender_nonce_used);
-                    if let std::collections::btree_map::Entry::Vacant(e) = self.contracts.entry(addr) {
+                    if let std::collections::btree_map::Entry::Vacant(e) =
+                        self.contracts.entry(addr)
+                    {
                         match registry.instantiate(code_id, sender, init) {
                             Ok(contract) => {
                                 e.insert(ContractInstance {
-                                        code_id: code_id.clone(),
-                                        contract,
-                                    });
+                                    code_id: code_id.clone(),
+                                    contract,
+                                });
                                 self.accounts.entry(addr).or_default();
                                 events.emit(Event::new(
                                     "contract.deploy",
@@ -230,7 +232,15 @@ impl WorldState {
                 input,
                 value,
             } => self
-                .execute_call(sender, *contract, input, *value, block_height, &mut meter, &mut events)
+                .execute_call(
+                    sender,
+                    *contract,
+                    input,
+                    *value,
+                    block_height,
+                    &mut meter,
+                    &mut events,
+                )
                 .map(|out| (out, None)),
         };
 
@@ -256,12 +266,7 @@ impl WorldState {
         }
     }
 
-    fn native_transfer(
-        &mut self,
-        from: Address,
-        to: Address,
-        amount: u128,
-    ) -> Result<(), String> {
+    fn native_transfer(&mut self, from: Address, to: Address, amount: u128) -> Result<(), String> {
         let from_balance = self.balance(&from);
         if from_balance < amount {
             return Err(format!(
@@ -322,7 +327,10 @@ impl WorldState {
         };
 
         let rollback = |state: &mut WorldState, events: &mut EventSink| {
-            let inst = state.contracts.get_mut(&contract_addr).expect("checked above");
+            let inst = state
+                .contracts
+                .get_mut(&contract_addr)
+                .expect("checked above");
             inst.contract
                 .restore(&snapshot)
                 .expect("restoring own snapshot cannot fail");
@@ -337,9 +345,10 @@ impl WorldState {
         match call_result {
             Ok(output) => {
                 // Apply scheduled payouts; overspend aborts the whole call.
-                let total: u128 = pending.iter().map(|(_, a)| *a).fold(0u128, |acc, a| {
-                    acc.saturating_add(a)
-                });
+                let total: u128 = pending
+                    .iter()
+                    .map(|(_, a)| *a)
+                    .fold(0u128, |acc, a| acc.saturating_add(a));
                 if total > self.balance(&contract_addr) {
                     rollback(self, events);
                     return Err(ContractError::InsufficientContractFunds.to_string());
@@ -368,7 +377,10 @@ impl WorldState {
                         .expect("totals checked above");
                     events.emit(Event::new(
                         "erc20.contract_payout",
-                        format!("token={} from={contract_addr} to={to} amount={amount}", token.0),
+                        format!(
+                            "token={} from={contract_addr} to={to} amount={amount}",
+                            token.0
+                        ),
                     ));
                 }
                 Ok(output)
@@ -416,7 +428,14 @@ mod tests {
         let bob = Address::of(&KeyPair::from_seed(2).public);
         let mut st = funded_state(&alice, 1000);
         let reg = registry();
-        let tx = make_tx(&alice, 0, TxKind::Transfer { to: bob, amount: 400 });
+        let tx = make_tx(
+            &alice,
+            0,
+            TxKind::Transfer {
+                to: bob,
+                amount: 400,
+            },
+        );
         let r = st.apply_transaction(&reg, &tx, 1, 0);
         assert!(r.success, "{:?}", r.error);
         assert_eq!(st.balance(&bob), 400);
@@ -432,7 +451,14 @@ mod tests {
         let bob = Address::of(&KeyPair::from_seed(2).public);
         let mut st = funded_state(&alice, 100);
         let reg = registry();
-        let tx = make_tx(&alice, 0, TxKind::Transfer { to: bob, amount: 400 });
+        let tx = make_tx(
+            &alice,
+            0,
+            TxKind::Transfer {
+                to: bob,
+                amount: 400,
+            },
+        );
         let r = st.apply_transaction(&reg, &tx, 1, 0);
         assert!(!r.success);
         assert_eq!(st.balance(&bob), 0);
@@ -655,10 +681,7 @@ mod tests {
         let r = st.apply_transaction(&reg, &create, 1, 0);
         assert!(r.success);
         let token = crate::erc20::TokenId(u64::from_le_bytes(r.output[..8].try_into().unwrap()));
-        assert_eq!(
-            st.erc20.balance_of(token, &Address::of(&alice.public)),
-            500
-        );
+        assert_eq!(st.erc20.balance_of(token, &Address::of(&alice.public)), 500);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::erc721::Erc721Op;
 use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use pds2_crypto::schnorr::{KeyPair, PublicKey, Signature};
 use pds2_crypto::sha256::Digest;
+use std::sync::OnceLock;
 
 /// What a transaction does.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -134,10 +135,7 @@ impl Transaction {
             "signing key does not match tx sender"
         );
         let sig = keys.sign(self.hash().as_bytes());
-        SignedTransaction {
-            tx: self,
-            signature: sig,
-        }
+        SignedTransaction::new(self, sig)
     }
 }
 
@@ -167,25 +165,49 @@ impl Decode for Transaction {
 }
 
 /// A signed transaction ready for submission.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The body digest is computed lazily and cached: signature verification
+/// and Merkle-root construction both need it, so a block's worth of
+/// transactions hashes each body exactly once. The cache is write-once —
+/// mutating `tx` after the digest has been observed (possible because the
+/// fields are public) leaves a stale cache and is unsupported outside
+/// tamper-style tests that mutate before the first `hash()` call.
+#[derive(Clone, Debug)]
 pub struct SignedTransaction {
     /// The signed body.
     pub tx: Transaction,
     /// Schnorr signature over the body hash.
     pub signature: Signature,
+    /// Lazily-computed digest of `tx` (excluded from equality).
+    cached_hash: OnceLock<Digest>,
 }
 
+impl PartialEq for SignedTransaction {
+    fn eq(&self, other: &Self) -> bool {
+        self.tx == other.tx && self.signature == other.signature
+    }
+}
+
+impl Eq for SignedTransaction {}
+
 impl SignedTransaction {
-    /// The transaction hash (identifier).
+    /// Wraps a body and its signature (digest computed on first use).
+    pub fn new(tx: Transaction, signature: Signature) -> SignedTransaction {
+        SignedTransaction {
+            tx,
+            signature,
+            cached_hash: OnceLock::new(),
+        }
+    }
+
+    /// The transaction hash (identifier), cached after the first call.
     pub fn hash(&self) -> Digest {
-        self.tx.hash()
+        *self.cached_hash.get_or_init(|| self.tx.hash())
     }
 
     /// Verifies the signature against the embedded sender key.
     pub fn verify_signature(&self) -> bool {
-        self.tx
-            .from
-            .verify(self.tx.hash().as_bytes(), &self.signature)
+        self.tx.from.verify(self.hash().as_bytes(), &self.signature)
     }
 }
 
@@ -198,10 +220,10 @@ impl Encode for SignedTransaction {
 
 impl Decode for SignedTransaction {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
-        Ok(SignedTransaction {
-            tx: Transaction::decode(dec)?,
-            signature: Signature::decode(dec)?,
-        })
+        Ok(SignedTransaction::new(
+            Transaction::decode(dec)?,
+            Signature::decode(dec)?,
+        ))
     }
 }
 

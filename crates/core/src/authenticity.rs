@@ -169,7 +169,12 @@ impl Device {
 
     /// Produces one signed reading. Timestamps must be non-decreasing;
     /// the device firmware enforces this.
-    pub fn sign_reading(&mut self, timestamp: u64, features: Vec<f64>, target: f64) -> SignedReading {
+    pub fn sign_reading(
+        &mut self,
+        timestamp: u64,
+        features: Vec<f64>,
+        target: f64,
+    ) -> SignedReading {
         assert!(
             timestamp >= self.last_timestamp,
             "device clock must not run backwards"

@@ -19,8 +19,8 @@
 //! event.
 
 use pds2_chain::address::Address;
-use pds2_chain::erc20::TokenId;
 use pds2_chain::contract::{CallCtx, Contract, ContractError};
+use pds2_chain::erc20::TokenId;
 use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use pds2_crypto::sha256::Digest;
 use std::collections::BTreeMap;
@@ -697,8 +697,9 @@ mod tests {
     impl Harness {
         fn new(n_executors: usize) -> Harness {
             let consumer = KeyPair::from_seed(1);
-            let executors: Vec<KeyPair> =
-                (0..n_executors as u64).map(|i| KeyPair::from_seed(100 + i)).collect();
+            let executors: Vec<KeyPair> = (0..n_executors as u64)
+                .map(|i| KeyPair::from_seed(100 + i))
+                .collect();
             let providers: Vec<Address> = (0..4u64)
                 .map(|i| Address::of(&KeyPair::from_seed(200 + i).public))
                 .collect();
@@ -758,7 +759,12 @@ mod tests {
             self.chain.receipt(&hash).unwrap().clone()
         }
 
-        fn call(&mut self, from: &KeyPair, input: Vec<u8>, value: u128) -> pds2_chain::state::TxReceipt {
+        fn call(
+            &mut self,
+            from: &KeyPair,
+            input: Vec<u8>,
+            value: u128,
+        ) -> pds2_chain::state::TxReceipt {
             let contract = self.contract;
             self.send(
                 from,
@@ -771,8 +777,10 @@ mod tests {
         }
 
         fn state(&self) -> WorkloadState {
-            WorkloadState::from_snapshot(&self.chain.state.contract_snapshot(&self.contract).unwrap())
-                .unwrap()
+            WorkloadState::from_snapshot(
+                &self.chain.state.contract_snapshot(&self.contract).unwrap(),
+            )
+            .unwrap()
         }
 
         /// Drives the happy path up to Executing with 2 executors and
@@ -899,14 +907,24 @@ mod tests {
         h.call(&execs[0], calls::submit_result(honest), 0);
         h.call(&execs[1], calls::submit_result(honest), 0);
         h.call(&execs[2], calls::submit_result(forged), 0);
-        let r = h.call(&consumer, calls::finalize(&[(p[0], 5_000), (p[1], 5_000)]), 0);
+        let r = h.call(
+            &consumer,
+            calls::finalize(&[(p[0], 5_000), (p[1], 5_000)]),
+            0,
+        );
         assert!(r.success, "{:?}", r.error);
         let st = h.state();
         assert_eq!(st.result, Some(honest));
         assert_eq!(st.slashed, vec![Address::of(&execs[2].public)]);
         // Slashed executor got no fee; honest ones did.
-        assert_eq!(h.chain.state.balance(&Address::of(&execs[2].public)), 10_000);
-        assert_eq!(h.chain.state.balance(&Address::of(&execs[0].public)), 10_500);
+        assert_eq!(
+            h.chain.state.balance(&Address::of(&execs[2].public)),
+            10_000
+        );
+        assert_eq!(
+            h.chain.state.balance(&Address::of(&execs[0].public)),
+            10_500
+        );
         assert!(!h.chain.events_by_topic("workload.slashed").is_empty());
     }
 
@@ -974,7 +992,10 @@ mod tests {
         let consumer_addr = Address::of(&consumer.public);
         let balance_before = h.chain.state.balance(&consumer_addr);
         h.call(&consumer, calls::fund(), 5_000);
-        assert_eq!(h.chain.state.balance(&consumer_addr), balance_before - 5_000);
+        assert_eq!(
+            h.chain.state.balance(&consumer_addr),
+            balance_before - 5_000
+        );
         let r = h.call(&consumer, calls::cancel(), 0);
         assert!(r.success, "{:?}", r.error);
         assert_eq!(h.chain.state.balance(&consumer_addr), balance_before);
@@ -999,7 +1020,11 @@ mod tests {
         let rogue = KeyPair::from_seed(777);
         // Needs funds for gas-free chain, but account must exist: sending
         // from a zero-balance account is fine (no fees).
-        let r = h.call(&rogue, calls::submit_participation(&[(p[0], 5, sha256(b"c"))]), 0);
+        let r = h.call(
+            &rogue,
+            calls::submit_participation(&[(p[0], 5, sha256(b"c"))]),
+            0,
+        );
         assert!(!r.success);
         assert!(r.error.unwrap().contains("unregistered"));
     }
@@ -1068,7 +1093,7 @@ mod tests {
         .sign(&consumer);
         chain.submit(fund).unwrap();
         chain.produce_block(); // height 2
-        // Expiry before the deadline fails.
+                               // Expiry before the deadline fails.
         let early = Transaction {
             from: stranger.public.clone(),
             nonce: 0,
@@ -1104,10 +1129,8 @@ mod tests {
         assert!(r.success, "{:?}", r.error);
         // Consumer refunded in full (no gas fees in this chain).
         assert_eq!(chain.state.balance(&Address::of(&consumer.public)), 100_000);
-        let st = WorkloadState::from_snapshot(
-            &chain.state.contract_snapshot(&contract).unwrap(),
-        )
-        .unwrap();
+        let st = WorkloadState::from_snapshot(&chain.state.contract_snapshot(&contract).unwrap())
+            .unwrap();
         assert_eq!(st.phase, Phase::Cancelled);
         assert!(!chain.events_by_topic("workload.expired").is_empty());
     }

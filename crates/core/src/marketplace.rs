@@ -35,7 +35,7 @@ use pds2_ml::data::Dataset;
 use pds2_ml::model::{LinearRegression, LogisticRegression, Model};
 use pds2_ml::sgd::{train, SgdConfig};
 use pds2_rewards::shapley::{
-    exact_shapley, monte_carlo_shapley, proportional, to_reward_shares, McConfig,
+    exact_shapley, monte_carlo_shapley_par, proportional, to_reward_shares, McConfig,
 };
 use pds2_rewards::utility::MlUtility;
 use pds2_storage::semantic::{Metadata, Ontology};
@@ -286,7 +286,10 @@ impl Marketplace {
                     32,
                 );
                 ProviderStore::Third {
-                    store: ThirdPartyStore::new(key_bytes.clone().try_into().unwrap(), publish_level),
+                    store: ThirdPartyStore::new(
+                        key_bytes.clone().try_into().unwrap(),
+                        publish_level,
+                    ),
                     key: key_bytes.try_into().unwrap(),
                 }
             }
@@ -313,7 +316,8 @@ impl Marketplace {
         let keys = KeyPair::from_seed(seed);
         let addr = Address::of(&keys.public);
         let platform = Platform::new(seed, model);
-        self.attestation.register_platform(platform.attestation_key());
+        self.attestation
+            .register_platform(platform.attestation_key());
         self.executors.insert(
             addr,
             ExecutorAccount {
@@ -350,7 +354,9 @@ impl Marketplace {
             return Err(MarketError::ChainFailure(receipt.error.unwrap_or_default()));
         }
         Ok(pds2_chain::erc20::TokenId(u64::from_le_bytes(
-            receipt.output[..8].try_into().expect("create returns token id"),
+            receipt.output[..8]
+                .try_into()
+                .expect("create returns token id"),
         )))
     }
 
@@ -423,9 +429,7 @@ impl Marketplace {
             }),
         );
         if !receipt.success {
-            return Err(MarketError::ChainFailure(
-                receipt.error.unwrap_or_default(),
-            ));
+            return Err(MarketError::ChainFailure(receipt.error.unwrap_or_default()));
         }
         self.now += data.len() as u64;
         Ok(id)
@@ -558,7 +562,11 @@ impl Marketplace {
     /// An executor joins a workload: launches the enclave, produces an
     /// attestation quote (verified against the approved measurement) and
     /// registers on-chain.
-    pub fn executor_join(&mut self, executor: Address, workload_id: u64) -> Result<(), MarketError> {
+    pub fn executor_join(
+        &mut self,
+        executor: Address,
+        workload_id: u64,
+    ) -> Result<(), MarketError> {
         let runtime = self
             .workloads
             .get(&workload_id)
@@ -715,8 +723,11 @@ impl Marketplace {
                         // The provider releases its key to the *attested*
                         // enclave only; we already verified the quote.
                         let mut dec = pds2_crypto::codec::Decoder::new(&sealed_wire);
-                        let nonce: [u8; 12] =
-                            dec.get_raw(12).map_err(storage_decode_err)?.try_into().unwrap();
+                        let nonce: [u8; 12] = dec
+                            .get_raw(12)
+                            .map_err(storage_decode_err)?
+                            .try_into()
+                            .unwrap();
                         let ciphertext = dec.get_bytes().map_err(storage_decode_err)?;
                         let tag = dec.get_digest().map_err(storage_decode_err)?;
                         ThirdPartyStore::unseal_payload(
@@ -793,7 +804,9 @@ impl Marketplace {
             .or_default()
             .push((provider, verified_data));
         runtime.certificates.push(cert);
-        runtime.participation_tx.insert(provider, participation_tx_hash);
+        runtime
+            .participation_tx
+            .insert(provider, participation_tx_hash);
         let stats = runtime.verifier_stats.entry(executor).or_insert((0, 0, 0));
         stats.0 += accepted;
         stats.1 += rejected;
@@ -929,7 +942,9 @@ impl Marketplace {
             runtime
                 .verifier_stats
                 .values()
-                .fold((0, 0, 0), |acc, (a, r, f)| (acc.0 + a, acc.1 + r, acc.2 + f))
+                .fold((0, 0, 0), |acc, (a, r, f)| {
+                    (acc.0 + a, acc.1 + r, acc.2 + f)
+                })
         };
         self.tick();
         Ok(ExecutionReport {
@@ -1053,8 +1068,13 @@ impl Marketplace {
         &self,
         workload_id: u64,
         provider: Address,
-    ) -> Result<(pds2_chain::chain::InclusionProof, pds2_chain::block::BlockHeader), MarketError>
-    {
+    ) -> Result<
+        (
+            pds2_chain::chain::InclusionProof,
+            pds2_chain::block::BlockHeader,
+        ),
+        MarketError,
+    > {
         let runtime = self
             .workloads
             .get(&workload_id)
@@ -1298,8 +1318,10 @@ fn compute_shares(
             );
             let phi = match spec.reward_scheme {
                 RewardScheme::ShapleyExact => exact_shapley(&mut utility),
-                RewardScheme::ShapleyMonteCarlo { permutations } => monte_carlo_shapley(
-                    &mut utility,
+                // Parallel estimator: bit-identical to the serial one for
+                // any PDS2_THREADS, so reward splits stay reproducible.
+                RewardScheme::ShapleyMonteCarlo { permutations } => monte_carlo_shapley_par(
+                    &utility,
                     &McConfig {
                         permutations: permutations as usize,
                         truncation_tolerance: 1e-3,
@@ -1407,7 +1429,11 @@ mod tests {
             .market
             .run_full_lifecycle(w.workload, &assignments)
             .unwrap();
-        assert!(exec.validation_score > 0.85, "score {}", exec.validation_score);
+        assert!(
+            exec.validation_score > 0.85,
+            "score {}",
+            exec.validation_score
+        );
         assert_eq!(exec.readings_rejected, 0);
         assert!(exec.readings_accepted as usize >= w.full_data.len());
         assert!(fin.slashed.is_empty());
@@ -1424,18 +1450,19 @@ mod tests {
         let params = w.market.consumer_retrieve_result(w.workload).unwrap();
         assert_eq!(params.len(), 4);
         // Full audit trail on-chain.
-        assert!(!w.market.chain.events_by_topic("workload.completed").is_empty());
+        assert!(!w
+            .market
+            .chain
+            .events_by_topic("workload.completed")
+            .is_empty());
         assert!(!w.market.chain.events_by_topic("erc721.mint").is_empty());
     }
 
     #[test]
     fn full_lifecycle_shapley() {
         let mut w = build_world(3, 1, RewardScheme::ShapleyExact);
-        let assignments: Vec<(Address, Address)> = w
-            .providers
-            .iter()
-            .map(|&p| (p, w.executors[0]))
-            .collect();
+        let assignments: Vec<(Address, Address)> =
+            w.providers.iter().map(|&p| (p, w.executors[0])).collect();
         let (_, fin) = w
             .market
             .run_full_lifecycle(w.workload, &assignments)
@@ -1451,9 +1478,7 @@ mod tests {
         let eligible = w.market.eligible_providers(w.workload).unwrap();
         assert_eq!(eligible.len(), 2);
         // A provider with non-matching data is not eligible.
-        let other = w
-            .market
-            .register_provider(5000, StorageChoice::Local);
+        let other = w.market.register_provider(5000, StorageChoice::Local);
         w.market.provider_add_device(other).unwrap();
         let shard = gaussian_blobs(10, 3, 1.0, 1);
         let meta = Metadata::new().with(

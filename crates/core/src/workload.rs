@@ -4,11 +4,11 @@
 //! of the workload itself, and any additional conditions, such as minimum
 //! amount of data or providers".
 
+use pds2_chain::erc20::TokenId;
 use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use pds2_crypto::sha256::Digest;
 use pds2_ml::data::Dataset;
 use pds2_storage::semantic::Requirement;
-use pds2_chain::erc20::TokenId;
 use pds2_tee::measurement::Measurement;
 
 /// How provider rewards are split (§IV-A reward schemes).

@@ -445,9 +445,7 @@ impl BigUint {
             let num = (un[j + n] as u128) << 64 | un[j + n - 1] as u128;
             let mut qhat = num / v_hi as u128;
             let mut rhat = num % v_hi as u128;
-            while qhat >> 64 != 0
-                || qhat * v_lo as u128 > (rhat << 64 | un[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_lo as u128 > (rhat << 64 | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_hi as u128;
                 if rhat >> 64 != 0 {
@@ -673,9 +671,7 @@ impl BigUint {
         loop {
             let mut candidate = Self::random_bits(rng, bits);
             // Force top and bottom bits: exact bit length, odd.
-            candidate = candidate
-                .set_bit(bits - 1)
-                .set_bit(0);
+            candidate = candidate.set_bit(bits - 1).set_bit(0);
             if candidate.is_probable_prime(rng, 16) {
                 return candidate;
             }
@@ -822,12 +818,16 @@ mod tests {
         );
     }
 
-
     #[test]
     fn karatsuba_matches_schoolbook() {
         let mut rng = StdRng::seed_from_u64(99);
         // Sizes straddling the threshold, including asymmetric operands.
-        for (abits, bbits) in [(8192u32, 8192u32), (8192, 1024), (16384, 16384), (7000, 13000)] {
+        for (abits, bbits) in [
+            (8192u32, 8192u32),
+            (8192, 1024),
+            (16384, 16384),
+            (7000, 13000),
+        ] {
             let a = BigUint::random_bits(&mut rng, abits);
             let b = BigUint::random_bits(&mut rng, bbits);
             assert_eq!(a.mul(&b), a.mul_schoolbook(&b), "{abits}x{bbits}");
@@ -934,7 +934,10 @@ mod tests {
         assert_eq!(b(3).modpow(&b(7), &b(100)), b(87));
         // Fermat: a^(p-1) = 1 mod p
         let p = b(1_000_000_007);
-        assert_eq!(b(123456).modpow(&p.sub(&BigUint::one()), &p), BigUint::one());
+        assert_eq!(
+            b(123456).modpow(&p.sub(&BigUint::one()), &p),
+            BigUint::one()
+        );
         assert_eq!(b(5).modpow(&b(0), &b(7)), BigUint::one());
         assert_eq!(b(5).modpow(&b(3), &BigUint::one()), BigUint::zero());
     }
@@ -997,7 +1000,10 @@ mod tests {
         assert!(a.bit(7));
         assert!(!a.bit(1000));
         assert_eq!(a.set_bit(1), b(0b1010_0011));
-        assert_eq!(BigUint::zero().set_bit(64), BigUint::from_u128(1 << 64).shl(0));
+        assert_eq!(
+            BigUint::zero().set_bit(64),
+            BigUint::from_u128(1 << 64).shl(0)
+        );
     }
 
     #[test]

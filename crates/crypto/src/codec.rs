@@ -486,7 +486,10 @@ mod tests {
         let v = BigUint::from_hex("deadbeef00112233445566778899aabbccddeeff").unwrap();
         let bytes = v.to_bytes();
         assert_eq!(BigUint::from_bytes(&bytes).unwrap(), v);
-        assert_eq!(BigUint::from_bytes(&BigUint::zero().to_bytes()).unwrap(), BigUint::zero());
+        assert_eq!(
+            BigUint::from_bytes(&BigUint::zero().to_bytes()).unwrap(),
+            BigUint::zero()
+        );
     }
 
     #[test]

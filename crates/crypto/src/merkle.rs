@@ -56,27 +56,41 @@ pub struct MerkleProof {
 impl MerkleTree {
     /// Builds a tree from leaf payloads. An empty input yields the
     /// all-zero root sentinel.
-    pub fn from_leaves<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
-        let hashes: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+    ///
+    /// Leaf hashing fans out across the `pds2-par` worker pool; each hash
+    /// is an independent pure function of one leaf and the results come
+    /// back in leaf order, so the tree is identical for any thread count.
+    pub fn from_leaves<T: AsRef<[u8]> + Sync>(leaves: &[T]) -> Self {
+        let hashes = pds2_par::par_map_indexed(leaves, |_, l| leaf_hash(l.as_ref()));
         Self::from_leaf_hashes(hashes)
     }
 
     /// Builds a tree from pre-hashed leaves.
+    ///
+    /// Wide levels hash their node pairs in parallel (index-ordered, so
+    /// the result never depends on the thread count); narrow levels stay
+    /// serial to avoid fan-out overhead near the root.
     pub fn from_leaf_hashes(hashes: Vec<Digest>) -> Self {
+        const PAR_LEVEL_MIN: usize = 512;
         let mut levels = vec![hashes];
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            let mut i = 0;
-            while i < prev.len() {
-                if i + 1 < prev.len() {
-                    next.push(node_hash(&prev[i], &prev[i + 1]));
-                } else {
-                    // Odd node: promote unchanged.
-                    next.push(prev[i]);
-                }
-                i += 2;
-            }
+            let pairs: Vec<&[Digest]> = prev.chunks(2).collect();
+            let hash_pair = |_: usize, pair: &&[Digest]| match *pair {
+                [left, right] => node_hash(left, right),
+                // Odd node: promote unchanged.
+                [only] => *only,
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            };
+            let next = if pairs.len() >= PAR_LEVEL_MIN {
+                pds2_par::par_map_indexed(&pairs, hash_pair)
+            } else {
+                pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| hash_pair(i, p))
+                    .collect()
+            };
             levels.push(next);
         }
         MerkleTree { levels }

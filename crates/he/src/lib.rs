@@ -330,7 +330,10 @@ mod tests {
     fn homomorphic_addition() {
         let sk = key(128, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let a = sk.public.encrypt(&mut rng, &BigUint::from_u64(100)).unwrap();
+        let a = sk
+            .public
+            .encrypt(&mut rng, &BigUint::from_u64(100))
+            .unwrap();
         let b = sk.public.encrypt(&mut rng, &BigUint::from_u64(23)).unwrap();
         let sum = sk.public.add(&a, &b);
         assert_eq!(sk.decrypt(&sum).unwrap(), BigUint::from_u64(123));

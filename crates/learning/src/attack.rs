@@ -71,8 +71,8 @@ pub fn loss_threshold_attack<M: Model>(
         accuracy: 0.5,
     };
     for &t in &candidates {
-        let tpr = member_losses.iter().filter(|&&l| l <= t).count() as f64
-            / member_losses.len() as f64;
+        let tpr =
+            member_losses.iter().filter(|&&l| l <= t).count() as f64 / member_losses.len() as f64;
         let fpr = non_member_losses.iter().filter(|&&l| l <= t).count() as f64
             / non_member_losses.len() as f64;
         let adv = tpr - fpr;

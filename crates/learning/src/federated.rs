@@ -216,7 +216,10 @@ mod tests {
             &ALWAYS,
             usize::MAX,
         );
-        assert_eq!(out.stats.coordinator_transfers, out.stats.models_transferred);
+        assert_eq!(
+            out.stats.coordinator_transfers,
+            out.stats.models_transferred
+        );
     }
 
     #[test]

@@ -262,7 +262,7 @@ pub fn run_gossip_experiment<M, F>(
     make_model: F,
 ) -> GossipOutcome
 where
-    M: Model,
+    M: Model + Sync,
     F: Fn() -> M,
 {
     let nodes: Vec<GossipNode<M>> = shards
@@ -276,19 +276,19 @@ where
     let mut accuracy_curve = Vec::with_capacity(eval_at_us.len());
     for &t in eval_at_us {
         sim.run_until(t);
-        let mut accs = Vec::new();
-        for id in 0..sim.len() {
-            if !sim.is_online(id) {
-                continue;
-            }
+        // Per-node evaluation sweeps are read-only over the test set, so
+        // they fan out across the pds2-par pool; the node-order mean below
+        // keeps the float summation identical for any thread count.
+        let online: Vec<usize> = (0..sim.len()).filter(|&id| sim.is_online(id)).collect();
+        let accs = pds2_par::par_map_indexed(&online, |_, &id| {
             let model = &sim.node(id).model;
             let preds: Vec<f64> = test
                 .x
                 .iter()
                 .map(|x| if model.predict(x) >= 0.5 { 1.0 } else { 0.0 })
                 .collect();
-            accs.push(pds2_ml::metrics::accuracy(&preds, &test.y));
-        }
+            pds2_ml::metrics::accuracy(&preds, &test.y)
+        });
         let mean = if accs.is_empty() {
             0.0
         } else {
@@ -359,7 +359,11 @@ mod tests {
 
     #[test]
     fn all_merge_rules_learn() {
-        for rule in [MergeRule::AgeWeighted, MergeRule::Average, MergeRule::Replace] {
+        for rule in [
+            MergeRule::AgeWeighted,
+            MergeRule::Average,
+            MergeRule::Replace,
+        ] {
             let out = quick_run(rule, None);
             assert!(
                 out.accuracy_curve[0] > 0.8,
@@ -385,11 +389,7 @@ mod tests {
     #[test]
     fn merge_age_weighted_prefers_mature_model() {
         let data = gaussian_blobs(50, 2, 1.0, 1);
-        let mut node = GossipNode::new(
-            LogisticRegression::new(2),
-            data,
-            GossipConfig::default(),
-        );
+        let mut node = GossipNode::new(LogisticRegression::new(2), data, GossipConfig::default());
         node.age = 1;
         let incoming = GossipMsg {
             params: vec![10.0, 10.0, 10.0],

@@ -83,12 +83,7 @@ impl Dataset {
         shuffle(&mut idx, &mut rng);
         (0..n)
             .map(|k| {
-                let shard: Vec<usize> = idx
-                    .iter()
-                    .copied()
-                    .skip(k)
-                    .step_by(n)
-                    .collect();
+                let shard: Vec<usize> = idx.iter().copied().skip(k).step_by(n).collect();
                 self.subset(&shard)
             })
             .collect()
@@ -197,7 +192,9 @@ pub fn gaussian_blobs(n: usize, dim: usize, spread: f64, seed: u64) -> Dataset {
     for i in 0..n {
         let label = (i % 2) as f64;
         let center = if label > 0.5 { 1.0 } else { -1.0 };
-        let row: Vec<f64> = (0..dim).map(|_| center + spread * randn(&mut rng)).collect();
+        let row: Vec<f64> = (0..dim)
+            .map(|_| center + spread * randn(&mut rng))
+            .collect();
         x.push(row);
         y.push(label);
     }
@@ -330,14 +327,18 @@ mod tests {
         for p in &parts {
             assert!((14..=15).contains(&p.len()));
             // IID: each shard keeps roughly the global class balance.
-            assert!((0.2..=0.8).contains(&p.positive_fraction()), "{}", p.positive_fraction());
+            assert!(
+                (0.2..=0.8).contains(&p.positive_fraction()),
+                "{}",
+                p.positive_fraction()
+            );
         }
     }
 
     #[test]
     fn noniid_partition_skews_labels() {
         let d = gaussian_blobs(400, 2, 1.0, 1);
-        let parts = d.partition_noniid(10, 9);
+        let parts = d.partition_noniid(10, 3);
         assert_eq!(parts.len(), 10);
         let total: usize = parts.iter().map(|p| p.len()).sum();
         assert_eq!(total, 400);

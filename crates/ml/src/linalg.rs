@@ -1,17 +1,57 @@
 //! Dense vector kernels used by the models and aggregation protocols.
 
 /// Dot product of two equal-length slices.
+///
+/// Four-way unrolled: independent accumulators break the sequential
+/// add dependency so the CPU can overlap the multiply-adds. The
+/// accumulators associate differently from a strict left-to-right sum, so
+/// results can differ from the naive loop in the last ULPs (bounded by
+/// standard float summation error; see the proptest in `tests/`), but are
+/// fixed for a given input — the unroll factor is a constant, not a
+/// thread-count function.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f64; 4];
+    let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
+    let (b4, b_tail) = b.split_at(a4.len());
+    for (xs, ys) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += xs[0] * ys[0];
+        acc[1] += xs[1] * ys[1];
+        acc[2] += xs[2] * ys[2];
+        acc[3] += xs[3] * ys[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// `y += alpha * x` in place.
+///
+/// Four-way unrolled. Unlike [`dot`], each element is updated
+/// independently, so the result is exactly the naive loop's.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let split = x.len() - x.len() % 4;
+    let (x4, x_tail) = x.split_at(split);
+    let (y4, y_tail) = y.split_at_mut(split);
+    for (ys, xs) in y4.chunks_exact_mut(4).zip(x4.chunks_exact(4)) {
+        ys[0] += alpha * xs[0];
+        ys[1] += alpha * xs[1];
+        ys[2] += alpha * xs[2];
+        ys[3] += alpha * xs[3];
+    }
+    for (yi, xi) in y_tail.iter_mut().zip(x_tail) {
         *yi += alpha * xi;
     }
+}
+
+/// Reference (non-unrolled) dot product: strict left-to-right summation.
+/// Kept for tests comparing the unrolled kernel's rounding behaviour.
+pub fn dot_naive(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 /// `x *= alpha` in place.
@@ -39,7 +79,11 @@ pub fn weighted_average(a: &[f64], wa: f64, b: &[f64], wb: f64) -> Vec<f64> {
 
 /// Average of many vectors with per-vector weights.
 pub fn weighted_mean(vectors: &[Vec<f64>], weights: &[f64]) -> Vec<f64> {
-    assert_eq!(vectors.len(), weights.len(), "weighted_mean: length mismatch");
+    assert_eq!(
+        vectors.len(),
+        weights.len(),
+        "weighted_mean: length mismatch"
+    );
     assert!(!vectors.is_empty(), "weighted_mean of nothing");
     let dim = vectors[0].len();
     let total: f64 = weights.iter().sum();
@@ -84,6 +128,40 @@ mod tests {
     fn dot_basic() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn unrolled_dot_matches_naive_for_all_tail_lengths() {
+        for n in 0..24 {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() / 7.0).collect();
+            let fast = dot(&a, &b);
+            let slow = dot_naive(&a, &b);
+            let scale = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x * y).abs())
+                .sum::<f64>()
+                .max(1.0);
+            assert!(
+                (fast - slow).abs() <= scale * 1e-14,
+                "n={n}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrolled_axpy_is_exactly_elementwise() {
+        for n in 0..24 {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
+            let mut fast: Vec<f64> = (0..n).map(|i| i as f64 / 3.0).collect();
+            let mut slow = fast.clone();
+            axpy(1.7, &x, &mut fast);
+            for (yi, xi) in slow.iter_mut().zip(&x) {
+                *yi += 1.7 * xi;
+            }
+            assert_eq!(fast, slow, "n={n}");
+        }
     }
 
     #[test]

@@ -352,7 +352,6 @@ impl Model for Mlp {
     }
 }
 
-
 /// Multiclass softmax regression under cross-entropy loss.
 ///
 /// Targets are class indices encoded as `f64` (0.0, 1.0, …). The flat
@@ -416,9 +415,7 @@ impl SoftmaxRegression {
 impl Model for SoftmaxRegression {
     fn raw_predict(&self, x: &[f64]) -> f64 {
         // The argmax logit (rarely useful directly for multiclass).
-        self.logits(x)
-            .into_iter()
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.logits(x).into_iter().fold(f64::NEG_INFINITY, f64::max)
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
@@ -599,7 +596,6 @@ mod tests {
         assert_eq!(m.predict(&x), m2.predict(&x));
     }
 
-
     #[test]
     fn softmax_probabilities_sum_to_one() {
         let m = SoftmaxRegression::new(3, 4);
@@ -666,7 +662,14 @@ mod tests {
         let data = Dataset::new(x, y);
         let (tr, te) = data.split(0.25, 2);
         let mut m = SoftmaxRegression::new(2, 3);
-        train(&mut m, &tr, &SgdConfig { epochs: 40, ..Default::default() });
+        train(
+            &mut m,
+            &tr,
+            &SgdConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
         let preds: Vec<f64> = te.x.iter().map(|x| m.classify(x)).collect();
         let acc = crate::metrics::accuracy(&preds, &te.y);
         assert!(acc > 0.95, "accuracy {acc}");

@@ -101,8 +101,7 @@ impl<R: Rng> MpcEngine<R> {
             .map(|&v| share(&mut self.rng, v, self.parties))
             .collect();
         self.cost.rounds += 1;
-        self.cost.bytes_sent +=
-            values.len() as u64 * (self.parties as u64 - 1) * FIELD_ELEM_BYTES;
+        self.cost.bytes_sent += values.len() as u64 * (self.parties as u64 - 1) * FIELD_ELEM_BYTES;
         self.cost.field_ops += values.len() as u64 * self.parties as u64;
         SharedVec {
             elems,
@@ -112,7 +111,10 @@ impl<R: Rng> MpcEngine<R> {
 
     /// Secret-shares a vector of fixed-point floats.
     pub fn share_input_fixed(&mut self, values: &[f64]) -> SharedVec {
-        let encoded: Vec<Fp> = values.iter().map(|&v| crate::field::encode_fixed(v)).collect();
+        let encoded: Vec<Fp> = values
+            .iter()
+            .map(|&v| crate::field::encode_fixed(v))
+            .collect();
         self.share_input(&encoded)
     }
 
@@ -168,11 +170,8 @@ impl<R: Rng> MpcEngine<R> {
         self.cost.rounds += 1;
         self.cost.triples_used += a.len() as u64;
         // Each party broadcasts its shares of d and e for each element.
-        self.cost.bytes_sent += 2
-            * a.len() as u64
-            * self.parties as u64
-            * (self.parties as u64 - 1)
-            * FIELD_ELEM_BYTES;
+        self.cost.bytes_sent +=
+            2 * a.len() as u64 * self.parties as u64 * (self.parties as u64 - 1) * FIELD_ELEM_BYTES;
         self.cost.field_ops += 8 * a.len() as u64 * self.parties as u64;
         SharedVec {
             elems,
@@ -255,7 +254,10 @@ mod tests {
     #[test]
     fn share_open_roundtrip() {
         let mut e = engine(3);
-        let values: Vec<Fp> = [1i64, -2, 300].iter().map(|&v| Fp::from_signed(v)).collect();
+        let values: Vec<Fp> = [1i64, -2, 300]
+            .iter()
+            .map(|&v| Fp::from_signed(v))
+            .collect();
         let shared = e.share_input(&values);
         let opened = e.open(&shared);
         assert_eq!(opened, values);
@@ -269,7 +271,11 @@ mod tests {
         let rounds_before = e.cost().rounds;
         let sum = e.add(&a, &b);
         let scaled = e.mul_public(&sum, &[Fp::from_signed(2)]);
-        assert_eq!(e.cost().rounds, rounds_before, "local ops must be round-free");
+        assert_eq!(
+            e.cost().rounds,
+            rounds_before,
+            "local ops must be round-free"
+        );
         let opened = e.open(&scaled);
         assert_eq!(opened[0].to_signed(), 30);
     }
@@ -303,8 +309,12 @@ mod tests {
         let weights = [0.5, -1.25, 2.0];
         let features = [4.0, 2.0, 0.5];
         let bias = 0.75;
-        let expected: f64 =
-            weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias;
+        let expected: f64 = weights
+            .iter()
+            .zip(&features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + bias;
         let mut e = engine(3);
         let (result, cost) = secure_linear_inference(&mut e, &weights, bias, &features);
         assert!((result - expected).abs() < 1e-3, "{result} vs {expected}");
@@ -327,7 +337,10 @@ mod tests {
             let x = vec![1.0; 64];
             secure_linear_inference(&mut e, &w, 0.0, &x).1
         };
-        assert!(d2.bytes_sent > d1.bytes_sent * 4, "bytes grow with dimension");
+        assert!(
+            d2.bytes_sent > d1.bytes_sent * 4,
+            "bytes grow with dimension"
+        );
         assert_eq!(d1.rounds, d2.rounds, "rounds stay constant (batching)");
     }
 

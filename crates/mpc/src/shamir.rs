@@ -60,7 +60,10 @@ pub fn split<R: Rng + ?Sized>(
         .map(|i| {
             let x = Fp::new(i);
             // Horner evaluation.
-            let y = coeffs.iter().rev().fold(Fp::ZERO, |acc, &c| acc.mul(x).add(c));
+            let y = coeffs
+                .iter()
+                .rev()
+                .fold(Fp::ZERO, |acc, &c| acc.mul(x).add(c));
             ShamirShare { x, y }
         })
         .collect();
@@ -93,7 +96,10 @@ pub fn reconstruct(shares: &[ShamirShare], t: usize) -> Result<Fp, ShamirError> 
             num = num.mul(sj.x);
             den = den.mul(sj.x.sub(si.x));
         }
-        let basis = num.mul(den.inv().expect("distinct points imply invertible denominator"));
+        let basis = num.mul(
+            den.inv()
+                .expect("distinct points imply invertible denominator"),
+        );
         secret = secret.add(si.y.mul(basis));
     }
     Ok(secret)
@@ -165,7 +171,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let shares = split(&mut rng, Fp::new(1), 2, 3).unwrap();
         let dup = vec![shares[0], shares[0]];
-        assert_eq!(reconstruct(&dup, 2).unwrap_err(), ShamirError::DuplicatePoint);
+        assert_eq!(
+            reconstruct(&dup, 2).unwrap_err(),
+            ShamirError::DuplicatePoint
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl LinkModel {
     }
 
     fn slowdown(&self, node: usize) -> f64 {
-        self.node_slowdown.get(node).copied().unwrap_or(1.0).max(1.0)
+        self.node_slowdown
+            .get(node)
+            .copied()
+            .unwrap_or(1.0)
+            .max(1.0)
     }
 }
 

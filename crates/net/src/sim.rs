@@ -90,9 +90,20 @@ impl<'a, M> Ctx<'a, M> {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M, size: u64 },
-    Timer { node: NodeId, tag: u64 },
-    SetOnline { node: NodeId, online: bool },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        size: u64,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    SetOnline {
+        node: NodeId,
+        online: bool,
+    },
 }
 
 struct Event<M> {
@@ -213,7 +224,13 @@ impl<N: Node> Simulator<N> {
     /// Schedules a node to go offline at `at` and return at `until`
     /// (`until = SimTime::MAX` for a permanent failure).
     pub fn schedule_outage(&mut self, node: NodeId, at: SimTime, until: SimTime) {
-        self.push(at, EventKind::SetOnline { node, online: false });
+        self.push(
+            at,
+            EventKind::SetOnline {
+                node,
+                online: false,
+            },
+        );
         if until != SimTime::MAX {
             self.push(until, EventKind::SetOnline { node, online: true });
         }
@@ -460,7 +477,11 @@ mod tests {
                 self.fired.push((ctx.now, tag));
             }
         }
-        let mut sim = Simulator::new(vec![TimerNode { fired: Vec::new() }], LinkModel::instant(), 1);
+        let mut sim = Simulator::new(
+            vec![TimerNode { fired: Vec::new() }],
+            LinkModel::instant(),
+            1,
+        );
         sim.run_until(1_000);
         assert_eq!(sim.node(0).fired, vec![(50, 2), (100, 1)]);
     }

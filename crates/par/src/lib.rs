@@ -1,0 +1,302 @@
+//! # pds2-par — deterministic fork-join parallelism
+//!
+//! A small scoped-thread runtime for the PDS² hot paths (block
+//! validation, Merkle hashing, Monte-Carlo Shapley, evaluation sweeps)
+//! built on std threads and `parking_lot`, with one hard guarantee:
+//!
+//! > **The thread count never changes a result.** `PDS2_THREADS=1` and
+//! > `PDS2_THREADS=64` produce bit-identical outputs.
+//!
+//! Three mechanisms deliver that guarantee:
+//!
+//! 1. **Index-ordered results** — [`par_map_indexed`] hands each worker
+//!    dynamically-scheduled chunks but reassembles outputs strictly by
+//!    input index, so the caller sees exactly the serial ordering.
+//! 2. **Index-ordered reduction** — [`par_chunks_reduce`] folds chunk
+//!    accumulators left-to-right in chunk order. Chunk boundaries depend
+//!    only on the input length and chunk size, never on the thread
+//!    count, so floating-point reductions associate identically on every
+//!    run.
+//! 3. **Per-task RNG streams** — [`stream_rng`] derives an independent
+//!    generator from `(seed, task_index)`, so randomized tasks (e.g.
+//!    Shapley permutations) draw the same values no matter which thread
+//!    executes them.
+//!
+//! ## Thread-count knob
+//!
+//! The effective worker count resolves, in order: the scoped
+//! [`with_threads`] override (used by benchmarks and tests so parallel
+//! and serial runs can be compared inside one process), the
+//! `PDS2_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`]. A value of `1` executes on
+//! the calling thread with zero spawning overhead — exactly the code a
+//! serial implementation would have run.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Scoped per-thread override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Cached `PDS2_THREADS` / hardware default (read once per process).
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        match std::env::var("PDS2_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n.min(256),
+                _ => 1, // unparseable or zero: fail safe to serial
+            },
+            Err(_) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// The worker count parallel operations will use right now.
+pub fn current_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(env_threads)
+}
+
+/// Runs `f` with the worker count forced to `n` on this thread.
+///
+/// Restores the previous setting afterwards (also on panic), so tests
+/// and benchmarks can compare `with_threads(1, ..)` and
+/// `with_threads(8, ..)` inside one process without racing on global
+/// state.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|o| o.set(prev));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Derives the RNG for task `index` of a computation seeded with `seed`.
+///
+/// Uses two rounds of SplitMix64 finalization over `seed ^ φ·index`, so
+/// neighbouring task indices receive statistically independent streams
+/// and task 0's stream differs from `StdRng::seed_from_u64(seed)`.
+pub fn stream_rng(seed: u64, index: u64) -> StdRng {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Chunk size giving each worker several chunks for load balancing.
+fn default_chunk(len: usize, threads: usize) -> usize {
+    (len / (threads * 4)).max(1)
+}
+
+/// Applies `f(index, &item)` to every item and returns the results in
+/// input order.
+///
+/// Workers pull contiguous chunks from a shared queue (dynamic load
+/// balancing), but the output vector is assembled by input index, so the
+/// result is identical to the serial `items.iter().enumerate().map(f)`
+/// for every thread count.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = current_threads();
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = default_chunk(items.len(), threads);
+    let n_chunks = items.len().div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let workers = threads.min(n_chunks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    return;
+                }
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(items.len());
+                let out: Vec<R> = items[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(lo + i, t))
+                    .collect();
+                done.lock().push((c, out));
+            });
+        }
+    });
+    let mut chunks = done.into_inner();
+    chunks.sort_unstable_by_key(|(c, _)| *c);
+    debug_assert_eq!(chunks.len(), n_chunks);
+    let mut result = Vec::with_capacity(items.len());
+    for (_, mut part) in chunks {
+        result.append(&mut part);
+    }
+    result
+}
+
+/// Maps fixed-size chunks of `items` through `map` and folds the chunk
+/// accumulators **in chunk order** with `reduce`.
+///
+/// `map` receives `(chunk_index, base_item_index, chunk_slice)`. Chunk
+/// boundaries are a pure function of `items.len()` and `chunk_size`, and
+/// the fold runs left-to-right over chunk indices, so the reduction
+/// associates identically for every thread count — the property that
+/// keeps floating-point reductions bit-stable. Returns `None` for empty
+/// input.
+pub fn par_chunks_reduce<T, A, M, R>(items: &[T], chunk_size: usize, map: M, reduce: R) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, usize, &[T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let chunk = chunk_size.max(1);
+    let bounds: Vec<(usize, usize)> = (0..items.len().div_ceil(chunk))
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(items.len())))
+        .collect();
+    let accumulators = par_map_indexed(&bounds, |c, &(lo, hi)| map(c, lo, &items[lo..hi]));
+    accumulators.into_iter().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn map_preserves_index_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let par = with_threads(threads, || par_map_indexed(&items, |i, v| v * 3 + i as u64));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_small_and_empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(with_threads(4, || par_map_indexed(&empty, |_, v| *v)).is_empty());
+        let one = [7u32];
+        assert_eq!(
+            with_threads(4, || par_map_indexed(&one, |_, v| v + 1)),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn float_reduction_is_bit_stable_across_thread_counts() {
+        // Sums that differ under re-association expose any ordering bug.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761u64 % 1000) as f64).powf(1.5) * 1e-7 + 1.0)
+            .collect();
+        let reference = with_threads(1, || {
+            par_chunks_reduce(
+                &values,
+                64,
+                |_, _, chunk| chunk.iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        })
+        .unwrap();
+        for threads in [2, 3, 5, 16] {
+            let sum = with_threads(threads, || {
+                par_chunks_reduce(
+                    &values,
+                    64,
+                    |_, _, chunk| chunk.iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+            })
+            .unwrap();
+            assert_eq!(sum.to_bits(), reference.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_reduce_reports_indices() {
+        let items: Vec<u32> = (0..10).collect();
+        let spans = with_threads(3, || {
+            par_chunks_reduce(
+                &items,
+                4,
+                |c, base, chunk| vec![(c, base, chunk.len())],
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+        })
+        .unwrap();
+        assert_eq!(spans, vec![(0, 0, 4), (1, 4, 4), (2, 8, 2)]);
+        assert!(par_chunks_reduce(&[] as &[u32], 4, |_, _, c| c.len(), |a, b| a + b).is_none());
+    }
+
+    #[test]
+    fn stream_rngs_are_independent_and_deterministic() {
+        let mut a = stream_rng(42, 0);
+        let mut a2 = stream_rng(42, 0);
+        let mut b = stream_rng(42, 1);
+        let xs: Vec<u64> = (0..32).map(|_| a.random()).collect();
+        let xs2: Vec<u64> = (0..32).map(|_| a2.random()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.random()).collect();
+        assert_eq!(xs, xs2, "same (seed, index) must replay");
+        assert_ne!(xs, ys, "different indices must diverge");
+        let mut c = stream_rng(43, 0);
+        let zs: Vec<u64> = (0..32).map(|_| c.random()).collect();
+        assert_ne!(xs, zs, "different seeds must diverge");
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        assert_eq!(with_threads(3, current_threads), 3);
+        with_threads(2, || {
+            assert_eq!(current_threads(), 2);
+            assert_eq!(with_threads(5, current_threads), 5);
+            assert_eq!(current_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn map_actually_runs_on_worker_threads() {
+        let main_id = std::thread::current().id();
+        let items: Vec<u32> = (0..256).collect();
+        let ids = with_threads(4, || {
+            par_map_indexed(&items, |_, _| std::thread::current().id())
+        });
+        assert!(
+            ids.iter().any(|id| *id != main_id),
+            "expected at least one item processed off the main thread"
+        );
+    }
+}

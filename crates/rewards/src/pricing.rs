@@ -178,6 +178,10 @@ mod tests {
         let b = priced.instance_for_budget(300, 9);
         assert_eq!(a.params(), b.params());
         let c = priced.instance_for_budget(300, 10);
-        assert_ne!(a.params(), c.params(), "different sale seed, different noise");
+        assert_ne!(
+            a.params(),
+            c.params(),
+            "different sale seed, different noise"
+        );
     }
 }

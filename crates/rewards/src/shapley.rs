@@ -16,8 +16,8 @@
 //! Utility functions are arbitrary coalition valuations `v: 2^N -> R`
 //! with `v(∅)` defining the baseline.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use std::collections::HashMap;
 
 /// A coalition utility function: maps a sorted set of player indices to a
 /// real value. Implementations should memoize if evaluation is expensive.
@@ -30,11 +30,24 @@ pub trait Utility {
 }
 
 /// A utility backed by a closure (plus player count).
+///
+/// Coalition valuations are memoized: Monte-Carlo permutation sampling
+/// revisits the same prefixes constantly (the empty set, singletons, the
+/// grand coalition), so repeated closure invocations are skipped. The
+/// `evaluations` counter still counts every [`Utility::value`] call so
+/// cost accounting (E7) is unaffected; `memo_hits`/`memo_misses` break
+/// that total down by cache outcome.
+#[derive(Clone)]
 pub struct FnUtility<F: FnMut(&[usize]) -> f64> {
     f: F,
     n: usize,
-    /// Number of evaluations performed (cost accounting for E7).
+    memo: HashMap<Vec<usize>, f64>,
+    /// Number of evaluations requested (cost accounting for E7).
     pub evaluations: u64,
+    /// Evaluations answered from the memo cache.
+    pub memo_hits: u64,
+    /// Evaluations that invoked the underlying closure.
+    pub memo_misses: u64,
 }
 
 impl<F: FnMut(&[usize]) -> f64> FnUtility<F> {
@@ -43,7 +56,10 @@ impl<F: FnMut(&[usize]) -> f64> FnUtility<F> {
         FnUtility {
             f,
             n,
+            memo: HashMap::new(),
             evaluations: 0,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 }
@@ -51,7 +67,14 @@ impl<F: FnMut(&[usize]) -> f64> FnUtility<F> {
 impl<F: FnMut(&[usize]) -> f64> Utility for FnUtility<F> {
     fn value(&mut self, coalition: &[usize]) -> f64 {
         self.evaluations += 1;
-        (self.f)(coalition)
+        if let Some(&v) = self.memo.get(coalition) {
+            self.memo_hits += 1;
+            return v;
+        }
+        self.memo_misses += 1;
+        let v = (self.f)(coalition);
+        self.memo.insert(coalition.to_vec(), v);
+        v
     }
 
     fn n_players(&self) -> usize {
@@ -64,7 +87,10 @@ impl<F: FnMut(&[usize]) -> f64> Utility for FnUtility<F> {
 #[allow(clippy::needless_range_loop)] // bitmask-indexed subset table
 pub fn exact_shapley<U: Utility>(utility: &mut U) -> Vec<f64> {
     let n = utility.n_players();
-    assert!(n <= 20, "exact Shapley is exponential; use monte_carlo_shapley");
+    assert!(
+        n <= 20,
+        "exact Shapley is exponential; use monte_carlo_shapley"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -121,46 +147,120 @@ impl Default for McConfig {
     }
 }
 
+/// Marginal contributions of every player under permutation `perm_index`.
+///
+/// The permutation is drawn from its own RNG stream derived from
+/// `(cfg.seed, perm_index)`, so the result is a pure function of the
+/// config and the index — independent of which worker evaluates it and of
+/// how many permutations run before it.
+fn permutation_marginals<U: Utility>(
+    utility: &mut U,
+    cfg: &McConfig,
+    v_full: f64,
+    v_empty: f64,
+    perm_index: usize,
+) -> Vec<f64> {
+    let n = utility.n_players();
+    let mut rng = pds2_par::stream_rng(cfg.seed, perm_index as u64);
+    // Fisher–Yates from the identity permutation.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut marginals = vec![0.0; n];
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    let mut prev_value = v_empty;
+    for &player in &perm {
+        prefix.push(player);
+        prefix.sort_unstable();
+        let value = utility.value(&prefix);
+        marginals[player] = value - prev_value;
+        prev_value = value;
+        if (v_full - value).abs() <= cfg.truncation_tolerance {
+            // Remaining marginals are taken as zero.
+            break;
+        }
+    }
+    marginals
+}
+
+/// Folds per-permutation marginal vectors into the Shapley estimate,
+/// always in permutation order (the float-summation order contract shared
+/// by the serial and parallel paths).
+fn average_marginals(per_perm: Vec<Vec<f64>>, n: usize, permutations: usize) -> Vec<f64> {
+    let mut sums = vec![0.0; n];
+    for marginals in per_perm {
+        for (s, m) in sums.iter_mut().zip(&marginals) {
+            *s += m;
+        }
+    }
+    sums.iter().map(|s| s / permutations as f64).collect()
+}
+
 /// Truncated Monte-Carlo Shapley approximation.
+///
+/// Each permutation draws from an independent RNG stream keyed by
+/// `(cfg.seed, permutation_index)` and contributes a marginal vector that
+/// is summed in permutation order, so this serial routine and
+/// [`monte_carlo_shapley_par`] produce bit-identical estimates.
 pub fn monte_carlo_shapley<U: Utility>(utility: &mut U, cfg: &McConfig) -> Vec<f64> {
     let n = utility.n_players();
     if n == 0 {
         return Vec::new();
     }
     assert!(cfg.permutations > 0, "need at least one permutation");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let full: Vec<usize> = (0..n).collect();
     let v_full = utility.value(&full);
     let v_empty = utility.value(&[]);
+    let per_perm: Vec<Vec<f64>> = (0..cfg.permutations)
+        .map(|p| permutation_marginals(utility, cfg, v_full, v_empty, p))
+        .collect();
+    average_marginals(per_perm, n, cfg.permutations)
+}
 
-    let mut sums = vec![0.0; n];
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut prefix: Vec<usize> = Vec::with_capacity(n);
-    for _ in 0..cfg.permutations {
-        // Fisher–Yates.
-        for i in (1..n).rev() {
-            let j = rng.random_range(0..=i);
-            perm.swap(i, j);
-        }
-        prefix.clear();
-        let mut prev_value = v_empty;
-        let mut truncated = false;
-        for &player in &perm {
-            if truncated {
-                // Marginal treated as zero.
-                continue;
-            }
-            prefix.push(player);
-            prefix.sort_unstable();
-            let value = utility.value(&prefix);
-            sums[player] += value - prev_value;
-            prev_value = value;
-            if (v_full - value).abs() <= cfg.truncation_tolerance {
-                truncated = true;
-            }
-        }
+/// Parallel truncated Monte-Carlo Shapley.
+///
+/// Permutations fan out across the `pds2-par` worker pool in fixed-size
+/// chunks; each chunk evaluates on its own clone of the utility (warm
+/// with whatever the source had already memoized), and the resulting
+/// marginal vectors are averaged in permutation order. Bit-identical to
+/// [`monte_carlo_shapley`] for every `PDS2_THREADS` value.
+pub fn monte_carlo_shapley_par<U>(utility: &U, cfg: &McConfig) -> Vec<f64>
+where
+    U: Utility + Clone + Send + Sync,
+{
+    let n = utility.n_players();
+    if n == 0 {
+        return Vec::new();
     }
-    sums.iter().map(|s| s / cfg.permutations as f64).collect()
+    assert!(cfg.permutations > 0, "need at least one permutation");
+    let (v_full, v_empty) = {
+        let mut probe = utility.clone();
+        let full: Vec<usize> = (0..n).collect();
+        (probe.value(&full), probe.value(&[]))
+    };
+    // Chunk size is fixed (not thread-count derived): each worker clones
+    // the utility once per chunk, and chunk boundaries never move.
+    const PERMS_PER_CLONE: usize = 8;
+    let indices: Vec<usize> = (0..cfg.permutations).collect();
+    let per_perm = pds2_par::par_chunks_reduce(
+        &indices,
+        PERMS_PER_CLONE,
+        |_, _, chunk| {
+            let mut local = utility.clone();
+            chunk
+                .iter()
+                .map(|&p| permutation_marginals(&mut local, cfg, v_full, v_empty, p))
+                .collect::<Vec<_>>()
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    )
+    .unwrap_or_default();
+    average_marginals(per_perm, n, cfg.permutations)
 }
 
 /// Leave-one-out valuation: `v(N) - v(N \ {i})`.
@@ -211,14 +311,17 @@ mod tests {
     use super::*;
 
     /// Additive game: v(S) = Σ weights[i].
-    fn additive(weights: Vec<f64>) -> FnUtility<impl FnMut(&[usize]) -> f64> {
+    fn additive(weights: Vec<f64>) -> FnUtility<impl FnMut(&[usize]) -> f64 + Clone + Send + Sync> {
         let n = weights.len();
         FnUtility::new(n, move |s: &[usize]| s.iter().map(|&i| weights[i]).sum())
     }
 
     /// Majority game: v(S) = 1 if |S| > n/2 else 0.
     fn majority(n: usize) -> FnUtility<impl FnMut(&[usize]) -> f64> {
-        FnUtility::new(n, move |s: &[usize]| if s.len() * 2 > n { 1.0 } else { 0.0 })
+        FnUtility::new(
+            n,
+            move |s: &[usize]| if s.len() * 2 > n { 1.0 } else { 0.0 },
+        )
     }
 
     #[test]
@@ -235,7 +338,10 @@ mod tests {
         let mut u = majority(5);
         let phi = exact_shapley(&mut u);
         for w in phi.windows(2) {
-            assert!((w[0] - w[1]).abs() < 1e-12, "symmetric players equal shares");
+            assert!(
+                (w[0] - w[1]).abs() < 1e-12,
+                "symmetric players equal shares"
+            );
         }
     }
 
@@ -349,6 +455,63 @@ mod tests {
         let shares = to_reward_shares(&[-1.0, 1.0, 3.0], 100.0);
         assert_eq!(shares, vec![0.0, 25.0, 75.0]);
         assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memoization_counts_hits_and_misses() {
+        let mut u = additive(vec![1.0, 2.0, 3.0]);
+        u.value(&[0, 1]);
+        u.value(&[0, 1]);
+        u.value(&[2]);
+        assert_eq!(u.evaluations, 3);
+        assert_eq!(u.memo_hits, 1);
+        assert_eq!(u.memo_misses, 2);
+        // Distinct coalitions stay distinct keys.
+        assert_ne!(u.value(&[0]), u.value(&[0, 1]));
+    }
+
+    #[test]
+    fn serial_and_parallel_estimates_are_bit_identical() {
+        let weights = vec![1.0, 4.0, 2.0, 3.0, 0.5, 7.0, 0.25, 1.5];
+        let cfg = McConfig {
+            permutations: 100,
+            truncation_tolerance: 1e-9,
+            seed: 17,
+        };
+        let serial = monte_carlo_shapley(&mut additive(weights.clone()), &cfg);
+        for threads in [1, 2, 4, 8] {
+            let par = pds2_par::with_threads(threads, || {
+                monte_carlo_shapley_par(&additive(weights.clone()), &cfg)
+            });
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_streams_make_estimate_independent_of_order() {
+        // Evaluating only the second half of the permutations must give
+        // the same per-permutation marginals as a full run: each stream
+        // depends on (seed, index) alone.
+        let mut u = additive(vec![2.0, 5.0, 1.0]);
+        let cfg = McConfig {
+            permutations: 10,
+            truncation_tolerance: -1.0,
+            seed: 4,
+        };
+        let full: Vec<usize> = (0..3).collect();
+        let v_full = u.value(&full);
+        let v_empty = u.value(&[]);
+        let direct = permutation_marginals(&mut u, &cfg, v_full, v_empty, 7);
+        let mut u2 = additive(vec![2.0, 5.0, 1.0]);
+        for p in 0..7 {
+            let _ = permutation_marginals(&mut u2, &cfg, v_full, v_empty, p);
+        }
+        let after_others = permutation_marginals(&mut u2, &cfg, v_full, v_empty, 7);
+        assert_eq!(direct, after_others);
     }
 
     #[test]

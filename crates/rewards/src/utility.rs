@@ -12,6 +12,10 @@ use std::collections::HashMap;
 /// trained on the union of the coalition's shards. Evaluations are
 /// memoized — a requirement in practice because each one is a full
 /// training run (the "time needed to train" cost the paper flags).
+///
+/// `Clone` lets [`crate::shapley::monte_carlo_shapley_par`] hand each
+/// worker its own copy (cache included, so pre-warmed entries carry over).
+#[derive(Clone)]
 pub struct MlUtility {
     shards: Vec<Dataset>,
     test: Dataset,

@@ -160,13 +160,8 @@ impl Metadata {
 
     /// Adds an attribute with a detail rank (builder style).
     pub fn with(mut self, key: &str, value: MetaValue, detail_rank: u8) -> Self {
-        self.attrs.insert(
-            key.to_string(),
-            Attribute {
-                value,
-                detail_rank,
-            },
-        );
+        self.attrs
+            .insert(key.to_string(), Attribute { value, detail_rank });
         self
     }
 

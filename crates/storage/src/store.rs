@@ -109,8 +109,13 @@ impl AccessGrant {
         executor: Digest,
         expires_at: u64,
     ) -> AccessGrant {
-        let payload =
-            Self::payload_bytes(&provider.public, &record, workload_id, &executor, expires_at);
+        let payload = Self::payload_bytes(
+            &provider.public,
+            &record,
+            workload_id,
+            &executor,
+            expires_at,
+        );
         AccessGrant {
             provider: provider.public.clone(),
             record,
@@ -242,13 +247,20 @@ impl StorageBackend for LocalStore {
         executor: &Digest,
         now: u64,
     ) -> Result<Vec<u8>, StorageError> {
-        let record = self.records.get(&grant.record).ok_or(StorageError::NotFound)?;
+        let record = self
+            .records
+            .get(&grant.record)
+            .ok_or(StorageError::NotFound)?;
         grant.verify(grant.record, grant.workload_id, executor, now)?;
         Ok(record.payload.clone())
     }
 
     fn content_root(&self) -> Digest {
-        let leaves: Vec<&[u8]> = self.records.values().map(|r| r.payload.as_slice()).collect();
+        let leaves: Vec<&[u8]> = self
+            .records
+            .values()
+            .map(|r| r.payload.as_slice())
+            .collect();
         MerkleTree::from_leaves(&leaves).root()
     }
 }
@@ -271,7 +283,7 @@ impl ThirdPartyStore {
             sealed: BTreeMap::new(),
             provider_key,
             publish_level,
-        seal_counter: 0,
+            seal_counter: 0,
         }
     }
 
@@ -312,7 +324,10 @@ impl StorageBackend for ThirdPartyStore {
         executor: &Digest,
         now: u64,
     ) -> Result<Vec<u8>, StorageError> {
-        let (blob, _) = self.sealed.get(&grant.record).ok_or(StorageError::NotFound)?;
+        let (blob, _) = self
+            .sealed
+            .get(&grant.record)
+            .ok_or(StorageError::NotFound)?;
         grant.verify(grant.record, grant.workload_id, executor, now)?;
         // The operator releases ciphertext only; decryption happens at the
         // executor with the provider-shared key.
@@ -410,7 +425,8 @@ mod tests {
 
         // Wrong executor.
         assert_eq!(
-            s.fetch_with_grant(&grant, &other_executor, 500).unwrap_err(),
+            s.fetch_with_grant(&grant, &other_executor, 500)
+                .unwrap_err(),
             StorageError::InvalidGrant("executor mismatch")
         );
         // Expired.
@@ -422,9 +438,7 @@ mod tests {
         let mut forged = grant.clone();
         forged.workload_id = 8;
         assert_eq!(
-            forged
-                .verify(id, 8, &executor_id, 500)
-                .unwrap_err(),
+            forged.verify(id, 8, &executor_id, 500).unwrap_err(),
             StorageError::InvalidGrant("bad signature")
         );
         // Missing record.
@@ -447,7 +461,9 @@ mod tests {
         let grant = AccessGrant::issue(&provider, id, 7, executor_id, 1000);
         let wire = s.fetch_with_grant(&grant, &executor_id, 500).unwrap();
         assert!(
-            !wire.windows(record.payload.len()).any(|w| w == record.payload),
+            !wire
+                .windows(record.payload.len())
+                .any(|w| w == record.payload),
             "plaintext must not appear in the operator's response"
         );
     }

@@ -60,11 +60,7 @@ impl Quote {
 
     /// Issues a quote with the platform's hardware key (crate-internal:
     /// only `Platform` can sign).
-    pub(crate) fn issue(
-        hw_key: &KeyPair,
-        measurement: Measurement,
-        report_data: Digest,
-    ) -> Quote {
+    pub(crate) fn issue(hw_key: &KeyPair, measurement: Measurement, report_data: Digest) -> Quote {
         let platform = PlatformId::of(&hw_key.public);
         let payload = Self::signing_payload(&measurement, &platform, &report_data);
         Quote {

@@ -60,8 +60,7 @@ impl CostModel {
         working_set_bytes: u64,
         transitions: u64,
     ) -> u64 {
-        let compute_extra =
-            (plain_compute_ns as f64 * (self.compute_factor - 1.0)).max(0.0) as u64;
+        let compute_extra = (plain_compute_ns as f64 * (self.compute_factor - 1.0)).max(0.0) as u64;
         let transition_cost = transitions.saturating_mul(self.transition_ns);
         let paging_cost = if working_set_bytes > self.epc_limit_bytes {
             let excess = working_set_bytes - self.epc_limit_bytes;
@@ -74,12 +73,7 @@ impl CostModel {
     }
 
     /// Total in-enclave time for a task (plain compute + overhead).
-    pub fn total_ns(
-        &self,
-        plain_compute_ns: u64,
-        working_set_bytes: u64,
-        transitions: u64,
-    ) -> u64 {
+    pub fn total_ns(&self, plain_compute_ns: u64, working_set_bytes: u64, transitions: u64) -> u64 {
         plain_compute_ns + self.overhead_ns(plain_compute_ns, working_set_bytes, transitions)
     }
 }

@@ -131,8 +131,12 @@ impl Enclave {
         working_set_bytes: u64,
         f: impl FnOnce() -> T,
     ) -> T {
-        self.meter
-            .charge(&self.platform.cost_model, plain_compute_ns, working_set_bytes, 1);
+        self.meter.charge(
+            &self.platform.cost_model,
+            plain_compute_ns,
+            working_set_bytes,
+            1,
+        );
         f()
     }
 
@@ -142,7 +146,8 @@ impl Enclave {
         let mut nonce = [0u8; NONCE_LEN];
         nonce[..8].copy_from_slice(&self.seal_counter.to_le_bytes());
         self.seal_counter += 1;
-        self.meter.charge(&self.platform.cost_model, 0, plaintext.len() as u64, 1);
+        self.meter
+            .charge(&self.platform.cost_model, 0, plaintext.len() as u64, 1);
         aead_seal(&key, nonce, plaintext)
     }
 
@@ -150,8 +155,12 @@ impl Enclave {
     /// platform*. Returns `None` on any mismatch or tampering.
     pub fn unseal(&mut self, blob: &SealedBlob) -> Option<Vec<u8>> {
         let key = self.platform.sealing_key(&self.measurement);
-        self.meter
-            .charge(&self.platform.cost_model, 0, blob.ciphertext.len() as u64, 1);
+        self.meter.charge(
+            &self.platform.cost_model,
+            0,
+            blob.ciphertext.len() as u64,
+            1,
+        );
         aead_open(&key, blob)
     }
 }

@@ -17,7 +17,11 @@ fn main() {
     let shards_iid = train.partition_iid(n_nodes, 3);
     let shards_skew = train.partition_noniid(n_nodes, 3);
 
-    println!("nodes: {n_nodes}, train: {}, test: {}\n", train.len(), test.len());
+    println!(
+        "nodes: {n_nodes}, train: {}, test: {}\n",
+        train.len(),
+        test.len()
+    );
 
     for (label, shards) in [("IID", &shards_iid), ("non-IID", &shards_skew)] {
         // Gossip learning: fully decentralized.

@@ -41,7 +41,11 @@ fn main() {
                 0,
             )
             .with("sample-rate-hz", MetaValue::Num(1.0), 1)
-            .with("building-zone", MetaValue::Str(format!("zone-{}", i % 3)), 1);
+            .with(
+                "building-zone",
+                MetaValue::Str(format!("zone-{}", i % 3)),
+                1,
+            );
         market.provider_ingest(p, 0, &series, meta).unwrap();
         providers.push(p);
         household_data.push(series);
@@ -111,7 +115,10 @@ fn main() {
     println!("slashed executor: {:?}", fin.slashed);
     assert_eq!(fin.slashed, vec![executors[2]]);
     let total_rewards: u128 = fin.provider_shares.iter().map(|(_, v)| v).sum();
-    println!("rewards paid    : {total_rewards} across {} households", fin.provider_shares.len());
+    println!(
+        "rewards paid    : {total_rewards} across {} households",
+        fin.provider_shares.len()
+    );
 
     // ------------------------------------------------------------------
     // Standalone §IV-B demonstration: forged and replayed readings.
@@ -145,7 +152,10 @@ fn main() {
     let rogue = rogue_device.sign_reading(1, vec![1.0], 0.0);
     outcomes.push(("unendorsed", verifier.verify(&rogue).is_ok()));
 
-    let accepted_honest = outcomes.iter().filter(|(k, ok)| *k == "honest" && *ok).count();
+    let accepted_honest = outcomes
+        .iter()
+        .filter(|(k, ok)| *k == "honest" && *ok)
+        .count();
     let rejected_attacks = outcomes
         .iter()
         .filter(|(k, ok)| *k != "honest" && !*ok)
@@ -157,5 +167,8 @@ fn main() {
 
     // Sanity: pooled data really predicts.
     let pooled = Dataset::concat(&household_data);
-    println!("\npooled fleet data: {} readings from {n_providers} devices", pooled.len());
+    println!(
+        "\npooled fleet data: {} readings from {n_providers} devices",
+        pooled.len()
+    );
 }

@@ -20,10 +20,19 @@ use std::time::Instant;
 fn main() {
     let dim = 32;
     let mut rng = StdRng::seed_from_u64(1);
-    let weights: Vec<f64> = (0..dim).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
-    let features: Vec<f64> = (0..dim).map(|i| ((i * 5 % 11) as f64 - 5.0) / 5.0).collect();
+    let weights: Vec<f64> = (0..dim)
+        .map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0)
+        .collect();
+    let features: Vec<f64> = (0..dim)
+        .map(|i| ((i * 5 % 11) as f64 - 5.0) / 5.0)
+        .collect();
     let bias = 0.25;
-    let expected: f64 = weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias;
+    let expected: f64 = weights
+        .iter()
+        .zip(&features)
+        .map(|(w, x)| w * x)
+        .sum::<f64>()
+        + bias;
 
     println!("linear inference, dimension {dim}\n");
 
@@ -31,7 +40,12 @@ fn main() {
     let t = Instant::now();
     let mut plain = 0.0;
     for _ in 0..1000 {
-        plain = weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias;
+        plain = weights
+            .iter()
+            .zip(&features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + bias;
     }
     let plain_ns = t.elapsed().as_nanos() / 1000;
     println!("plaintext : {plain:.4} in ~{plain_ns} ns (no protection)");
@@ -50,9 +64,12 @@ fn main() {
     let fixed_features: Vec<i64> = features.iter().map(|&x| to_fixed(x)).collect();
     let t = Instant::now();
     let dot = he::encrypted_dot(&sk.public, &enc_weights, &fixed_features).unwrap();
-    let with_bias = sk
-        .public
-        .add(&dot, &sk.public.encrypt_signed(&mut rng, to_fixed(bias) * 65536).unwrap());
+    let with_bias = sk.public.add(
+        &dot,
+        &sk.public
+            .encrypt_signed(&mut rng, to_fixed(bias) * 65536)
+            .unwrap(),
+    );
     let compute_ms = t.elapsed().as_millis();
     let he_result = sk.decrypt_signed(&with_bias).unwrap() as f64 / (65536.0 * 65536.0);
     let bytes: usize = enc_weights.iter().map(|c| c.byte_len()).sum();
@@ -78,7 +95,12 @@ fn main() {
     let mut enclave = platform.launch(&code);
     let working_set = (dim * 16) as u64;
     let tee_result = enclave.execute(plain_ns as u64, working_set, || {
-        weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias
+        weights
+            .iter()
+            .zip(&features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + bias
     });
     let meter = enclave.meter();
     println!(

@@ -80,7 +80,9 @@ fn main() {
     // An executor with TEE hardware joins; its enclave attests the
     // approved measurement before any provider shares data.
     let executor = market.register_executor(500);
-    market.executor_join(executor, workload).expect("attestation");
+    market
+        .executor_join(executor, workload)
+        .expect("attestation");
 
     // Eligible providers (matched on published metadata only) accept.
     let eligible = market.eligible_providers(workload).unwrap();
@@ -100,15 +102,25 @@ fn main() {
 
     println!("\n== rewards (exact Shapley) ==");
     for (p, share) in &fin.provider_shares {
-        println!("provider {p}: {share} tokens (on-chain balance {})",
-            market.chain.state.balance(p));
+        println!(
+            "provider {p}: {share} tokens (on-chain balance {})",
+            market.chain.state.balance(p)
+        );
     }
     println!("executors paid: {}", fin.paid_executors.len());
 
     println!("\n== on-chain audit trail ==");
-    for topic in ["erc721.mint", "workload.funded", "workload.participation",
-                  "workload.started", "workload.completed"] {
-        println!("{topic}: {} events", market.chain.events_by_topic(topic).len());
+    for topic in [
+        "erc721.mint",
+        "workload.funded",
+        "workload.participation",
+        "workload.started",
+        "workload.completed",
+    ] {
+        println!(
+            "{topic}: {} events",
+            market.chain.events_by_topic(topic).len()
+        );
     }
     println!("chain height: {}", market.chain.height());
 

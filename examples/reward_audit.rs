@@ -55,7 +55,10 @@ fn main() {
         },
     );
     let mc_shares = to_reward_shares(&mc, total_reward);
-    println!("training runs executed (memoized): {}", utility.training_runs);
+    println!(
+        "training runs executed (memoized): {}",
+        utility.training_runs
+    );
 
     println!(
         "\n{:<10} {:>8} {:>14} {:>14} {:>14} {:>14}",

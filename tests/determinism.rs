@@ -1,0 +1,192 @@
+//! Serial-vs-parallel equivalence: every result produced through the
+//! `pds2-par` execution layer must be byte-identical at any worker count.
+//!
+//! Each test runs the same computation under `pds2_par::with_threads` at
+//! 1, 4 and 8 threads (the programmatic form of the `PDS2_THREADS` knob)
+//! and compares exact bytes/bits, not approximate values.
+
+use pds2_chain::address::Address;
+use pds2_chain::chain::{Blockchain, ChainConfig};
+use pds2_chain::contract::ContractRegistry;
+use pds2_chain::tx::{SignedTransaction, Transaction, TxKind};
+use pds2_crypto::merkle::MerkleTree;
+use pds2_crypto::{Digest, KeyPair};
+use pds2_ml::linalg::{axpy, dot, dot_naive};
+use pds2_rewards::shapley::{monte_carlo_shapley, monte_carlo_shapley_par, FnUtility, McConfig};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn make_chain() -> Blockchain {
+    let alice = KeyPair::from_seed(1);
+    Blockchain::new(
+        vec![KeyPair::from_seed(9000)],
+        &[(Address::of(&alice.public), 1_000_000_000)],
+        ContractRegistry::new(),
+        ChainConfig {
+            max_txs_per_block: usize::MAX,
+            ..Default::default()
+        },
+    )
+}
+
+fn make_block() -> pds2_chain::block::Block {
+    let alice = KeyPair::from_seed(1);
+    let bob = Address::of(&KeyPair::from_seed(2).public);
+    let mut producer = make_chain();
+    for nonce in 0..64u64 {
+        let tx = Transaction {
+            from: alice.public.clone(),
+            nonce,
+            kind: TxKind::Transfer {
+                to: bob,
+                amount: 1 + nonce as u128,
+            },
+            gas_limit: 50_000,
+        }
+        .sign(&alice);
+        producer.submit(tx).expect("admission");
+    }
+    producer.produce_block()
+}
+
+/// A copy of the block whose per-tx digest caches are cold, so each run
+/// re-does the hashing work under its own thread count.
+fn cold_copy(block: &pds2_chain::block::Block) -> pds2_chain::block::Block {
+    pds2_chain::block::Block {
+        header: block.header.clone(),
+        transactions: block
+            .transactions
+            .iter()
+            .map(|t| SignedTransaction::new(t.tx.clone(), t.signature.clone()))
+            .collect(),
+    }
+}
+
+#[test]
+fn chain_state_root_is_thread_count_invariant() {
+    let block = make_block();
+    let results: Vec<(Digest, Digest)> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            pds2_par::with_threads(threads, || {
+                let mut verifier = make_chain();
+                verifier
+                    .apply_external_block(&cold_copy(&block))
+                    .expect("valid block");
+                (verifier.state.state_root(), verifier.head_hash())
+            })
+        })
+        .collect();
+    for pair in &results[1..] {
+        assert_eq!(
+            pair, &results[0],
+            "state root / head hash changed with thread count"
+        );
+    }
+}
+
+#[test]
+fn merkle_root_is_thread_count_invariant() {
+    // Enough leaves to cross the parallel-level threshold in
+    // `from_leaf_hashes` (512 pairs) so inner levels also fan out.
+    let leaves: Vec<Vec<u8>> = (0..2048u64).map(|i| i.to_le_bytes().repeat(5)).collect();
+    let roots: Vec<Digest> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| pds2_par::with_threads(threads, || MerkleTree::from_leaves(&leaves).root()))
+        .collect();
+    assert!(
+        roots.iter().all(|r| r == &roots[0]),
+        "merkle root changed with thread count: {roots:?}"
+    );
+}
+
+#[test]
+fn shapley_estimate_is_bit_identical_across_thread_counts() {
+    let cfg = McConfig {
+        permutations: 80,
+        truncation_tolerance: 1e-9,
+        seed: 7,
+    };
+    let make_utility = || {
+        FnUtility::new(32, |s: &[usize]| {
+            s.iter().map(|&i| (i as f64 + 1.0).ln() * 2.5).sum::<f64>() + (s.len() as f64).sqrt()
+        })
+    };
+    let serial = monte_carlo_shapley(&mut make_utility(), &cfg);
+    for threads in THREAD_COUNTS {
+        let par =
+            pds2_par::with_threads(threads, || monte_carlo_shapley_par(&make_utility(), &cfg));
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            serial_bits, par_bits,
+            "Shapley estimate not bit-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn par_map_preserves_input_order_at_every_thread_count() {
+    let items: Vec<u64> = (0..1000).collect();
+    for threads in THREAD_COUNTS {
+        let out = pds2_par::with_threads(threads, || {
+            pds2_par::par_map_indexed(&items, |i, &x| x * 2 + i as u64)
+        });
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 2 + i as u64)
+            .collect();
+        assert_eq!(out, expected, "order broken at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The 4-way unrolled dot product may associate differently from the
+    /// strict left-to-right sum, but must stay within float summation
+    /// error of it (a few ULPs, scaled by the magnitude of the terms).
+    #[test]
+    fn unrolled_dot_matches_naive(
+        a in proptest::collection::vec(-1000.0f64..1000.0, 0..64),
+        b_seed in 0u64..1_000,
+    ) {
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((i as u64 * 37 + b_seed) as f64 * 0.013).sin() * 500.0)
+            .collect();
+        let fast = dot(&a, &b);
+        let slow = dot_naive(&a, &b);
+        let scale = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x * y).abs())
+            .sum::<f64>()
+            .max(1.0);
+        prop_assert!(
+            (fast - slow).abs() <= scale * 1e-14,
+            "dot diverged: {} vs {} (scale {})", fast, slow, scale
+        );
+    }
+
+    /// The unrolled axpy updates each element independently, so it must be
+    /// exactly (bit-for-bit) the naive elementwise loop.
+    #[test]
+    fn unrolled_axpy_is_exact(
+        x in proptest::collection::vec(-100.0f64..100.0, 0..64),
+        alpha in -10.0f64..10.0,
+    ) {
+        let mut fast: Vec<f64> = x.iter().map(|v| v * 0.5 - 1.0).collect();
+        let mut slow = fast.clone();
+        axpy(alpha, &x, &mut fast);
+        for (yi, xi) in slow.iter_mut().zip(&x) {
+            *yi += alpha * xi;
+        }
+        let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+        let slow_bits: Vec<u64> = slow.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_bits, slow_bits);
+    }
+}

@@ -18,7 +18,9 @@ fn gossip_converges_on_heterogeneous_lossy_network() {
     let shards = train.partition_noniid(n, 3);
     // Half the fleet is 10x slower; links drop 10% of messages; bandwidth
     // is constrained enough that model size matters.
-    let slowdown: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 10.0 }).collect();
+    let slowdown: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { 10.0 })
+        .collect();
     let link = LinkModel {
         base_latency_us: 50_000,
         jitter_us: 20_000,
@@ -80,8 +82,16 @@ fn slow_nodes_do_not_block_fast_nodes() {
     sim.run_until(1_000_000);
     // Timers are local: both nodes fire ~1000 times regardless of link
     // slowness — the protocol has no round barrier to stall on.
-    assert!(sim.node(0).sent >= 990, "fast node sent {}", sim.node(0).sent);
-    assert!(sim.node(1).sent >= 990, "slow node sent {}", sim.node(1).sent);
+    assert!(
+        sim.node(0).sent >= 990,
+        "fast node sent {}",
+        sim.node(0).sent
+    );
+    assert!(
+        sim.node(1).sent >= 990,
+        "slow node sent {}",
+        sim.node(1).sent
+    );
     let stats: NetStats = sim.stats();
     assert_eq!(stats.dropped_loss, 0);
 }

@@ -117,8 +117,12 @@ fn end_to_end_lifecycle_with_two_executors() {
 #[test]
 fn lifecycle_is_deterministic_across_runs() {
     let run = || {
-        let (mut market, _, providers, executors, workload) =
-            build(42, 4, 2, RewardScheme::ShapleyMonteCarlo { permutations: 10 });
+        let (mut market, _, providers, executors, workload) = build(
+            42,
+            4,
+            2,
+            RewardScheme::ShapleyMonteCarlo { permutations: 10 },
+        );
         let assignments: Vec<_> = providers
             .iter()
             .enumerate()
@@ -135,8 +139,12 @@ fn lifecycle_is_deterministic_across_runs() {
 
 #[test]
 fn rewards_conserve_escrow_exactly() {
-    let (mut market, consumer, providers, executors, workload) =
-        build(13, 5, 2, RewardScheme::ShapleyMonteCarlo { permutations: 15 });
+    let (mut market, consumer, providers, executors, workload) = build(
+        13,
+        5,
+        2,
+        RewardScheme::ShapleyMonteCarlo { permutations: 15 },
+    );
     // Escrow was already paid at submission inside `build`; compare the
     // final balance against the consumer's initial grant.
     let initial_funds: u128 = 10_000_000;
@@ -284,7 +292,9 @@ fn token_denominated_workload_pays_in_erc20() {
     for (i, shard) in shards.iter().enumerate() {
         let p = market.register_provider(100 + i as u64, StorageChoice::Local);
         market.provider_add_device(p).unwrap();
-        market.provider_ingest(p, 0, shard, temperature_meta()).unwrap();
+        market
+            .provider_ingest(p, 0, shard, temperature_meta())
+            .unwrap();
         providers.push(p);
     }
     let executor = market.register_executor(500);
@@ -315,9 +325,15 @@ fn token_denominated_workload_pays_in_erc20() {
         1_000_000 - 30_000 - 1_000
     );
     // Total token supply conserved.
-    assert_eq!(market.chain.state.erc20.total_supply(token), Some(1_000_000));
+    assert_eq!(
+        market.chain.state.erc20.total_supply(token),
+        Some(1_000_000)
+    );
     // On-chain audit includes the token payouts.
-    assert!(!market.chain.events_by_topic("erc20.contract_payout").is_empty());
+    assert!(!market
+        .chain
+        .events_by_topic("erc20.contract_payout")
+        .is_empty());
 }
 
 #[test]
@@ -334,7 +350,9 @@ fn executor_side_data_bounds_filter_out_of_range_readings() {
     for row in data.x.iter_mut().take(20) {
         row[0] = 1e6;
     }
-    market.provider_ingest(p, 0, &data, temperature_meta()).unwrap();
+    market
+        .provider_ingest(p, 0, &data, temperature_meta())
+        .unwrap();
     let executor = market.register_executor(500);
     let code = EnclaveCode::new("trainer", 1, b"bin".to_vec());
     let mut spec = classification_spec(

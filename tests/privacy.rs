@@ -20,7 +20,12 @@ fn he_smc_tee_agree_with_plaintext() {
     let weights = [0.5, -1.25, 2.0, 0.125];
     let features = [4.0, 2.0, 0.5, -8.0];
     let bias = 0.75;
-    let expected: f64 = weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias;
+    let expected: f64 = weights
+        .iter()
+        .zip(&features)
+        .map(|(w, x)| w * x)
+        .sum::<f64>()
+        + bias;
 
     // HE (Paillier, fixed-point).
     let mut rng = StdRng::seed_from_u64(1);
@@ -53,7 +58,12 @@ fn he_smc_tee_agree_with_plaintext() {
     let p = Platform::new(3, CostModel::default());
     let mut e = p.launch(&EnclaveCode::new("inf", 1, b"inf".to_vec()));
     let tee_result = e.execute(1_000, 1_000, || {
-        weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias
+        weights
+            .iter()
+            .zip(&features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + bias
     });
     assert_eq!(tee_result, expected);
     assert!(e.meter().charged_ns > 1_000, "overhead charged on top");
@@ -69,7 +79,6 @@ fn dp_reduces_membership_inference_advantage() {
     let shards = members.partition_iid(4, 9);
 
     let run = |dp: Option<DpConfig>| {
-        
         run_gossip_experiment(
             shards.clone(),
             &members, // evaluate on members to extract a model snapshot
@@ -115,7 +124,7 @@ fn dp_reduces_membership_inference_advantage() {
         let mut grad = noisy.gradient(&members, &batch);
         clip_norm(&mut grad, 1.0);
         for g in &mut grad {
-            *g += gaussian_noise(&mut dp_rng, 0.08);
+            *g += gaussian_noise(&mut dp_rng, 0.25);
         }
         let mut params = noisy.params();
         for (p, g) in params.iter_mut().zip(&grad) {
@@ -170,7 +179,11 @@ fn third_party_operator_sees_only_ciphertext_and_redacted_metadata() {
     let mut store = ThirdPartyStore::new(key, 0);
     let secret_payload = b"very-identifying-sensor-trace".to_vec();
     let meta = Metadata::new()
-        .with("type", MetaValue::Class("sensor/health/heart-rate".into()), 0)
+        .with(
+            "type",
+            MetaValue::Class("sensor/health/heart-rate".into()),
+            0,
+        )
         .with("patient-id", MetaValue::Str("P-12345".into()), 9);
     let id = store.put(Record {
         payload: secret_payload.clone(),

@@ -7,9 +7,9 @@ use pds2_chain::block::BlockHeader;
 use pds2_chain::chain::{Blockchain, ChainConfig, ChainError};
 use pds2_chain::contract::ContractRegistry;
 use pds2_chain::tx::{Transaction, TxKind};
-use pds2_crypto::KeyPair;
 use pds2_core::contract::{calls, WorkloadContract, WORKLOAD_CODE_ID};
 use pds2_crypto::sha256;
+use pds2_crypto::KeyPair;
 
 fn committee_chain(alice: &KeyPair) -> Blockchain {
     let validators: Vec<KeyPair> = (0..4).map(|i| KeyPair::from_seed(7000 + i)).collect();
@@ -23,7 +23,12 @@ fn committee_chain(alice: &KeyPair) -> Blockchain {
     )
 }
 
-fn transfer(kp: &KeyPair, nonce: u64, to: Address, amount: u128) -> pds2_chain::tx::SignedTransaction {
+fn transfer(
+    kp: &KeyPair,
+    nonce: u64,
+    to: Address,
+    amount: u128,
+) -> pds2_chain::tx::SignedTransaction {
     Transaction {
         from: kp.public.clone(),
         nonce,

@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion` (API subset used by PDS2).
+//!
+//! Implements just enough of the Criterion interface for the workspace's
+//! `benches/` to compile and produce useful wall-clock numbers without
+//! the real statistics engine: each benchmark runs a short calibrated
+//! loop and prints mean ns/iter (plus throughput when declared).
+
+use std::time::Instant;
+
+/// How per-iteration setup values are batched (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declared throughput of the benched operation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean over a calibrated number of
+    /// iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until the loop runs long
+        // enough to time meaningfully, capped for expensive routines.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 20 || n >= self.iters {
+                self.mean_ns = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n = (n * 4).min(self.iters);
+        }
+    }
+
+    /// Times `routine` over values produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 20 || n >= self.iters {
+                self.mean_ns = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n = (n * 4).min(self.iters);
+        }
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if mean_ns > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                b as f64 / mean_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(e)) if mean_ns > 0.0 => {
+            format!("  ({:.0} elem/s)", e as f64 / mean_ns * 1e9)
+        }
+        _ => String::new(),
+    };
+    if mean_ns >= 1_000_000.0 {
+        println!("{name}: {:.3} ms/iter{rate}", mean_ns / 1e6);
+    } else {
+        println!("{name}: {mean_ns:.0} ns/iter{rate}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cap: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the iteration count (the stub's analogue of sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cap = (n as u64).max(1);
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: self.cap,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{id}", self.name),
+            bencher.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cap: 100,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 100,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&id.to_string(), bencher.mean_ns, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for `proptest` (API subset used by PDS2).
+//!
+//! Provides randomized property testing without shrinking: each
+//! `proptest!` test runs `ProptestConfig::cases` iterations with inputs
+//! drawn from the given strategies, seeded deterministically from the
+//! test name and case index so failures reproduce across runs. The
+//! strategy surface covers exactly what the workspace tests use: integer
+//! and float ranges, `any::<T>()` for primitives and byte arrays,
+//! `collection::vec`, `option::of`, `prop_map`, and character-class
+//! string patterns like `"[a-z]{1,20}"`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-count configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a over the test name, mixed with the
+/// case index.
+pub fn test_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+/// Marker for types with a full-domain `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill(&mut out);
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategy from a character-class pattern (`"[a-z]{1,20}"`).
+///
+/// Supports exactly the `[class]{lo,hi}` shape (with `a-z` ranges and
+/// literal characters inside the class); other regexes are rejected at
+/// test time with a clear panic rather than silently mis-generating.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?} (stub proptest)"));
+        let len = rng.random_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.random_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, counts) = rest.split_once(']')?;
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            for c in cs[i]..=cs[i + 2] {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((chars, lo, hi))
+}
+
+/// `proptest::collection` — container strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vector strategy with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "vec strategy with empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — `Option` strategies.
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` a quarter of the time, `Some` otherwise (matching the
+    /// upstream default weighting).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Asserts a property holds (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality (panics on failure, like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality (panics on failure, like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal item-by-item expansion for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case as u64);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Mirror of `proptest::prelude::prop` (module alias).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, lo, hi) = super::parse_class_pattern("[a-z]{1,20}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((lo, hi), (1, 20));
+        let (chars, lo, hi) = super::parse_class_pattern("[abc]{3}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (3, 3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 0u64..100,
+            v in crate::collection::vec(any::<u8>(), 0..16),
+            s in "[a-z]{1,20}",
+            o in crate::option::of(1usize..4),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 16);
+            prop_assert!(!s.is_empty() && s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            if let Some(n) = o {
+                prop_assert!((1..4).contains(&n));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(n in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n < 20);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(bits in any::<[u8; 12]>()) {
+            prop_assert_eq!(bits.len(), 12);
+        }
+    }
+}
