@@ -146,6 +146,22 @@ impl Block {
     }
 }
 
+impl Encode for Block {
+    fn encode(&self, enc: &mut Encoder) {
+        self.header.encode(enc);
+        enc.put_seq(&self.transactions);
+    }
+}
+
+impl Decode for Block {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Block {
+            header: BlockHeader::decode(dec)?,
+            transactions: dec.get_seq()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +234,14 @@ mod tests {
         let back = BlockHeader::from_bytes(&bytes).unwrap();
         assert_eq!(back, b.header);
         assert!(back.verify_signature());
+    }
+
+    #[test]
+    fn block_codec_roundtrip() {
+        let b = sample_block(3);
+        let back = Block::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(back, b);
+        assert!(back.tx_root_matches());
     }
 
     #[test]

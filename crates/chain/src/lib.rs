@@ -16,6 +16,8 @@
 //! - [`state`] — the world state and the transaction execution function;
 //! - [`block`] — blocks, headers, Merkle transaction roots;
 //! - [`chain`] — the ledger: mempool, PoA production, receipts, events;
+//! - [`sync`] — block sync over `pds2-net`: catch-up, fork choice on
+//!   rejoin, crash-stop recovery (the chaos-harness consumer);
 //! - [`event`] — the audit-trail event log.
 
 pub mod address;
@@ -27,6 +29,7 @@ pub mod erc721;
 pub mod event;
 pub mod gas;
 pub mod state;
+pub mod sync;
 pub mod tx;
 
 pub use address::{Account, Address};
@@ -37,4 +40,5 @@ pub use erc20::{Erc20Module, Erc20Op, TokenError, TokenId};
 pub use erc721::{AssetKind, Erc721Module, Erc721Op, NftError, NftId};
 pub use event::{Event, EventSink};
 pub use state::{TxReceipt, WorldState};
+pub use sync::{ChainReplica, GenesisFactory, SyncMsg};
 pub use tx::{SignedTransaction, Transaction, TxKind};

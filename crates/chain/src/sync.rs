@@ -1,0 +1,483 @@
+//! Block synchronisation over the simulated network.
+//!
+//! [`ChainReplica`] wraps a [`Blockchain`] in a [`pds2_net::Node`] so a
+//! committee of replicas keeps converging under the fault plans of
+//! `pds2-net`: missed-block catch-up after partitions, fork choice on
+//! rejoin (rebuild from genesis, adopt the longest *valid* chain), and
+//! crash-stop recovery (volatile state is wiped, the replica resyncs
+//! from its peers).
+//!
+//! The protocol is deliberately simple — this is PoA with round-robin
+//! proposers, so at most one honest node produces a given height and
+//! honest forks cannot occur. What the chaos tests exercise is the
+//! *repair* machinery:
+//!
+//! * a proposer whose turn arrives broadcasts [`SyncMsg::NewBlock`];
+//! * every replica periodically broadcasts [`SyncMsg::Announce`] with
+//!   its height; a peer that is behind answers with a
+//!   [`SyncMsg::Request`], and the head replies with the missing suffix
+//!   in a [`SyncMsg::Blocks`] batch;
+//! * corrupted blocks (byzantine links flip bits in flight) fail
+//!   validation and are counted in [`ChainReplica::blocks_rejected`],
+//!   never applied;
+//! * a crashed replica loses everything but its keys and config
+//!   ([`crate::chain::Blockchain`] is rebuilt from the genesis factory)
+//!   and resynchronises on recovery before it is allowed to propose
+//!   again.
+
+use crate::block::Block;
+use crate::chain::{Blockchain, ChainError};
+use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use pds2_net::{Ctx, Node, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Messages exchanged by chain replicas.
+#[derive(Clone, Debug)]
+pub enum SyncMsg {
+    /// A freshly produced block, broadcast by its proposer.
+    NewBlock(Block),
+    /// "Send me your blocks from this height on."
+    Request {
+        /// First height the requester is missing.
+        from_height: u64,
+    },
+    /// A batch of consecutive blocks answering a [`SyncMsg::Request`].
+    Blocks(Vec<Block>),
+    /// Periodic head gossip driving catch-up.
+    Announce {
+        /// The announcer's chain height.
+        height: u64,
+    },
+}
+
+/// Message-kind tags (used for targeted drops and the trace).
+pub mod kind {
+    /// [`super::SyncMsg::NewBlock`].
+    pub const NEW_BLOCK: u8 = 1;
+    /// [`super::SyncMsg::Request`].
+    pub const REQUEST: u8 = 2;
+    /// [`super::SyncMsg::Blocks`].
+    pub const BLOCKS: u8 = 3;
+    /// [`super::SyncMsg::Announce`].
+    pub const ANNOUNCE: u8 = 4;
+}
+
+impl Encode for SyncMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SyncMsg::NewBlock(b) => {
+                enc.put_u8(kind::NEW_BLOCK);
+                b.encode(enc);
+            }
+            SyncMsg::Request { from_height } => {
+                enc.put_u8(kind::REQUEST);
+                enc.put_u64(*from_height);
+            }
+            SyncMsg::Blocks(blocks) => {
+                enc.put_u8(kind::BLOCKS);
+                enc.put_seq(blocks);
+            }
+            SyncMsg::Announce { height } => {
+                enc.put_u8(kind::ANNOUNCE);
+                enc.put_u64(*height);
+            }
+        }
+    }
+}
+
+impl Decode for SyncMsg {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            kind::NEW_BLOCK => Ok(SyncMsg::NewBlock(Block::decode(dec)?)),
+            kind::REQUEST => Ok(SyncMsg::Request {
+                from_height: dec.get_u64()?,
+            }),
+            kind::BLOCKS => Ok(SyncMsg::Blocks(dec.get_seq()?)),
+            kind::ANNOUNCE => Ok(SyncMsg::Announce {
+                height: dec.get_u64()?,
+            }),
+            tag => Err(DecodeError::InvalidTag(tag)),
+        }
+    }
+}
+
+/// Factory rebuilding the genesis [`Blockchain`] (same committee, same
+/// allocations, same registry) — a crashed replica's durable config.
+pub type GenesisFactory = Arc<dyn Fn() -> Blockchain + Send + Sync>;
+
+const TIMER_PRODUCE: u64 = 1;
+const TIMER_ANNOUNCE: u64 = 2;
+
+/// One PoA validator (or observer) participating in block sync.
+pub struct ChainReplica {
+    chain: Blockchain,
+    genesis: GenesisFactory,
+    /// This replica's slot in the round-robin committee (`None` for a
+    /// non-producing observer).
+    validator_index: Option<usize>,
+    n_validators: usize,
+    /// Virtual µs between production attempts.
+    produce_interval_us: u64,
+    /// Virtual µs between head announcements.
+    announce_interval_us: u64,
+    /// While `true` the replica is catching up and must not propose
+    /// (a stale proposer would re-sign an already-decided height).
+    syncing: bool,
+    /// Blocks produced by this replica.
+    pub blocks_produced: u64,
+    /// External blocks applied (NewBlock + catch-up batches).
+    pub blocks_applied: u64,
+    /// External blocks that failed validation (corruption, stale, forged).
+    pub blocks_rejected: u64,
+    /// Catch-up requests sent.
+    pub catchup_requests: u64,
+    /// Times the fork-choice rule replaced the local chain wholesale.
+    pub forks_adopted: u64,
+}
+
+impl ChainReplica {
+    /// Creates a replica from its durable configuration. The chain starts
+    /// at the genesis state produced by `genesis`.
+    pub fn new(
+        genesis: GenesisFactory,
+        validator_index: Option<usize>,
+        produce_interval_us: u64,
+        announce_interval_us: u64,
+    ) -> ChainReplica {
+        let chain = genesis();
+        let n_validators = chain.validator_set().len();
+        ChainReplica {
+            chain,
+            genesis,
+            validator_index,
+            n_validators,
+            produce_interval_us,
+            announce_interval_us,
+            syncing: false,
+            blocks_produced: 0,
+            blocks_applied: 0,
+            blocks_rejected: 0,
+            catchup_requests: 0,
+            forks_adopted: 0,
+        }
+    }
+
+    /// The wrapped chain.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// Mutable access (tests inject transactions through this).
+    pub fn chain_mut(&mut self) -> &mut Blockchain {
+        &mut self.chain
+    }
+
+    /// Whether the replica is currently resynchronising.
+    pub fn is_syncing(&self) -> bool {
+        self.syncing
+    }
+
+    fn my_turn(&self) -> bool {
+        self.validator_index
+            .is_some_and(|i| (self.chain.height() as usize) % self.n_validators == i)
+    }
+
+    fn broadcast(&self, ctx: &mut Ctx<'_, SyncMsg>, msg: SyncMsg) {
+        for to in 0..ctx.n_nodes {
+            if to != ctx.id {
+                ctx.send(to, msg.clone());
+            }
+        }
+    }
+
+    /// Applies consecutive external blocks, skipping any already-known
+    /// prefix. Returns `Err` on the first validation failure.
+    fn apply_batch(&mut self, blocks: &[Block]) -> Result<(), ChainError> {
+        for block in blocks {
+            if block.header.height < self.chain.height() {
+                continue;
+            }
+            self.chain.apply_external_block(block)?;
+            self.blocks_applied += 1;
+        }
+        Ok(())
+    }
+
+    /// Fork choice on rejoin: rebuild from genesis and re-validate the
+    /// offered chain end to end; adopt it iff it is valid and strictly
+    /// longer than the local one. Returns whether the switch happened.
+    fn adopt_if_longer(&mut self, blocks: &[Block]) -> bool {
+        if blocks.len() as u64 <= self.chain.height() {
+            return false;
+        }
+        let mut candidate = (self.genesis)();
+        for block in blocks {
+            if candidate.apply_external_block(block).is_err() {
+                self.blocks_rejected += 1;
+                return false;
+            }
+        }
+        self.blocks_applied += blocks.len() as u64;
+        self.forks_adopted += 1;
+        self.chain = candidate;
+        true
+    }
+}
+
+impl Node for ChainReplica {
+    type Msg = SyncMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SyncMsg>) {
+        // Stagger by id so same-instant production/announce rounds keep a
+        // stable per-node order without relying on queue tie-breaks.
+        ctx.set_timer(self.produce_interval_us + ctx.id as u64, TIMER_PRODUCE);
+        ctx.set_timer(self.announce_interval_us + ctx.id as u64, TIMER_ANNOUNCE);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SyncMsg>, tag: u64) {
+        match tag {
+            TIMER_PRODUCE => {
+                if !self.syncing && self.my_turn() {
+                    let block = self.chain.produce_block();
+                    self.blocks_produced += 1;
+                    self.broadcast(ctx, SyncMsg::NewBlock(block));
+                }
+                ctx.set_timer(self.produce_interval_us, TIMER_PRODUCE);
+            }
+            TIMER_ANNOUNCE => {
+                self.broadcast(
+                    ctx,
+                    SyncMsg::Announce {
+                        height: self.chain.height(),
+                    },
+                );
+                ctx.set_timer(self.announce_interval_us, TIMER_ANNOUNCE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SyncMsg>, from: NodeId, msg: SyncMsg) {
+        match msg {
+            SyncMsg::NewBlock(block) => {
+                let height = block.header.height;
+                if height == self.chain.height() {
+                    match self.chain.apply_external_block(&block) {
+                        Ok(()) => {
+                            self.blocks_applied += 1;
+                            self.syncing = false;
+                        }
+                        Err(_) => self.blocks_rejected += 1,
+                    }
+                } else if height > self.chain.height() {
+                    // Missed at least one block: ask the proposer for the
+                    // gap instead of applying out of order.
+                    self.catchup_requests += 1;
+                    ctx.send(
+                        from,
+                        SyncMsg::Request {
+                            from_height: self.chain.height(),
+                        },
+                    );
+                }
+                // Blocks below our height are stale duplicates: ignore.
+            }
+            SyncMsg::Request { from_height } => {
+                let have = self.chain.height();
+                if from_height < have {
+                    let batch: Vec<Block> = self.chain.blocks()[from_height as usize..].to_vec();
+                    ctx.send(from, SyncMsg::Blocks(batch));
+                }
+            }
+            SyncMsg::Blocks(blocks) => {
+                if self.apply_batch(&blocks).is_err() {
+                    // The suffix does not extend our chain (we diverged
+                    // while isolated, or a block was corrupted in flight).
+                    // Re-request the peer's full chain and let the
+                    // fork-choice rule arbitrate.
+                    self.blocks_rejected += 1;
+                    if blocks.first().is_some_and(|b| b.header.height > 0) {
+                        self.catchup_requests += 1;
+                        ctx.send(from, SyncMsg::Request { from_height: 0 });
+                    }
+                } else if !blocks.is_empty() {
+                    self.syncing = false;
+                }
+                if blocks.first().is_some_and(|b| b.header.height == 0) {
+                    // Full-chain offer: apply fork choice even if the
+                    // incremental path failed.
+                    self.adopt_if_longer(&blocks);
+                    if blocks.len() as u64 <= self.chain.height() {
+                        self.syncing = false;
+                    }
+                }
+            }
+            SyncMsg::Announce { height } => {
+                if height > self.chain.height() {
+                    self.catchup_requests += 1;
+                    ctx.send(
+                        from,
+                        SyncMsg::Request {
+                            from_height: self.chain.height(),
+                        },
+                    );
+                } else if self.syncing && height <= self.chain.height() {
+                    // Nobody visible is ahead of us any more.
+                    self.syncing = false;
+                }
+            }
+        }
+    }
+
+    fn msg_size(msg: &SyncMsg) -> u64 {
+        msg.to_bytes().len() as u64
+    }
+
+    fn msg_kind(msg: &SyncMsg) -> u8 {
+        match msg {
+            SyncMsg::NewBlock(_) => kind::NEW_BLOCK,
+            SyncMsg::Request { .. } => kind::REQUEST,
+            SyncMsg::Blocks(_) => kind::BLOCKS,
+            SyncMsg::Announce { .. } => kind::ANNOUNCE,
+        }
+    }
+
+    fn msg_digest(msg: &SyncMsg) -> u64 {
+        msg.content_hash().fold_u64()
+    }
+
+    /// Byzantine corruption: flip one random bit of the wire encoding and
+    /// re-decode. If the mangled bytes no longer parse, the frame is
+    /// destroyed; if they do, the receiver gets a structurally valid but
+    /// semantically corrupt message its validation must catch.
+    fn corrupt_msg(msg: &SyncMsg, rng: &mut StdRng) -> Option<SyncMsg> {
+        let mut bytes = msg.to_bytes();
+        if bytes.is_empty() {
+            return None;
+        }
+        let bit = rng.random_range(0..bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        SyncMsg::from_bytes(&bytes).ok()
+    }
+
+    /// Crash-stop: everything volatile is lost; only keys and genesis
+    /// config survive (encoded in the factory).
+    fn on_crash(&mut self) {
+        self.chain = (self.genesis)();
+        self.syncing = true;
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, SyncMsg>) {
+        // Re-arm timers (the crash dropped the schedule) and ask every
+        // peer for the canonical chain before proposing again.
+        ctx.set_timer(self.produce_interval_us + ctx.id as u64, TIMER_PRODUCE);
+        ctx.set_timer(self.announce_interval_us + ctx.id as u64, TIMER_ANNOUNCE);
+        self.catchup_requests += 1;
+        self.broadcast(
+            ctx,
+            SyncMsg::Request {
+                from_height: self.chain.height(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::chain::ChainConfig;
+    use crate::contract::ContractRegistry;
+    use pds2_crypto::KeyPair;
+
+    fn factory() -> GenesisFactory {
+        Arc::new(|| {
+            Blockchain::new(
+                (0..3).map(|i| KeyPair::from_seed(9_000 + i)).collect(),
+                &[(Address::of(&KeyPair::from_seed(1).public), 1_000_000)],
+                ContractRegistry::new(),
+                ChainConfig::default(),
+            )
+        })
+    }
+
+    #[test]
+    fn sync_msg_codec_roundtrip() {
+        let f = factory();
+        let mut chain = f();
+        let block = chain.produce_block();
+        let msgs = [
+            SyncMsg::NewBlock(block),
+            SyncMsg::Request { from_height: 7 },
+            SyncMsg::Blocks(chain.blocks().to_vec()),
+            SyncMsg::Announce { height: 3 },
+        ];
+        for msg in &msgs {
+            let back = SyncMsg::from_bytes(&msg.to_bytes()).unwrap();
+            assert_eq!(back.to_bytes(), msg.to_bytes());
+            assert_eq!(ChainReplica::msg_kind(&back), ChainReplica::msg_kind(msg));
+        }
+    }
+
+    #[test]
+    fn unknown_tag_fails_to_decode() {
+        assert!(SyncMsg::from_bytes(&[99]).is_err());
+    }
+
+    #[test]
+    fn corrupt_msg_never_panics_and_often_survives_decoding() {
+        use rand::SeedableRng;
+        let f = factory();
+        let mut chain = f();
+        let block = chain.produce_block();
+        let msg = SyncMsg::NewBlock(block);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut survived = 0;
+        for _ in 0..200 {
+            if let Some(mangled) = ChainReplica::corrupt_msg(&msg, &mut rng) {
+                survived += 1;
+                // A surviving corruption must differ from the original.
+                assert_ne!(mangled.to_bytes(), msg.to_bytes());
+            }
+        }
+        assert!(survived > 0, "some corruptions should still decode");
+    }
+
+    #[test]
+    fn adopt_if_longer_takes_valid_longer_chain_only() {
+        let f = factory();
+        let mut canonical = f();
+        for _ in 0..4 {
+            canonical.produce_block();
+        }
+        let mut replica = ChainReplica::new(f, Some(0), 1_000, 5_000);
+        replica.chain_mut().produce_block();
+        assert_eq!(replica.chain().height(), 1);
+
+        // Shorter offer: refused.
+        assert!(!replica.adopt_if_longer(&canonical.blocks()[..1]));
+        // Tampered offer: refused.
+        let mut forged = canonical.blocks().to_vec();
+        forged[2].header.height = 9;
+        assert!(!replica.adopt_if_longer(&forged));
+        assert_eq!(replica.blocks_rejected, 1);
+        // Valid longer offer: adopted wholesale.
+        assert!(replica.adopt_if_longer(canonical.blocks()));
+        assert_eq!(replica.chain().height(), 4);
+        assert_eq!(replica.chain().head_hash(), canonical.head_hash());
+        assert_eq!(replica.forks_adopted, 1);
+    }
+
+    #[test]
+    fn crash_wipes_to_genesis() {
+        let f = factory();
+        let mut replica = ChainReplica::new(f, Some(0), 1_000, 5_000);
+        replica.chain_mut().produce_block();
+        assert_eq!(replica.chain().height(), 1);
+        replica.on_crash();
+        assert_eq!(replica.chain().height(), 0);
+        assert!(replica.is_syncing());
+    }
+}

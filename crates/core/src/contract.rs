@@ -10,6 +10,8 @@
 //! Executing ──(executors submit result hashes)──▶
 //! Executing ──FINALIZE (2/3 agreement, reward payout)──▶ Completed
 //! Open ──CANCEL (consumer)──▶ Cancelled
+//! Open ──EXPIRE (deadline passed, anyone)──▶ Cancelled
+//! Executing ──ABORT (execution timeout passed, anyone)──▶ Cancelled
 //! ```
 //!
 //! Tamper-resistance properties enforced on-chain (experiment E12):
@@ -94,6 +96,11 @@ pub struct WorkloadState {
     /// Block height after which anyone may expire an Open workload,
     /// refunding the consumer (0 = no deadline).
     pub deadline_height: u64,
+    /// Blocks after START before anyone may abort a stuck Executing
+    /// workload and refund the consumer (0 = no execution timeout).
+    /// This is the chaos-harness escape hatch: if every executor holding
+    /// data crashes mid-workload, the escrow is not locked forever.
+    pub exec_timeout_blocks: u64,
     /// When set, rewards/fees are escrowed and paid in this ERC-20 token
     /// instead of native currency (§III-A fungible-token rewards).
     pub reward_token: Option<TokenId>,
@@ -101,6 +108,8 @@ pub struct WorkloadState {
     pub funded: u128,
     /// Current phase.
     pub phase: Phase,
+    /// Block height at which START succeeded (0 while still Open).
+    pub started_height: u64,
     /// Registered executors and their submitted result hash (if any).
     pub executors: BTreeMap<Address, Option<Digest>>,
     /// Provider contributions.
@@ -144,9 +153,11 @@ impl Encode for WorkloadState {
         enc.put_u32(self.min_providers);
         enc.put_u64(self.min_records);
         enc.put_u64(self.deadline_height);
+        enc.put_u64(self.exec_timeout_blocks);
         enc.put_option(&self.reward_token);
         enc.put_u128(self.funded);
         enc.put_u8(self.phase.to_u8());
+        enc.put_u64(self.started_height);
         enc.put_u64(self.executors.len() as u64);
         for (addr, result) in &self.executors {
             addr.encode(enc);
@@ -177,9 +188,11 @@ impl Decode for WorkloadState {
         let min_providers = dec.get_u32()?;
         let min_records = dec.get_u64()?;
         let deadline_height = dec.get_u64()?;
+        let exec_timeout_blocks = dec.get_u64()?;
         let reward_token = dec.get_option()?;
         let funded = dec.get_u128()?;
         let phase = Phase::from_u8(dec.get_u8()?)?;
+        let started_height = dec.get_u64()?;
         let n_exec = dec.get_u64()? as usize;
         let mut executors = BTreeMap::new();
         for _ in 0..n_exec {
@@ -215,9 +228,11 @@ impl Decode for WorkloadState {
             min_providers,
             min_records,
             deadline_height,
+            exec_timeout_blocks,
             reward_token,
             funded,
             phase,
+            started_height,
             executors,
             contributions,
             result,
@@ -238,6 +253,7 @@ pub mod calls {
     pub(super) const FINALIZE: u8 = 5;
     pub(super) const CANCEL: u8 = 6;
     pub(super) const EXPIRE: u8 = 7;
+    pub(super) const ABORT: u8 = 8;
 
     /// Escrow funding (attach value to the call).
     pub fn fund() -> Vec<u8> {
@@ -296,6 +312,12 @@ pub mod calls {
     pub fn expire() -> Vec<u8> {
         vec![EXPIRE]
     }
+
+    /// Public abort of a stuck Executing workload once the execution
+    /// timeout has elapsed; refunds the remaining escrow to the consumer.
+    pub fn abort() -> Vec<u8> {
+        vec![ABORT]
+    }
 }
 
 /// The deployable workload contract.
@@ -319,6 +341,7 @@ impl WorkloadContract {
         let min_providers = dec.get_u32().map_err(parse)?;
         let min_records = dec.get_u64().map_err(parse)?;
         let deadline_height = dec.get_u64().map_err(parse)?;
+        let exec_timeout_blocks = dec.get_u64().map_err(parse)?;
         let reward_token = dec.get_option().map_err(parse)?;
         dec.expect_end().map_err(parse)?;
         Ok(Box::new(WorkloadContract {
@@ -331,9 +354,11 @@ impl WorkloadContract {
                 min_providers,
                 min_records,
                 deadline_height,
+                exec_timeout_blocks,
                 reward_token,
                 funded: 0,
                 phase: Phase::Open,
+                started_height: 0,
                 executors: BTreeMap::new(),
                 contributions: BTreeMap::new(),
                 result: None,
@@ -352,6 +377,7 @@ impl WorkloadContract {
         min_providers: u32,
         min_records: u64,
         deadline_height: u64,
+        exec_timeout_blocks: u64,
         reward_token: Option<TokenId>,
     ) -> Vec<u8> {
         let mut enc = Encoder::new();
@@ -362,6 +388,7 @@ impl WorkloadContract {
         enc.put_u32(min_providers);
         enc.put_u64(min_records);
         enc.put_u64(deadline_height);
+        enc.put_u64(exec_timeout_blocks);
         enc.put_option(&reward_token);
         enc.finish()
     }
@@ -494,6 +521,7 @@ impl Contract for WorkloadContract {
                     )));
                 }
                 self.state.phase = Phase::Executing;
+                self.state.started_height = ctx.block_height;
                 ctx.emit(
                     "workload.started",
                     format!(
@@ -661,6 +689,31 @@ impl Contract for WorkloadContract {
                 )?;
                 Ok(Vec::new())
             }
+            calls::ABORT => {
+                self.require_phase(Phase::Executing)?;
+                if self.state.exec_timeout_blocks == 0 {
+                    return Err(ContractError::Revert(
+                        "workload has no execution timeout".into(),
+                    ));
+                }
+                let abort_height = self.state.started_height + self.state.exec_timeout_blocks;
+                if ctx.block_height <= abort_height {
+                    return Err(ContractError::Revert(format!(
+                        "execution timeout {abort_height} not reached at height {}",
+                        ctx.block_height
+                    )));
+                }
+                if self.state.funded > 0 {
+                    self.pay(ctx, self.state.consumer, self.state.funded);
+                    self.state.funded = 0;
+                }
+                self.state.phase = Phase::Cancelled;
+                ctx.emit(
+                    "workload.aborted",
+                    format!("by={} at_height={}", ctx.sender, ctx.block_height),
+                )?;
+                Ok(Vec::new())
+            }
             t => Err(ContractError::BadInput(format!("unknown method {t}"))),
         }
     }
@@ -696,6 +749,10 @@ mod tests {
 
     impl Harness {
         fn new(n_executors: usize) -> Harness {
+            Harness::new_with_timeout(n_executors, 0)
+        }
+
+        fn new_with_timeout(n_executors: usize, exec_timeout_blocks: u64) -> Harness {
             let consumer = KeyPair::from_seed(1);
             let executors: Vec<KeyPair> = (0..n_executors as u64)
                 .map(|i| KeyPair::from_seed(100 + i))
@@ -720,6 +777,7 @@ mod tests {
                 2,
                 10,
                 0,
+                exec_timeout_blocks,
                 None,
             );
             let mut h = Harness {
@@ -1064,6 +1122,7 @@ mod tests {
             2,
             10,
             3, // deadline at height 3
+            0,
             None,
         );
         let deploy = Transaction {
@@ -1133,6 +1192,55 @@ mod tests {
             .unwrap();
         assert_eq!(st.phase, Phase::Cancelled);
         assert!(!chain.events_by_topic("workload.expired").is_empty());
+    }
+
+    #[test]
+    fn abort_refunds_after_execution_timeout() {
+        let mut h = Harness::new_with_timeout(2, 2);
+        let consumer_addr = Address::of(&h.consumer.public);
+        let balance_before = h.chain.state.balance(&consumer_addr);
+        h.drive_to_executing();
+        let st = h.state();
+        assert!(st.started_height > 0, "START records its height");
+        // Too early: the timeout window has not elapsed.
+        let stranger = KeyPair::from_seed(55);
+        let r = h.call(&stranger, calls::abort(), 0);
+        assert!(!r.success);
+        assert!(r.error.unwrap().contains("not reached"));
+        // Mine past started_height + exec_timeout_blocks; anyone may abort.
+        h.chain.produce_block();
+        h.chain.produce_block();
+        h.chain.produce_block();
+        let r = h.call(&stranger, calls::abort(), 0);
+        assert!(r.success, "{:?}", r.error);
+        let st = h.state();
+        assert_eq!(st.phase, Phase::Cancelled);
+        assert_eq!(st.funded, 0);
+        // Full escrow back with the consumer (nothing was paid out).
+        assert_eq!(h.chain.state.balance(&consumer_addr), balance_before);
+        assert!(!h.chain.events_by_topic("workload.aborted").is_empty());
+        // Terminal: no result submission or second abort afterwards.
+        let exec = h.executors[0].clone();
+        assert!(
+            !h.call(&exec, calls::submit_result(sha256(b"late")), 0)
+                .success
+        );
+        assert!(!h.call(&stranger, calls::abort(), 0).success);
+    }
+
+    #[test]
+    fn abort_requires_configured_timeout_and_executing_phase() {
+        let mut h = Harness::new(2);
+        let stranger = KeyPair::from_seed(55);
+        // Open phase: wrong phase regardless of timeout config.
+        let r = h.call(&stranger, calls::abort(), 0);
+        assert!(!r.success);
+        assert!(r.error.unwrap().contains("wrong phase"));
+        h.drive_to_executing();
+        // Executing but no timeout configured.
+        let r = h.call(&stranger, calls::abort(), 0);
+        assert!(!r.success);
+        assert!(r.error.unwrap().contains("no execution timeout"));
     }
 
     #[test]

@@ -142,6 +142,12 @@ struct ExecutorAccount {
     platform: Arc<Platform>,
     /// Enclaves launched per workload id.
     enclaves: HashMap<u64, Enclave>,
+    /// Crash-stop flag: a crashed executor lost all enclave state and is
+    /// skipped by `execute` until it recovers.
+    crashed: bool,
+    /// When set, the executor recovers automatically once the governance
+    /// chain reaches this height (used by `execute_with_retry` backoff).
+    recover_at_height: Option<u64>,
 }
 
 struct ConsumerAccount {
@@ -186,6 +192,28 @@ pub struct ExecutionReport {
     /// Readings discarded by §IV-C executor-side data verification
     /// (authentic but outside the workload's declared value bounds).
     pub readings_out_of_bounds: u64,
+}
+
+/// Retry discipline for [`Marketplace::execute_with_retry`]: how often to
+/// re-attempt a failed execution and how long to back off between
+/// attempts (backoff is expressed in mined governance blocks and doubles
+/// after every failure, so crashed executors with a scheduled recovery
+/// height come back within a bounded number of attempts).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum execution attempts (≥ 1).
+    pub max_attempts: u32,
+    /// Empty blocks mined after the first failure; doubles per attempt.
+    pub backoff_blocks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_blocks: 2,
+        }
+    }
 }
 
 /// Outcome of finalization.
@@ -324,6 +352,8 @@ impl Marketplace {
                 keys,
                 platform,
                 enclaves: HashMap::new(),
+                crashed: false,
+                recover_at_height: None,
             },
         );
         addr
@@ -449,6 +479,22 @@ impl Marketplace {
         code: EnclaveCode,
         max_executors: u32,
     ) -> Result<u64, MarketError> {
+        self.submit_workload_with_timeout(consumer, spec, code, max_executors, 0)
+    }
+
+    /// Like [`Marketplace::submit_workload`], but arms the contract's
+    /// execution timeout: once Executing, anyone may abort the workload
+    /// after `exec_timeout_blocks` governance blocks and refund the
+    /// consumer — the escape hatch when every executor holding data
+    /// crashes mid-workload (0 disables the timeout).
+    pub fn submit_workload_with_timeout(
+        &mut self,
+        consumer: Address,
+        spec: WorkloadSpec,
+        code: EnclaveCode,
+        max_executors: u32,
+        exec_timeout_blocks: u64,
+    ) -> Result<u64, MarketError> {
         if code.measurement() != spec.code_measurement {
             return Err(MarketError::Attestation(
                 "spec measurement does not match supplied code".into(),
@@ -482,6 +528,7 @@ impl Marketplace {
             spec.min_providers,
             spec.min_records,
             0, // marketplace workloads carry no on-chain deadline by default
+            exec_timeout_blocks,
             spec.reward_token,
         );
         let receipt = self.send_tx(
@@ -601,6 +648,110 @@ impl Marketplace {
         runtime.executors.push(executor);
         runtime.quotes.insert(executor, quote);
         self.tick();
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Executor crash-recovery (chaos-harness consumer)
+    // ---------------------------------------------------------------
+
+    /// Simulates a crash-stop failure of an executor: all volatile enclave
+    /// state is lost and the executor is skipped by [`Marketplace::execute`]
+    /// until it recovers. `recover_at_height` optionally schedules an
+    /// automatic recovery once the governance chain reaches that height
+    /// (the hook [`Marketplace::execute_with_retry`] backoff relies on).
+    pub fn executor_crash(
+        &mut self,
+        executor: Address,
+        recover_at_height: Option<u64>,
+    ) -> Result<(), MarketError> {
+        let account = self
+            .executors
+            .get_mut(&executor)
+            .ok_or(MarketError::UnknownActor("executor"))?;
+        account.crashed = true;
+        account.recover_at_height = recover_at_height;
+        account.enclaves.clear();
+        Ok(())
+    }
+
+    /// Recovers a crashed executor: clears the crash flag and relaunches
+    /// (and re-attests) an enclave for every workload the executor had
+    /// joined — the original enclaves died with the crash.
+    pub fn executor_recover(&mut self, executor: Address) -> Result<(), MarketError> {
+        {
+            let account = self
+                .executors
+                .get_mut(&executor)
+                .ok_or(MarketError::UnknownActor("executor"))?;
+            account.crashed = false;
+            account.recover_at_height = None;
+        }
+        let mut joined: Vec<u64> = self
+            .workloads
+            .iter()
+            .filter(|(_, rt)| rt.executors.contains(&executor))
+            .map(|(id, _)| *id)
+            .collect();
+        joined.sort_unstable();
+        for workload_id in joined {
+            self.executor_relaunch(executor, workload_id)?;
+        }
+        Ok(())
+    }
+
+    /// Relaunches and re-attests the enclave for one workload, refreshing
+    /// the quote providers verify against. The executor stays registered
+    /// on-chain; only the off-chain enclave is replaced.
+    pub fn executor_relaunch(
+        &mut self,
+        executor: Address,
+        workload_id: u64,
+    ) -> Result<(), MarketError> {
+        let runtime = self
+            .workloads
+            .get(&workload_id)
+            .ok_or(MarketError::UnknownWorkload(workload_id))?;
+        let code = runtime.code.clone();
+        let expected = runtime.spec.code_measurement;
+        let account = self
+            .executors
+            .get_mut(&executor)
+            .ok_or(MarketError::UnknownActor("executor"))?;
+        let mut enclave = account.platform.launch(&code);
+        let report_data = sha256(&executor.0 .0);
+        let quote = enclave.attest(report_data);
+        self.attestation
+            .verify_expecting(&quote, expected)
+            .map_err(|e| MarketError::Attestation(e.to_string()))?;
+        account.enclaves.insert(workload_id, enclave);
+        self.workloads
+            .get_mut(&workload_id)
+            .expect("checked")
+            .quotes
+            .insert(executor, quote);
+        Ok(())
+    }
+
+    /// Whether an executor is currently in the crashed state.
+    pub fn executor_is_crashed(&self, executor: Address) -> bool {
+        self.executors.get(&executor).is_some_and(|a| a.crashed)
+    }
+
+    /// Wakes up crashed executors whose scheduled recovery height has
+    /// been reached by the governance chain.
+    fn recover_due_executors(&mut self) -> Result<(), MarketError> {
+        let height = self.chain.height();
+        let mut due: Vec<Address> = self
+            .executors
+            .iter()
+            .filter(|(_, a)| a.crashed && a.recover_at_height.is_some_and(|h| height >= h))
+            .map(|(addr, _)| *addr)
+            .collect();
+        due.sort();
+        for executor in due {
+            self.executor_recover(executor)?;
+        }
         Ok(())
     }
 
@@ -851,6 +1002,10 @@ impl Marketplace {
                 state.phase
             )));
         }
+        // Crash-recovery: executors whose scheduled recovery height has
+        // passed come back (with freshly attested enclaves) before the
+        // live set is computed.
+        self.recover_due_executors()?;
         let (spec, contract, executors_with_data) = {
             let runtime = self
                 .workloads
@@ -860,12 +1015,15 @@ impl Marketplace {
                 .executors
                 .iter()
                 .copied()
-                .filter(|e| runtime.executor_data.contains_key(e))
+                .filter(|e| {
+                    runtime.executor_data.contains_key(e)
+                        && self.executors.get(e).is_some_and(|a| !a.crashed)
+                })
                 .collect();
             (runtime.spec.clone(), runtime.contract, ex)
         };
         if executors_with_data.is_empty() {
-            return Err(MarketError::BadPhase("no executor holds data".into()));
+            return Err(MarketError::BadPhase("no live executor holds data".into()));
         }
 
         // Local training inside each executor's enclave.
@@ -955,6 +1113,89 @@ impl Marketplace {
             readings_rejected: rejected,
             readings_out_of_bounds: out_of_bounds,
         })
+    }
+
+    /// Runs [`Marketplace::execute`] under a retry discipline: after each
+    /// failed attempt the marketplace mines empty governance blocks
+    /// (doubling the backoff, and waking any executor whose scheduled
+    /// recovery height passes) and tries again. Returns the report plus
+    /// the number of attempts used; the last error if all attempts fail.
+    pub fn execute_with_retry(
+        &mut self,
+        workload_id: u64,
+        policy: RetryPolicy,
+    ) -> Result<(ExecutionReport, u32), MarketError> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut backoff = policy.backoff_blocks.max(1);
+        let mut attempt = 1u32;
+        loop {
+            match self.execute(workload_id) {
+                Ok(report) => return Ok((report, attempt)),
+                Err(e) if attempt >= max_attempts => return Err(e),
+                Err(_) => {
+                    self.mine_empty_blocks(backoff);
+                    backoff *= 2;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Advances the governance chain by `n` empty blocks. Retry backoff,
+    /// deadline expiry and execution timeouts all measure time in blocks.
+    pub fn mine_empty_blocks(&mut self, n: u64) {
+        for _ in 0..n {
+            self.chain.produce_block();
+        }
+    }
+
+    /// Gracefully aborts an Executing workload whose executors crashed
+    /// mid-computation: mines past the contract's execution timeout if
+    /// necessary, then calls ABORT, refunding the remaining escrow to the
+    /// consumer. Returns the refunded amount.
+    pub fn abort_workload(&mut self, workload_id: u64) -> Result<u128, MarketError> {
+        let state = self.workload_state(workload_id)?;
+        if state.phase != Phase::Executing {
+            return Err(MarketError::BadPhase(format!(
+                "expected Executing, contract is {:?}",
+                state.phase
+            )));
+        }
+        if state.exec_timeout_blocks == 0 {
+            return Err(MarketError::BadPhase(
+                "workload has no execution timeout".into(),
+            ));
+        }
+        let abort_height = state.started_height + state.exec_timeout_blocks;
+        let height = self.chain.height();
+        if height <= abort_height {
+            self.mine_empty_blocks(abort_height - height + 1);
+        }
+        let refund = state.funded;
+        let contract = self
+            .workloads
+            .get(&workload_id)
+            .ok_or(MarketError::UnknownWorkload(workload_id))?
+            .contract;
+        let keys = self
+            .consumers
+            .get(&state.consumer)
+            .ok_or(MarketError::UnknownActor("consumer"))?
+            .keys
+            .clone();
+        let receipt = self.send_tx(
+            &keys,
+            TxKind::Call {
+                contract,
+                input: calls::abort(),
+                value: 0,
+            },
+        );
+        if !receipt.success {
+            return Err(MarketError::ChainFailure(receipt.error.unwrap_or_default()));
+        }
+        self.tick();
+        Ok(refund)
     }
 
     /// An adversarial executor submits a forged result hash (E12 hook).
@@ -1375,6 +1616,15 @@ mod tests {
     }
 
     fn build_world(n_providers: usize, n_executors: usize, scheme: RewardScheme) -> World {
+        build_world_with_timeout(n_providers, n_executors, scheme, 0)
+    }
+
+    fn build_world_with_timeout(
+        n_providers: usize,
+        n_executors: usize,
+        scheme: RewardScheme,
+        exec_timeout_blocks: u64,
+    ) -> World {
         let mut market = Marketplace::new(42);
         let consumer = market.register_consumer(1, 1_000_000);
         let data = gaussian_blobs(60 * n_providers, 3, 0.7, 7);
@@ -1401,7 +1651,13 @@ mod tests {
         let code = EnclaveCode::new("logistic-trainer", 1, b"trainer-binary-v1".to_vec());
         let spec = sample_spec_with(code.measurement(), validation, scheme, n_providers as u32);
         let workload = market
-            .submit_workload(consumer, spec, code, n_executors as u32)
+            .submit_workload_with_timeout(
+                consumer,
+                spec,
+                code,
+                n_executors as u32,
+                exec_timeout_blocks,
+            )
             .unwrap();
         for &e in &executors {
             market.executor_join(e, workload).unwrap();
@@ -1608,6 +1864,106 @@ mod tests {
             providers.iter().map(|&p| (p, executor)).collect();
         let (exec, _) = market.run_full_lifecycle(workload, &assignments).unwrap();
         assert!(exec.validation_score > 0.8, "{}", exec.validation_score);
+    }
+
+    #[test]
+    fn crashed_executor_aborts_with_refund() {
+        let mut w = build_world_with_timeout(2, 1, RewardScheme::ProportionalToRecords, 3);
+        for &p in &w.providers.clone() {
+            w.market
+                .provider_accept(p, w.workload, w.executors[0])
+                .unwrap();
+        }
+        assert!(w.market.try_start(w.workload).unwrap());
+        // The only executor holding data crashes with no recovery in sight.
+        w.market.executor_crash(w.executors[0], None).unwrap();
+        assert!(w.market.executor_is_crashed(w.executors[0]));
+        let err = w.market.execute(w.workload).unwrap_err();
+        assert!(matches!(err, MarketError::BadPhase(_)), "{err}");
+        // Graceful abort: timeout elapses, consumer gets the escrow back.
+        let escrow = w.market.workload_state(w.workload).unwrap().funded;
+        assert!(escrow > 0);
+        let before = w.market.chain.state.balance(&w.consumer);
+        let refund = w.market.abort_workload(w.workload).unwrap();
+        assert_eq!(refund, escrow);
+        assert_eq!(w.market.chain.state.balance(&w.consumer), before + escrow);
+        let st = w.market.workload_state(w.workload).unwrap();
+        assert_eq!(st.phase, Phase::Cancelled);
+        assert_eq!(st.funded, 0);
+        assert!(!w
+            .market
+            .chain
+            .events_by_topic("workload.aborted")
+            .is_empty());
+        // Refund XOR payout: a second abort cannot double-refund.
+        assert!(w.market.abort_workload(w.workload).is_err());
+    }
+
+    #[test]
+    fn abort_requires_timeout_and_executing_phase() {
+        // No timeout configured: abort is unavailable even when Executing.
+        let mut w = build_world(2, 1, RewardScheme::ProportionalToRecords);
+        for &p in &w.providers.clone() {
+            w.market
+                .provider_accept(p, w.workload, w.executors[0])
+                .unwrap();
+        }
+        assert!(w.market.try_start(w.workload).unwrap());
+        let err = w.market.abort_workload(w.workload).unwrap_err();
+        assert!(matches!(err, MarketError::BadPhase(_)), "{err}");
+        // Open phase: abort is premature even with a timeout configured.
+        let mut w = build_world_with_timeout(2, 1, RewardScheme::ProportionalToRecords, 3);
+        let err = w.market.abort_workload(w.workload).unwrap_err();
+        assert!(matches!(err, MarketError::BadPhase(_)), "{err}");
+    }
+
+    #[test]
+    fn executor_recovery_retries_to_success() {
+        let mut w = build_world_with_timeout(2, 1, RewardScheme::ProportionalToRecords, 100);
+        for &p in &w.providers.clone() {
+            w.market
+                .provider_accept(p, w.workload, w.executors[0])
+                .unwrap();
+        }
+        assert!(w.market.try_start(w.workload).unwrap());
+        // Crash with a scheduled recovery a few blocks out: the retry
+        // backoff mines the chain forward until the executor comes back.
+        let recover_at = w.market.chain.height() + 4;
+        w.market
+            .executor_crash(w.executors[0], Some(recover_at))
+            .unwrap();
+        let (report, attempts) = w
+            .market
+            .execute_with_retry(w.workload, RetryPolicy::default())
+            .unwrap();
+        assert!(attempts > 1, "first attempt must fail while crashed");
+        assert!(!w.market.executor_is_crashed(w.executors[0]));
+        assert!(report.validation_score > 0.8, "{}", report.validation_score);
+        // The relaunched enclave carries a fresh verified quote and the
+        // lifecycle completes normally after recovery.
+        let fin = w.market.finalize(w.workload).unwrap();
+        assert_eq!(fin.paid_executors, vec![w.executors[0]]);
+        assert!(fin.slashed.is_empty());
+    }
+
+    #[test]
+    fn execute_skips_crashed_executor_when_another_is_live() {
+        let mut w = build_world(4, 2, RewardScheme::ProportionalToRecords);
+        let assignments: Vec<(Address, Address)> = w
+            .providers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, w.executors[i % 2]))
+            .collect();
+        for (p, e) in &assignments {
+            w.market.provider_accept(*p, w.workload, *e).unwrap();
+        }
+        assert!(w.market.try_start(w.workload).unwrap());
+        w.market.executor_crash(w.executors[1], None).unwrap();
+        // Execution proceeds on the surviving executor alone.
+        let report = w.market.execute(w.workload).unwrap();
+        assert!(report.enclave_costs.contains_key(&w.executors[0]));
+        assert!(!report.enclave_costs.contains_key(&w.executors[1]));
     }
 
     #[test]

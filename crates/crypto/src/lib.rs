@@ -30,4 +30,4 @@ pub use bigint::BigUint;
 pub use codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
-pub use sha256::{sha256, Digest};
+pub use sha256::{sha256, Digest, Sha256};

@@ -33,6 +33,13 @@ impl Digest {
         self.to_hex()[..8].to_string()
     }
 
+    /// Folds the digest to a 64-bit fingerprint (first 8 bytes,
+    /// little-endian). Used where a full 32-byte digest is overkill —
+    /// e.g. per-message integrity tags in the network simulator trace.
+    pub fn fold_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
     /// Parses 64 hex chars.
     pub fn from_hex(s: &str) -> Option<Digest> {
         if s.len() != 64 {

@@ -11,10 +11,13 @@
 //! (the rule from the gossip-learning papers), plain averaging, or
 //! replace-if-older.
 
+use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use pds2_crypto::Sha256;
 use pds2_ml::data::Dataset;
 use pds2_ml::linalg::weighted_average;
 use pds2_ml::model::Model;
 use pds2_ml::sgd;
+use pds2_net::fault::FaultPlan;
 use pds2_net::{Ctx, Node, NodeId};
 use rand::Rng;
 
@@ -82,7 +85,7 @@ impl Default for GossipConfig {
 }
 
 /// The message gossiped between peers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GossipMsg {
     /// Flat model parameters.
     pub params: Vec<f64>,
@@ -90,6 +93,70 @@ pub struct GossipMsg {
     pub age: u64,
     /// Push-pull: the sender expects the receiver's model in return.
     pub want_reply: bool,
+    /// Content digest over `(params, age, want_reply)`; receivers drop
+    /// messages whose digest does not match (in-flight corruption).
+    pub digest: u64,
+}
+
+impl GossipMsg {
+    /// Builds a message with its content digest.
+    pub fn new(params: Vec<f64>, age: u64, want_reply: bool) -> GossipMsg {
+        let digest = Self::compute_digest(&params, age, want_reply);
+        GossipMsg {
+            params,
+            age,
+            want_reply,
+            digest,
+        }
+    }
+
+    /// The expected digest for the given content.
+    pub fn compute_digest(params: &[f64], age: u64, want_reply: bool) -> u64 {
+        let mut h = Sha256::new();
+        h.update(b"pds2-gossip-v1");
+        for p in params {
+            h.update(&p.to_bits().to_le_bytes());
+        }
+        h.update(&age.to_le_bytes());
+        h.update(&[want_reply as u8]);
+        h.finalize().fold_u64()
+    }
+
+    /// Whether the carried digest matches the content.
+    pub fn verify(&self) -> bool {
+        Self::compute_digest(&self.params, self.age, self.want_reply) == self.digest
+    }
+}
+
+impl Encode for GossipMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.params.len() as u32);
+        for p in &self.params {
+            enc.put_f64(*p);
+        }
+        enc.put_u64(self.age);
+        enc.put_bool(self.want_reply);
+        enc.put_u64(self.digest);
+    }
+}
+
+impl Decode for GossipMsg {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.get_u32()? as usize;
+        if n > dec.remaining() / 8 {
+            return Err(DecodeError::LengthOverflow);
+        }
+        let mut params = Vec::with_capacity(n);
+        for _ in 0..n {
+            params.push(dec.get_f64()?);
+        }
+        Ok(GossipMsg {
+            params,
+            age: dec.get_u64()?,
+            want_reply: dec.get_bool()?,
+            digest: dec.get_u64()?,
+        })
+    }
 }
 
 /// A gossip-learning participant.
@@ -106,6 +173,9 @@ pub struct GossipNode<M: Model> {
     pub models_sent: u64,
     /// Models received and merged.
     pub models_merged: u64,
+    /// Incoming messages dropped because their digest did not match
+    /// (corrupted in flight by a byzantine link).
+    pub corrupted_dropped: u64,
 }
 
 impl<M: Model> GossipNode<M> {
@@ -118,6 +188,7 @@ impl<M: Model> GossipNode<M> {
             cfg,
             models_sent: 0,
             models_merged: 0,
+            corrupted_dropped: 0,
         }
     }
 
@@ -203,6 +274,12 @@ impl<M: Model> Node for GossipNode<M> {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, GossipMsg>, from: NodeId, msg: GossipMsg) {
+        if !msg.verify() {
+            // Corrupted in flight: never merge a model we cannot
+            // authenticate against its digest.
+            self.corrupted_dropped += 1;
+            return;
+        }
         let want_reply = msg.want_reply;
         self.merge(&msg);
         let mut rng = {
@@ -212,14 +289,7 @@ impl<M: Model> Node for GossipNode<M> {
         };
         self.local_update(&mut rng);
         if want_reply {
-            ctx.send(
-                from,
-                GossipMsg {
-                    params: self.model.params(),
-                    age: self.age,
-                    want_reply: false,
-                },
-            );
+            ctx.send(from, GossipMsg::new(self.model.params(), self.age, false));
             self.models_sent += 1;
         }
     }
@@ -228,11 +298,11 @@ impl<M: Model> Node for GossipNode<M> {
         if let Some(peer) = ctx.random_peer() {
             ctx.send(
                 peer,
-                GossipMsg {
-                    params: self.model.params(),
-                    age: self.age,
-                    want_reply: self.cfg.protocol == GossipProtocol::PushPull,
-                },
+                GossipMsg::new(
+                    self.model.params(),
+                    self.age,
+                    self.cfg.protocol == GossipProtocol::PushPull,
+                ),
             );
             self.models_sent += 1;
         }
@@ -240,7 +310,29 @@ impl<M: Model> Node for GossipNode<M> {
     }
 
     fn msg_size(msg: &GossipMsg) -> u64 {
-        (msg.params.len() * 8 + 17) as u64
+        (msg.params.len() * 8 + 25) as u64
+    }
+
+    fn msg_digest(msg: &GossipMsg) -> u64 {
+        msg.digest
+    }
+
+    fn corrupt_msg(msg: &GossipMsg, rng: &mut rand::rngs::StdRng) -> Option<GossipMsg> {
+        // Flip one bit of one parameter but keep the stale digest: a
+        // structurally valid message the digest check must reject.
+        if msg.params.is_empty() {
+            return None;
+        }
+        let mut mangled = msg.clone();
+        let i = rng.random_range(0..mangled.params.len());
+        let bit = rng.random_range(0..64);
+        mangled.params[i] = f64::from_bits(mangled.params[i].to_bits() ^ (1u64 << bit));
+        Some(mangled)
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, GossipMsg>) {
+        // A recovered node rejoins the gossip schedule immediately.
+        ctx.set_timer(self.cfg.period_us.max(1), 0);
     }
 }
 
@@ -265,6 +357,31 @@ where
     M: Model + Sync,
     F: Fn() -> M,
 {
+    run_gossip_experiment_with_faults(
+        shards, test, cfg, link, seed, eval_at_us, churn, None, make_model,
+    )
+}
+
+/// [`run_gossip_experiment`] with an optional chaos [`FaultPlan`]
+/// (partitions, byzantine corruption, crash-recovery) compiled into the
+/// run, plus a delivered-message trace hash for golden-trace regression
+/// tests.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gossip_experiment_with_faults<M, F>(
+    shards: Vec<Dataset>,
+    test: &Dataset,
+    cfg: GossipConfig,
+    link: pds2_net::LinkModel,
+    seed: u64,
+    eval_at_us: &[u64],
+    churn: Option<(f64, u64)>,
+    fault_plan: Option<FaultPlan>,
+    make_model: F,
+) -> GossipOutcome
+where
+    M: Model + Sync,
+    F: Fn() -> M,
+{
     let nodes: Vec<GossipNode<M>> = shards
         .into_iter()
         .map(|shard| GossipNode::new(make_model(), shard, cfg.clone()))
@@ -273,6 +390,10 @@ where
     if let Some((prob, horizon)) = churn {
         sim.schedule_random_churn(prob, horizon, 0);
     }
+    if let Some(plan) = fault_plan {
+        sim.install_fault_plan(plan);
+    }
+    sim.enable_trace();
     let mut accuracy_curve = Vec::with_capacity(eval_at_us.len());
     for &t in eval_at_us {
         sim.run_until(t);
@@ -303,6 +424,8 @@ where
         models_transferred,
         bytes_transferred: stats.bytes_delivered,
         online_nodes: sim.online_count(),
+        corrupted_dropped: sim.nodes().map(|n| n.corrupted_dropped).sum(),
+        trace_hash: sim.trace_hash(),
     }
 }
 
@@ -317,6 +440,10 @@ pub struct GossipOutcome {
     pub bytes_transferred: u64,
     /// Nodes still online at the end.
     pub online_nodes: usize,
+    /// Messages receivers discarded on digest mismatch.
+    pub corrupted_dropped: u64,
+    /// Delivered-message trace digest of the run (golden-trace tests).
+    pub trace_hash: Option<pds2_crypto::Digest>,
 }
 
 #[cfg(test)]
@@ -391,11 +518,7 @@ mod tests {
         let data = gaussian_blobs(50, 2, 1.0, 1);
         let mut node = GossipNode::new(LogisticRegression::new(2), data, GossipConfig::default());
         node.age = 1;
-        let incoming = GossipMsg {
-            params: vec![10.0, 10.0, 10.0],
-            age: 9,
-            want_reply: false,
-        };
+        let incoming = GossipMsg::new(vec![10.0, 10.0, 10.0], 9, false);
         node.merge(&incoming);
         // Age-weighted: (1*0 + 9*10)/10 = 9.
         assert!((node.model.params()[0] - 9.0).abs() < 1e-9);
@@ -416,17 +539,9 @@ mod tests {
         );
         node.age = 5;
         let before = node.model.params();
-        node.merge(&GossipMsg {
-            params: vec![9.0, 9.0, 9.0],
-            age: 2,
-            want_reply: false,
-        });
+        node.merge(&GossipMsg::new(vec![9.0, 9.0, 9.0], 2, false));
         assert_eq!(node.model.params(), before, "younger model rejected");
-        node.merge(&GossipMsg {
-            params: vec![9.0, 9.0, 9.0],
-            age: 20,
-            want_reply: false,
-        });
+        node.merge(&GossipMsg::new(vec![9.0, 9.0, 9.0], 20, false));
         assert_eq!(node.model.params(), vec![9.0, 9.0, 9.0]);
     }
 
@@ -549,14 +664,83 @@ mod tests {
 
     #[test]
     fn message_size_tracks_dimension() {
-        let msg = GossipMsg {
-            params: vec![0.0; 100],
-            age: 1,
-            want_reply: false,
-        };
+        let msg = GossipMsg::new(vec![0.0; 100], 1, false);
         assert_eq!(
             <GossipNode<LogisticRegression> as Node>::msg_size(&msg),
-            817
+            825
         );
+    }
+
+    #[test]
+    fn digest_detects_any_single_bit_flip() {
+        let msg = GossipMsg::new(vec![1.5, -2.25, 0.0], 7, true);
+        assert!(msg.verify());
+        let mut flipped = msg.clone();
+        flipped.params[1] = f64::from_bits(flipped.params[1].to_bits() ^ 1);
+        assert!(!flipped.verify());
+        let mut aged = msg.clone();
+        aged.age += 1;
+        assert!(!aged.verify());
+        let mut reply = msg.clone();
+        reply.want_reply = false;
+        assert!(!reply.verify());
+    }
+
+    #[test]
+    fn gossip_msg_codec_roundtrip() {
+        use pds2_crypto::codec::{Decode, Encode};
+        let msg = GossipMsg::new(vec![0.25, f64::MAX, -0.0], 42, true);
+        let back = GossipMsg::from_bytes(&msg.to_bytes()).unwrap();
+        assert_eq!(back.params, msg.params);
+        assert_eq!(back.age, msg.age);
+        assert_eq!(back.want_reply, msg.want_reply);
+        assert!(back.verify());
+    }
+
+    #[test]
+    fn corrupt_msg_is_always_caught_by_digest() {
+        use rand::SeedableRng;
+        let msg = GossipMsg::new(vec![1.0, 2.0, 3.0], 5, false);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let mangled =
+                <GossipNode<LogisticRegression> as Node>::corrupt_msg(&msg, &mut rng).unwrap();
+            assert!(!mangled.verify(), "stale digest must not verify");
+        }
+    }
+
+    #[test]
+    fn byzantine_corruption_is_dropped_not_merged() {
+        let data = gaussian_blobs(600, 3, 0.7, 1);
+        let (train, test) = data.split(0.25, 2);
+        let shards = train.partition_iid(10, 3);
+        let plan = pds2_net::FaultPlan::new(7).byzantine(
+            0,
+            5_000_000,
+            pds2_net::LinkScope::any(),
+            pds2_net::LinkEffect::Corrupt { probability: 0.3 },
+        );
+        let out = run_gossip_experiment_with_faults(
+            shards,
+            &test,
+            GossipConfig {
+                period_us: 100_000,
+                ..Default::default()
+            },
+            LinkModel::instant(),
+            7,
+            &[5_000_000],
+            None,
+            Some(plan),
+            || LogisticRegression::new(3),
+        );
+        assert!(out.corrupted_dropped > 0, "corruption must be observed");
+        // Learning still converges because corrupt models are never merged.
+        assert!(
+            out.accuracy_curve[0] > 0.9,
+            "accuracy under corruption {:?}",
+            out.accuracy_curve
+        );
+        assert!(out.trace_hash.is_some());
     }
 }

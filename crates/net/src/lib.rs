@@ -9,8 +9,17 @@
 //! Everything is seeded: the same seed reproduces the same event trace,
 //! which the integration tests assert.
 
+//! Chaos engineering: [`fault::FaultPlan`] compiles seeded fault
+//! schedules — partitions, byzantine links, crash-recovery, typed
+//! censorship — into the same event queue, replaying bit-identically
+//! from the seed.
+
+pub mod fault;
 pub mod link;
 pub mod sim;
 
+pub use fault::{
+    CrashSpec, FaultPlan, LinkEffect, LinkFault, LinkScope, PartitionSpec, TypedDrop, Window,
+};
 pub use link::LinkModel;
 pub use sim::{Ctx, NetStats, Node, NodeId, SimTime, Simulator};

@@ -5,7 +5,9 @@
 //! queue. Determinism: a seeded RNG drives every random choice, and ties in
 //! the queue break on a monotone sequence number.
 
+use crate::fault::{FaultPlan, FaultState, SendVerdict};
 use crate::link::LinkModel;
+use pds2_crypto::{Digest, Sha256};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -37,6 +39,41 @@ pub trait Node {
     fn msg_size(msg: &Self::Msg) -> u64 {
         let _ = msg;
         64
+    }
+
+    /// Coarse message-type tag used by [`crate::fault::TypedDrop`]
+    /// censorship and the delivered-message trace. Protocols with a
+    /// single message type can keep the default.
+    fn msg_kind(msg: &Self::Msg) -> u8 {
+        let _ = msg;
+        0
+    }
+
+    /// Content fingerprint folded into the delivered-message trace.
+    /// Override with a real digest of the payload so the golden trace
+    /// detects silent content changes, not just shape changes.
+    fn msg_digest(msg: &Self::Msg) -> u64 {
+        Self::msg_size(msg)
+    }
+
+    /// Produces an in-flight-corrupted version of `msg` for byzantine
+    /// link faults. `None` (the default) means corruption destroys the
+    /// message entirely — appropriate when any flipped bit would fail
+    /// decoding anyway.
+    fn corrupt_msg(msg: &Self::Msg, rng: &mut StdRng) -> Option<Self::Msg> {
+        let _ = (msg, rng);
+        None
+    }
+
+    /// Called when a fault-plan crash takes this node down. Crash-stop
+    /// semantics: wipe whatever state would not survive a process
+    /// restart. The default loses nothing (fail-silent).
+    fn on_crash(&mut self) {}
+
+    /// Called when a fault-plan crash recovers. Re-arm timers and kick
+    /// off resynchronisation here; the default does nothing.
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
     }
 }
 
@@ -104,6 +141,12 @@ enum EventKind<M> {
         node: NodeId,
         online: bool,
     },
+    Crash {
+        node: NodeId,
+    },
+    Recover {
+        node: NodeId,
+    },
 }
 
 struct Event<M> {
@@ -144,6 +187,21 @@ pub struct NetStats {
     pub bytes_delivered: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
+    /// Messages destroyed by an active partition (at send or delivery).
+    pub dropped_partition: u64,
+    /// Messages destroyed by byzantine drops / typed censorship /
+    /// unrepresentable corruption.
+    pub dropped_fault: u64,
+    /// Messages corrupted in flight and still delivered.
+    pub corrupted: u64,
+    /// Extra copies injected by duplication faults.
+    pub duplicated: u64,
+    /// Messages delayed by reorder faults.
+    pub reordered: u64,
+    /// Fault-plan crashes executed.
+    pub crashes: u64,
+    /// Fault-plan recoveries executed.
+    pub recoveries: u64,
 }
 
 /// The discrete-event simulator.
@@ -157,6 +215,8 @@ pub struct Simulator<N: Node> {
     rng: StdRng,
     stats: NetStats,
     started: bool,
+    fault: Option<FaultState>,
+    trace: Option<Sha256>,
 }
 
 impl<N: Node> Simulator<N> {
@@ -173,6 +233,8 @@ impl<N: Node> Simulator<N> {
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
             started: false,
+            fault: None,
+            trace: None,
         }
     }
 
@@ -258,6 +320,48 @@ impl<N: Node> Simulator<N> {
         }
     }
 
+    /// Installs a seeded [`FaultPlan`]: schedules its crash/recovery
+    /// events and arms partitions, byzantine links and typed drops for
+    /// every subsequent send. Fault randomness comes from the plan's own
+    /// seed, so the protocol RNG stream is unchanged by installing a
+    /// plan. Call before [`Simulator::start`].
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for crash in plan.crashes.clone() {
+            self.push(crash.at, EventKind::Crash { node: crash.node });
+            if let Some(recover_at) = crash.recover_at {
+                self.push(recover_at, EventKind::Recover { node: crash.node });
+            }
+        }
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// Starts hashing every delivered message into a running trace
+    /// digest. Call before [`Simulator::start`] so the trace covers the
+    /// full run.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Sha256::new());
+    }
+
+    /// The running delivered-message trace digest, if
+    /// [`Simulator::enable_trace`] was called. Two runs with identical
+    /// seeds, plans and protocols yield identical hashes.
+    pub fn trace_hash(&self) -> Option<Digest> {
+        self.trace.clone().map(|h| h.finalize())
+    }
+
+    fn record_trace(&mut self, from: NodeId, to: NodeId, kind: u8, size: u64, digest: u64) {
+        if let Some(trace) = &mut self.trace {
+            let mut row = [0u8; 33];
+            row[..8].copy_from_slice(&self.now.to_le_bytes());
+            row[8..16].copy_from_slice(&(from as u64).to_le_bytes());
+            row[16..24].copy_from_slice(&(to as u64).to_le_bytes());
+            row[24] = kind;
+            row[25..33].copy_from_slice(&size.to_le_bytes());
+            trace.update(&row);
+            trace.update(&digest.to_le_bytes());
+        }
+    }
+
     fn push(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
         let seq = self.seq;
         self.seq += 1;
@@ -269,13 +373,67 @@ impl<N: Node> Simulator<N> {
             match action {
                 Action::Send { to, msg } => {
                     self.stats.sent += 1;
+                    // Fault layer first (dedicated RNG, deterministic
+                    // event order), then the benign link model — so the
+                    // protocol RNG stream is identical with and without
+                    // an installed plan.
+                    let mut msg = msg;
+                    let mut extra_delay_us = 0;
+                    let mut duplicate_after_us = None;
+                    if let Some(fault) = &mut self.fault {
+                        let kind = N::msg_kind(&msg);
+                        let fate = fault.judge_send(origin, to, kind, self.now);
+                        match fate.verdict {
+                            SendVerdict::DropPartition => {
+                                self.stats.dropped_partition += 1;
+                                continue;
+                            }
+                            SendVerdict::DropFault => {
+                                self.stats.dropped_fault += 1;
+                                continue;
+                            }
+                            SendVerdict::DeliverCorrupted => {
+                                match N::corrupt_msg(&msg, fault.rng_mut()) {
+                                    Some(mangled) => {
+                                        self.stats.corrupted += 1;
+                                        msg = mangled;
+                                    }
+                                    None => {
+                                        // Corruption the protocol cannot
+                                        // even represent: the frame is
+                                        // destroyed on the wire.
+                                        self.stats.dropped_fault += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            SendVerdict::Deliver => {}
+                        }
+                        if fate.extra_delay_us > 0 {
+                            self.stats.reordered += 1;
+                            extra_delay_us = fate.extra_delay_us;
+                        }
+                        duplicate_after_us = fate.duplicate_after_us;
+                    }
                     if self.link.drops(&mut self.rng) {
                         self.stats.dropped_loss += 1;
                         continue;
                     }
                     let size = N::msg_size(&msg);
                     let delay = self.link.delay_us(&mut self.rng, origin, to, size);
-                    let at = self.now + delay;
+                    let at = self.now + delay + extra_delay_us;
+                    if let Some(after_us) = duplicate_after_us {
+                        self.stats.duplicated += 1;
+                        self.push(
+                            at + after_us.max(1),
+                            EventKind::Deliver {
+                                from: origin,
+                                to,
+                                msg: msg.clone(),
+                                size,
+                            },
+                        );
+                    }
                     self.push(
                         at,
                         EventKind::Deliver {
@@ -353,13 +511,32 @@ impl<N: Node> Simulator<N> {
                     msg,
                     size,
                 } => {
-                    if self.online[to] {
+                    // A partition that split while this message was in
+                    // flight destroys it at the boundary.
+                    if self
+                        .fault
+                        .as_ref()
+                        .is_some_and(|f| f.severed_at_delivery(from, to, self.now))
+                    {
+                        self.stats.dropped_partition += 1;
+                    } else if self.online[to] {
                         self.stats.delivered += 1;
                         self.stats.bytes_delivered += size;
+                        self.record_trace(from, to, N::msg_kind(&msg), size, N::msg_digest(&msg));
                         self.call_node(to, |n, ctx| n.on_message(ctx, from, msg));
                     } else {
                         self.stats.dropped_offline += 1;
                     }
+                }
+                EventKind::Crash { node } => {
+                    self.stats.crashes += 1;
+                    self.online[node] = false;
+                    self.nodes[node].on_crash();
+                }
+                EventKind::Recover { node } => {
+                    self.stats.recoveries += 1;
+                    self.online[node] = true;
+                    self.call_node(node, |n, ctx| n.on_recover(ctx));
                 }
             }
         }
@@ -376,6 +553,7 @@ impl<N: Node> Simulator<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{LinkEffect, LinkScope};
 
     /// Test protocol: a ping-pong counter. Node 0 starts; each node
     /// forwards `count+1` to a fixed next hop until TTL.
@@ -502,6 +680,203 @@ mod tests {
         }
         let mut sim = Simulator::new(vec![P, P, P], LinkModel::instant(), 3);
         sim.start();
+    }
+
+    /// Flood protocol for fault-layer tests: every node broadcasts a
+    /// counter on a periodic timer and remembers the highest value seen.
+    struct Flood {
+        highest: u64,
+        peers_seen: u32,
+        sent: u64,
+        crashes: u64,
+        recoveries: u64,
+    }
+
+    impl Flood {
+        fn new() -> Flood {
+            Flood {
+                highest: 0,
+                peers_seen: 0,
+                sent: 0,
+                crashes: 0,
+                recoveries: 0,
+            }
+        }
+    }
+
+    impl Node for Flood {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(100, 0);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            self.highest = self.highest.max(msg);
+            self.peers_seen |= 1 << from;
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
+            self.sent += 1;
+            let value = self.sent * 1_000 + ctx.id as u64;
+            for to in 0..ctx.n_nodes {
+                if to != ctx.id {
+                    ctx.send(to, value);
+                }
+            }
+            ctx.set_timer(100, 0);
+        }
+
+        fn msg_size(_msg: &u64) -> u64 {
+            8
+        }
+
+        fn msg_digest(msg: &u64) -> u64 {
+            *msg
+        }
+
+        fn corrupt_msg(msg: &u64, rng: &mut StdRng) -> Option<u64> {
+            Some(msg ^ (1 << rng.random_range(0..64)))
+        }
+
+        fn on_crash(&mut self) {
+            self.crashes += 1;
+            self.highest = 0;
+        }
+
+        fn on_recover(&mut self, ctx: &mut Ctx<'_, u64>) {
+            self.recoveries += 1;
+            ctx.set_timer(100, 0);
+        }
+    }
+
+    fn flood_sim(n: usize, seed: u64) -> Simulator<Flood> {
+        Simulator::new(
+            (0..n).map(|_| Flood::new()).collect(),
+            LinkModel::instant(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        let mut sim = flood_sim(4, 1);
+        sim.install_fault_plan(FaultPlan::new(1).partition(0, 5_000, vec![vec![0, 1], vec![2, 3]]));
+        sim.run_until(4_000);
+        // During the split, traffic never crosses the islands {0,1} and
+        // {2,3}: each node has only heard from its island peer.
+        assert!(sim.stats().dropped_partition > 0);
+        assert_eq!(sim.node(0).peers_seen, 0b0010);
+        assert_eq!(sim.node(1).peers_seen, 0b0001);
+        assert_eq!(sim.node(2).peers_seen, 0b1000);
+        assert_eq!(sim.node(3).peers_seen, 0b0100);
+        // After healing, traffic crosses again: everyone hears from every
+        // peer.
+        sim.run_until(10_000);
+        for i in 0..4u32 {
+            assert_eq!(sim.node(i as usize).peers_seen, 0b1111 & !(1 << i));
+        }
+    }
+
+    #[test]
+    fn crash_invokes_hooks_and_recovery_restarts() {
+        let mut sim = flood_sim(3, 2);
+        sim.install_fault_plan(FaultPlan::new(2).crash(1, 1_000, Some(3_000)));
+        sim.run_until(10_000);
+        assert_eq!(sim.stats().crashes, 1);
+        assert_eq!(sim.stats().recoveries, 1);
+        assert_eq!(sim.node(1).crashes, 1);
+        assert_eq!(sim.node(1).recoveries, 1);
+        // The recovered node re-armed its broadcast timer and caught up.
+        assert!(sim.node(1).highest > 0);
+    }
+
+    #[test]
+    fn byzantine_corruption_and_duplication_are_counted() {
+        let mut sim = flood_sim(2, 3);
+        sim.install_fault_plan(
+            FaultPlan::new(3)
+                .byzantine(
+                    0,
+                    100_000,
+                    LinkScope::any(),
+                    LinkEffect::Corrupt { probability: 0.5 },
+                )
+                .byzantine(
+                    0,
+                    100_000,
+                    LinkScope::any(),
+                    LinkEffect::Duplicate {
+                        probability: 0.5,
+                        extra_delay_us: 10,
+                    },
+                ),
+        );
+        sim.run_until(100_000);
+        let s = sim.stats();
+        assert!(s.corrupted > 0);
+        assert!(s.duplicated > 0);
+        // Duplicates arrive a little late, so a few may still be in
+        // flight at the deadline.
+        assert!(s.delivered >= s.sent - s.dropped_fault);
+        assert!(s.delivered <= s.sent - s.dropped_fault + s.duplicated);
+    }
+
+    #[test]
+    fn typed_drops_censor_only_matching_kind() {
+        // Flood uses kind 0 everywhere; censor kind 0 from node 0 only.
+        let mut sim = flood_sim(3, 4);
+        sim.install_fault_plan(FaultPlan::new(4).drop_kind(
+            0,
+            100_000,
+            LinkScope::from_node(0),
+            0,
+            1.0,
+        ));
+        sim.run_until(10_000);
+        // Node 0's broadcasts are all censored; 1 and 2 still exchange.
+        assert!(sim.stats().dropped_fault > 0);
+        assert!(sim.node(1).highest % 1_000 != 0);
+        assert!(sim.node(2).highest % 1_000 != 0);
+    }
+
+    #[test]
+    fn trace_hash_is_reproducible_and_fault_sensitive() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut sim = flood_sim(3, 9);
+            if let Some(p) = plan {
+                sim.install_fault_plan(p);
+            }
+            sim.enable_trace();
+            sim.run_until(20_000);
+            sim.trace_hash().unwrap()
+        };
+        let clean_a = run(None);
+        let clean_b = run(None);
+        assert_eq!(clean_a, clean_b, "same seed must give same trace");
+        let faulty = run(Some(FaultPlan::new(9).crash(2, 5_000, None)));
+        assert_ne!(clean_a, faulty, "faults must change the trace");
+    }
+
+    #[test]
+    fn installing_a_plan_does_not_perturb_protocol_rng() {
+        // A no-op plan (faults outside the horizon) must leave the
+        // delivered-message trace byte-identical to a plan-free run.
+        let run = |install: bool| {
+            let mut sim = flood_sim(3, 11);
+            if install {
+                sim.install_fault_plan(FaultPlan::new(999).crash(0, 1_000_000, None).byzantine(
+                    1_000_000,
+                    2_000_000,
+                    LinkScope::any(),
+                    LinkEffect::Drop { probability: 1.0 },
+                ));
+            }
+            sim.enable_trace();
+            sim.run_until(20_000);
+            sim.trace_hash().unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

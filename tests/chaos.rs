@@ -1,0 +1,299 @@
+//! Chaos harness: seeded fault plans — partitions, byzantine links,
+//! crash-recovery, typed censorship — driven through the deterministic
+//! network simulator against the real consumers (PoA block sync and
+//! gossip learning).
+//!
+//! Every scenario asserts two things: the *protocol* property (the
+//! cluster converges / recovers / rejects corruption) and the *harness*
+//! property (the run replays bit-identically from its seed, at any
+//! `PDS2_THREADS` worker count).
+
+use pds2_chain::address::Address;
+use pds2_chain::chain::{Blockchain, ChainConfig};
+use pds2_chain::contract::ContractRegistry;
+use pds2_chain::sync::{kind, ChainReplica, GenesisFactory};
+use pds2_crypto::{Digest, KeyPair};
+use pds2_learning::gossip::{run_gossip_experiment_with_faults, GossipConfig};
+use pds2_ml::data::gaussian_blobs;
+use pds2_ml::model::LogisticRegression;
+use pds2_net::{FaultPlan, LinkEffect, LinkModel, LinkScope, NetStats, Simulator};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+const N_REPLICAS: usize = 4;
+
+fn factory() -> GenesisFactory {
+    Arc::new(|| {
+        Blockchain::new(
+            (0..N_REPLICAS as u64)
+                .map(|i| KeyPair::from_seed(9_000 + i))
+                .collect(),
+            &[(Address::of(&KeyPair::from_seed(1).public), 1_000_000)],
+            ContractRegistry::new(),
+            ChainConfig::default(),
+        )
+    })
+}
+
+fn fast_link() -> LinkModel {
+    LinkModel {
+        base_latency_us: 5_000,
+        jitter_us: 2_000,
+        bandwidth_bytes_per_sec: 12_500_000,
+        drop_probability: 0.0,
+        node_slowdown: Vec::new(),
+    }
+}
+
+/// Everything comparable about one chaos run, for replay assertions.
+#[derive(Clone, Debug, PartialEq)]
+struct ChainRun {
+    trace: Digest,
+    heads: Vec<Digest>,
+    roots: Vec<Digest>,
+    heights: Vec<u64>,
+    applied: Vec<u64>,
+    rejected: Vec<u64>,
+    forks: Vec<u64>,
+    syncing: Vec<bool>,
+    stats: NetStats,
+}
+
+fn run_chain(seed: u64, plan: FaultPlan, until_us: u64) -> ChainRun {
+    let f = factory();
+    let replicas: Vec<ChainReplica> = (0..N_REPLICAS)
+        .map(|i| ChainReplica::new(f.clone(), Some(i), 200_000, 150_000))
+        .collect();
+    let mut sim = Simulator::new(replicas, fast_link(), seed);
+    sim.install_fault_plan(plan);
+    sim.enable_trace();
+    sim.run_until(until_us);
+    ChainRun {
+        trace: sim.trace_hash().expect("trace enabled"),
+        heads: sim.nodes().map(|r| r.chain().head_hash()).collect(),
+        roots: sim.nodes().map(|r| r.chain().state.state_root()).collect(),
+        heights: sim.nodes().map(|r| r.chain().height()).collect(),
+        applied: sim.nodes().map(|r| r.blocks_applied).collect(),
+        rejected: sim.nodes().map(|r| r.blocks_rejected).collect(),
+        forks: sim.nodes().map(|r| r.forks_adopted).collect(),
+        syncing: sim.nodes().map(|r| r.is_syncing()).collect(),
+        stats: sim.stats(),
+    }
+}
+
+fn assert_converged(run: &ChainRun) {
+    for i in 1..N_REPLICAS {
+        assert_eq!(
+            run.heads[i], run.heads[0],
+            "replica {i} head diverged: heights {:?}",
+            run.heights
+        );
+        assert_eq!(
+            run.roots[i], run.roots[0],
+            "replica {i} state root diverged"
+        );
+    }
+}
+
+fn assert_replays_identically(seed: u64, plan: impl Fn() -> FaultPlan, until_us: u64) {
+    let base = run_chain(seed, plan(), until_us);
+    // Same seed, same plan: the whole run is bit-identical — including at
+    // forced worker counts (the programmatic form of `PDS2_THREADS`).
+    let again = run_chain(seed, plan(), until_us);
+    assert_eq!(again, base, "re-run of the same seed diverged");
+    for threads in THREAD_COUNTS {
+        let r = pds2_par::with_threads(threads, || run_chain(seed, plan(), until_us));
+        assert_eq!(r, base, "run diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn partition_then_heal_chain_converges() {
+    let plan =
+        || FaultPlan::new(0xC4A0).partition(2_000_000, 5_000_000, vec![vec![0, 1], vec![2, 3]]);
+    let run = run_chain(11, plan(), 15_000_000);
+    assert!(
+        run.stats.dropped_partition > 0,
+        "the partition must actually sever traffic: {:?}",
+        run.stats
+    );
+    // PoA round-robin means each island stalls once the scheduled
+    // proposer is on the far side; after healing, announce-driven
+    // catch-up repairs both sides to one canonical chain.
+    assert_converged(&run);
+    assert!(
+        run.heights[0] >= 10,
+        "chain must keep growing after the heal: {:?}",
+        run.heights
+    );
+    assert!(
+        run.applied.iter().sum::<u64>() > 0,
+        "catch-up must apply external blocks"
+    );
+    assert_replays_identically(11, plan, 15_000_000);
+}
+
+#[test]
+fn crash_recovery_resyncs_to_canonical_chain() {
+    let plan = || FaultPlan::new(0xDEAD).crash(2, 3_000_000, Some(6_000_000));
+    let run = run_chain(23, plan(), 15_000_000);
+    assert_eq!(run.stats.crashes, 1);
+    assert_eq!(run.stats.recoveries, 1);
+    // The crashed replica lost everything volatile; it must have pulled
+    // the canonical chain back from its peers before the deadline.
+    assert_converged(&run);
+    assert!(
+        !run.syncing[2],
+        "recovered replica still stuck in syncing mode"
+    );
+    assert!(
+        run.applied[2] > 0 || run.forks[2] > 0,
+        "recovery must resync via catch-up or fork choice: {run:?}"
+    );
+    assert!(
+        run.heights[0] >= 20,
+        "production must resume after recovery: {:?}",
+        run.heights
+    );
+    assert_replays_identically(23, plan, 15_000_000);
+}
+
+#[test]
+fn byzantine_corruption_is_detected_and_dropped() {
+    let plan = || {
+        FaultPlan::new(0xB12A).byzantine(
+            500_000,
+            4_000_000,
+            LinkScope::any(),
+            LinkEffect::Corrupt { probability: 0.25 },
+        )
+    };
+    let run = run_chain(37, plan(), 12_000_000);
+    assert!(
+        run.stats.corrupted + run.stats.dropped_fault > 0,
+        "byzantine window must corrupt traffic: {:?}",
+        run.stats
+    );
+    // Corrupted frames either fail to decode (destroyed in flight) or
+    // decode to blocks/batches that fail validation — state never
+    // absorbs them, and the cluster still converges once the window
+    // closes.
+    assert_converged(&run);
+    assert!(run.heights[0] >= 10, "{:?}", run.heights);
+    assert_replays_identically(37, plan, 12_000_000);
+}
+
+#[test]
+fn typed_block_censorship_is_repaired_by_catchup() {
+    // Censor every NewBlock broadcast for a while: proposals vanish, but
+    // announce/request/blocks still flow, so replicas stay in sync purely
+    // through the catch-up path.
+    let plan = || {
+        FaultPlan::new(0x7D0).drop_kind(500_000, 6_000_000, LinkScope::any(), kind::NEW_BLOCK, 1.0)
+    };
+    let run = run_chain(41, plan(), 12_000_000);
+    assert!(
+        run.stats.dropped_fault > 0,
+        "censorship must drop NewBlock frames: {:?}",
+        run.stats
+    );
+    assert_converged(&run);
+    assert!(
+        run.applied.iter().sum::<u64>() > 0,
+        "catch-up batches must carry the censored blocks"
+    );
+    assert_replays_identically(41, plan, 12_000_000);
+}
+
+/// The golden scenario exercises every fault type at once.
+fn golden_plan() -> FaultPlan {
+    FaultPlan::new(0x601D)
+        .partition(1_500_000, 3_500_000, vec![vec![0, 3], vec![1, 2]])
+        .crash(1, 4_000_000, Some(5_500_000))
+        .byzantine(
+            500_000,
+            2_500_000,
+            LinkScope::from_node(3),
+            LinkEffect::Corrupt { probability: 0.3 },
+        )
+        .drop_kind(6_000_000, 7_000_000, LinkScope::any(), kind::NEW_BLOCK, 1.0)
+}
+
+#[test]
+fn golden_trace_regression() {
+    let run = run_chain(0x601D, golden_plan(), 10_050_000);
+    assert_converged(&run);
+    let fixture = include_str!("fixtures/chaos_golden.txt");
+    let mut fields = fixture.split_whitespace();
+    let want_trace = fields.next().expect("fixture: trace hash");
+    let want_root = fields.next().expect("fixture: state root");
+    assert_eq!(
+        run.trace.to_hex(),
+        want_trace,
+        "delivered-message trace changed; if this is an intended protocol \
+         change, update tests/fixtures/chaos_golden.txt to:\n{} {}",
+        run.trace.to_hex(),
+        run.roots[0].to_hex()
+    );
+    assert_eq!(
+        run.roots[0].to_hex(),
+        want_root,
+        "final state root changed; if intended, update \
+         tests/fixtures/chaos_golden.txt to:\n{} {}",
+        run.trace.to_hex(),
+        run.roots[0].to_hex()
+    );
+}
+
+#[test]
+fn gossip_partition_heals_and_accuracy_recovers() {
+    let run = || {
+        let data = gaussian_blobs(600, 3, 0.7, 1);
+        let (train, test) = data.split(0.25, 2);
+        let shards = train.partition_iid(10, 3);
+        let plan = FaultPlan::new(0x9055).partition(
+            1_000_000,
+            4_000_000,
+            vec![(0..5).collect(), (5..10).collect()],
+        );
+        run_gossip_experiment_with_faults(
+            shards,
+            &test,
+            GossipConfig {
+                period_us: 100_000,
+                ..Default::default()
+            },
+            LinkModel::instant(),
+            7,
+            &[3_000_000, 10_000_000],
+            None,
+            Some(plan),
+            || LogisticRegression::new(3),
+        )
+    };
+    let out = run();
+    // Mid-run the halves learn separately; after healing, models mix
+    // across the former boundary and the final accuracy recovers.
+    assert!(
+        out.accuracy_curve[1] > 0.9,
+        "post-heal accuracy {:?}",
+        out.accuracy_curve
+    );
+    assert_eq!(out.online_nodes, 10, "partitions must not kill nodes");
+    let trace = out.trace_hash.expect("trace enabled");
+    let bits: Vec<u64> = out.accuracy_curve.iter().map(|a| a.to_bits()).collect();
+    // Bit-identical replay at forced worker counts.
+    for threads in THREAD_COUNTS {
+        let again = pds2_par::with_threads(threads, run);
+        assert_eq!(
+            again.trace_hash,
+            Some(trace),
+            "gossip trace diverged at {threads} threads"
+        );
+        let again_bits: Vec<u64> = again.accuracy_curve.iter().map(|a| a.to_bits()).collect();
+        assert_eq!(
+            again_bits, bits,
+            "accuracy curve not bit-identical at {threads} threads"
+        );
+    }
+}

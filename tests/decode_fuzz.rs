@@ -81,3 +81,153 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Corrupted-in-flight variants: the exact damage the chaos layer's
+// byzantine links inflict — truncation at every prefix length and a bit
+// flip at every byte position — applied exhaustively to the codecs that
+// cross the simulated network (tx, block, gossip model). Every variant
+// must produce `Err` or a semantically-rejected value; none may panic.
+// ---------------------------------------------------------------------------
+
+mod corrupted_in_flight {
+    use pds2_chain::address::Address;
+    use pds2_chain::block::Block;
+    use pds2_chain::chain::Blockchain;
+    use pds2_chain::contract::ContractRegistry;
+    use pds2_chain::tx::{SignedTransaction, Transaction, TxKind};
+    use pds2_crypto::codec::{Decode, Encode};
+    use pds2_crypto::KeyPair;
+    use pds2_learning::gossip::GossipMsg;
+
+    fn sample_transaction() -> SignedTransaction {
+        let kp = KeyPair::from_seed(1);
+        Transaction {
+            from: kp.public.clone(),
+            nonce: 9,
+            kind: TxKind::Transfer {
+                to: Address::of(&KeyPair::from_seed(2).public),
+                amount: 1_234,
+            },
+            gas_limit: 90_000,
+        }
+        .sign(&kp)
+    }
+
+    fn sample_block() -> Block {
+        let alice = KeyPair::from_seed(1);
+        let mut chain = Blockchain::single_validator(
+            55,
+            &[(Address::of(&alice.public), 10_000)],
+            ContractRegistry::new(),
+        );
+        chain
+            .submit(
+                Transaction {
+                    from: alice.public.clone(),
+                    nonce: 0,
+                    kind: TxKind::Transfer {
+                        to: Address::of(&KeyPair::from_seed(2).public),
+                        amount: 5,
+                    },
+                    gas_limit: 100_000,
+                }
+                .sign(&alice),
+            )
+            .unwrap();
+        chain.produce_block()
+    }
+
+    fn sample_gossip_msg() -> GossipMsg {
+        GossipMsg::new(vec![0.25, -1.5, 3.75, 0.0], 17, true)
+    }
+
+    /// Decoding every strict prefix must error — truncation in flight can
+    /// never yield a usable value, let alone a panic.
+    fn assert_truncation_rejected<T: Decode>(wire: &[u8], what: &str) {
+        for len in 0..wire.len() {
+            assert!(
+                T::from_bytes(&wire[..len]).is_err(),
+                "{what}: truncation to {len}/{} bytes decoded successfully",
+                wire.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_transaction_always_errors() {
+        assert_truncation_rejected::<SignedTransaction>(&sample_transaction().to_bytes(), "tx");
+    }
+
+    #[test]
+    fn truncated_block_always_errors() {
+        assert_truncation_rejected::<Block>(&sample_block().to_bytes(), "block");
+    }
+
+    #[test]
+    fn truncated_gossip_msg_always_errors() {
+        assert_truncation_rejected::<GossipMsg>(&sample_gossip_msg().to_bytes(), "gossip");
+    }
+
+    #[test]
+    fn bitflipped_transaction_every_position() {
+        let tx = sample_transaction();
+        let wire = tx.to_bytes();
+        for idx in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bytes = wire.clone();
+                bytes[idx] ^= 1 << bit;
+                if let Ok(decoded) = SignedTransaction::from_bytes(&bytes) {
+                    assert!(
+                        !decoded.verify_signature() || decoded == tx,
+                        "flip at byte {idx} bit {bit} produced a different tx \
+                         with a valid signature"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitflipped_block_every_position() {
+        let block = sample_block();
+        let wire = block.to_bytes();
+        for idx in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bytes = wire.clone();
+                bytes[idx] ^= 1 << bit;
+                if let Ok(decoded) = Block::from_bytes(&bytes) {
+                    // A decodable mutant must be caught by the block's own
+                    // integrity checks: proposer signature over the header,
+                    // or the tx-root commitment over the body.
+                    let intact = decoded.header.verify_signature()
+                        && decoded.header.tx_root == Block::compute_tx_root(&decoded.transactions)
+                        && decoded.transactions.iter().all(|t| t.verify_signature());
+                    assert!(
+                        !intact || decoded == block,
+                        "flip at byte {idx} bit {bit} produced a different block \
+                         passing all integrity checks"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitflipped_gossip_msg_every_position() {
+        let msg = sample_gossip_msg();
+        let wire = msg.to_bytes();
+        for idx in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bytes = wire.clone();
+                bytes[idx] ^= 1 << bit;
+                if let Ok(decoded) = GossipMsg::from_bytes(&bytes) {
+                    assert!(
+                        !decoded.verify() || decoded == msg,
+                        "flip at byte {idx} bit {bit} survived the content digest"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -197,3 +197,456 @@ proptest! {
         prop_assert_eq!(chain.state.total_native_supply(), initial);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Model-based state machine for the workload contract lifecycle.
+//
+// Random call sequences run against the real chain while a shadow model
+// predicts, for every call, whether it must succeed and what every balance
+// must be afterwards. The invariants under test:
+//   * escrow is never double-spent (contract balance matches the model
+//     exactly, and native supply is conserved);
+//   * refund XOR payout: the escrow leaves the contract exactly once —
+//     either entirely back to the consumer (cancel/expire/abort) or as
+//     payouts + remainder-refund (finalize);
+//   * terminal phases are absorbing: after Completed/Cancelled every
+//     further call fails and no balance moves.
+// ---------------------------------------------------------------------------
+
+mod workload_lifecycle {
+    use super::*;
+    use pds2_chain::chain::Blockchain;
+    use pds2_chain::contract::ContractRegistry;
+    use pds2_chain::tx::{SignedTransaction, Transaction, TxKind};
+    use pds2_core::contract::{calls, WorkloadContract, WORKLOAD_CODE_ID};
+    use proptest::prop_oneof;
+    use std::collections::BTreeMap;
+
+    const PROVIDER_REWARD: u128 = 1_000;
+    const EXECUTOR_FEE: u128 = 50;
+    const MIN_PROVIDERS: u32 = 1;
+    const MIN_RECORDS: u64 = 10;
+    const DEADLINE_HEIGHT: u64 = 6;
+    const EXEC_TIMEOUT_BLOCKS: u64 = 2;
+
+    #[derive(Clone, Debug)]
+    pub enum Op {
+        Fund(u128),
+        Register(usize),
+        Participate {
+            executor: usize,
+            provider: usize,
+            records: u64,
+        },
+        Start,
+        SubmitResult {
+            executor: usize,
+        },
+        Finalize {
+            share: u128,
+        },
+        Cancel,
+        Expire,
+        Abort,
+        Mine,
+    }
+
+    pub fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u128..3_000).prop_map(Op::Fund),
+            (0usize..2).prop_map(Op::Register),
+            (0usize..2, 0usize..2, 1u64..40).prop_map(|(executor, provider, records)| {
+                Op::Participate {
+                    executor,
+                    provider,
+                    records,
+                }
+            }),
+            Just(Op::Start),
+            (0usize..2).prop_map(|executor| Op::SubmitResult { executor }),
+            (0u128..1_200).prop_map(|share| Op::Finalize { share }),
+            Just(Op::Cancel),
+            Just(Op::Expire),
+            Just(Op::Abort),
+            Just(Op::Mine),
+        ]
+    }
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    pub enum ModelPhase {
+        Open,
+        Executing,
+        Terminal,
+    }
+
+    /// Shadow model of the on-chain contract: enough state to predict the
+    /// outcome of every call and the exact post-state of every balance.
+    pub struct Model {
+        pub phase: ModelPhase,
+        pub escrow: u128,
+        pub started_height: u64,
+        pub registered: [bool; 2],
+        pub voted: [bool; 2],
+        /// (provider index, records, executor index)
+        pub contributions: Vec<(usize, u64, usize)>,
+    }
+
+    impl Model {
+        pub fn new() -> Self {
+            Model {
+                phase: ModelPhase::Open,
+                escrow: 0,
+                started_height: 0,
+                registered: [false; 2],
+                voted: [false; 2],
+                contributions: Vec::new(),
+            }
+        }
+
+        fn registered_count(&self) -> u128 {
+            self.registered.iter().filter(|r| **r).count() as u128
+        }
+
+        fn all_contributing_executors_voted(&self) -> bool {
+            self.contributions.iter().all(|&(_, _, e)| self.voted[e])
+        }
+
+        /// Predicts whether the call must succeed at `exec_height`.
+        pub fn predict(&self, op: &Op, exec_height: u64) -> bool {
+            use ModelPhase::*;
+            match *op {
+                Op::Fund(_) => self.phase == Open,
+                Op::Register(e) => self.phase == Open && !self.registered[e],
+                Op::Participate {
+                    executor, provider, ..
+                } => {
+                    self.phase == Open
+                        && self.registered[executor]
+                        && !self.contributions.iter().any(|&(p, _, _)| p == provider)
+                }
+                Op::Start => {
+                    self.phase == Open
+                        && self.contributions.len() as u32 >= MIN_PROVIDERS
+                        && self.contributions.iter().map(|&(_, r, _)| r).sum::<u64>() >= MIN_RECORDS
+                        && self.escrow >= PROVIDER_REWARD + EXECUTOR_FEE * self.registered_count()
+                }
+                Op::SubmitResult { executor } => {
+                    self.phase == Executing && self.registered[executor] && !self.voted[executor]
+                }
+                Op::Finalize { share } => {
+                    self.phase == Executing
+                        && self.all_contributing_executors_voted()
+                        && share <= PROVIDER_REWARD
+                }
+                Op::Cancel => self.phase == Open,
+                Op::Expire => self.phase == Open && exec_height > DEADLINE_HEIGHT,
+                Op::Abort => {
+                    self.phase == Executing
+                        && exec_height > self.started_height + EXEC_TIMEOUT_BLOCKS
+                }
+                Op::Mine => true,
+            }
+        }
+    }
+
+    fn call_tx(
+        kp: &KeyPair,
+        nonce: u64,
+        contract: Address,
+        input: Vec<u8>,
+        value: u128,
+    ) -> SignedTransaction {
+        Transaction {
+            from: kp.public.clone(),
+            nonce,
+            kind: TxKind::Call {
+                contract,
+                input,
+                value,
+            },
+            gas_limit: 1_000_000,
+        }
+        .sign(kp)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn contract_lifecycle_state_machine(
+            ops in proptest::collection::vec(op_strategy(), 1..30),
+        ) {
+            let consumer = KeyPair::from_seed(1);
+            let executors = [KeyPair::from_seed(10), KeyPair::from_seed(11)];
+            let providers = [
+                Address::of(&KeyPair::from_seed(20).public),
+                Address::of(&KeyPair::from_seed(21).public),
+            ];
+            let consumer_addr = Address::of(&consumer.public);
+            let executor_addrs = [
+                Address::of(&executors[0].public),
+                Address::of(&executors[1].public),
+            ];
+            let mut registry = ContractRegistry::new();
+            registry.register(WORKLOAD_CODE_ID, WorkloadContract::construct);
+            let mut chain = Blockchain::single_validator(
+                77,
+                &[
+                    (consumer_addr, 1_000_000),
+                    (executor_addrs[0], 1_000),
+                    (executor_addrs[1], 1_000),
+                ],
+                registry,
+            );
+            let initial_supply = chain.state.total_native_supply();
+
+            // Deploy the workload with a short deadline and execution
+            // timeout so the sequence can actually reach both.
+            let deploy = Transaction {
+                from: consumer.public.clone(),
+                nonce: 0,
+                kind: TxKind::Deploy {
+                    code_id: WORKLOAD_CODE_ID.into(),
+                    init: WorkloadContract::init_bytes(
+                        sha256(b"spec"),
+                        sha256(b"code"),
+                        PROVIDER_REWARD,
+                        EXECUTOR_FEE,
+                        MIN_PROVIDERS,
+                        MIN_RECORDS,
+                        DEADLINE_HEIGHT,
+                        EXEC_TIMEOUT_BLOCKS,
+                        None,
+                    ),
+                },
+                gas_limit: 1_000_000,
+            }
+            .sign(&consumer);
+            let deploy_hash = deploy.hash();
+            chain.submit(deploy).unwrap();
+            chain.produce_block();
+            let contract = chain
+                .receipt(&deploy_hash)
+                .expect("deploy receipt")
+                .deployed
+                .expect("deploy succeeds");
+
+            let mut model = Model::new();
+            let mut expected: BTreeMap<Address, u128> = BTreeMap::new();
+            expected.insert(consumer_addr, 1_000_000);
+            expected.insert(executor_addrs[0], 1_000);
+            expected.insert(executor_addrs[1], 1_000);
+            expected.insert(providers[0], 0);
+            expected.insert(providers[1], 0);
+            expected.insert(contract, 0);
+            let mut consumer_nonce: u64 = 1;
+            let mut executor_nonces: [u64; 2] = [0, 0];
+            let result_digest = sha256(b"result");
+
+            for op in &ops {
+                // `produce_block` executes at the pre-production height.
+                let exec_height = chain.height();
+                let predicted = model.predict(op, exec_height);
+                let was_terminal = model.phase == ModelPhase::Terminal;
+
+                let tx = match *op {
+                    Op::Fund(v) => {
+                        let t = call_tx(&consumer, consumer_nonce, contract, calls::fund(), v);
+                        consumer_nonce += 1;
+                        Some(t)
+                    }
+                    Op::Register(e) => {
+                        let t = call_tx(
+                            &executors[e],
+                            executor_nonces[e],
+                            contract,
+                            calls::register_executor(),
+                            0,
+                        );
+                        executor_nonces[e] += 1;
+                        Some(t)
+                    }
+                    Op::Participate {
+                        executor,
+                        provider,
+                        records,
+                    } => {
+                        let input = calls::submit_participation(&[(
+                            providers[provider],
+                            records,
+                            sha256(b"cert"),
+                        )]);
+                        let t = call_tx(
+                            &executors[executor],
+                            executor_nonces[executor],
+                            contract,
+                            input,
+                            0,
+                        );
+                        executor_nonces[executor] += 1;
+                        Some(t)
+                    }
+                    Op::Start => {
+                        let t = call_tx(&consumer, consumer_nonce, contract, calls::start(), 0);
+                        consumer_nonce += 1;
+                        Some(t)
+                    }
+                    Op::SubmitResult { executor } => {
+                        let t = call_tx(
+                            &executors[executor],
+                            executor_nonces[executor],
+                            contract,
+                            calls::submit_result(result_digest),
+                            0,
+                        );
+                        executor_nonces[executor] += 1;
+                        Some(t)
+                    }
+                    Op::Finalize { share } => {
+                        let shares = match model.contributions.first() {
+                            Some(&(p, _, _)) => vec![(providers[p], share)],
+                            None => Vec::new(),
+                        };
+                        let t = call_tx(
+                            &consumer,
+                            consumer_nonce,
+                            contract,
+                            calls::finalize(&shares),
+                            0,
+                        );
+                        consumer_nonce += 1;
+                        Some(t)
+                    }
+                    Op::Cancel => {
+                        let t = call_tx(&consumer, consumer_nonce, contract, calls::cancel(), 0);
+                        consumer_nonce += 1;
+                        Some(t)
+                    }
+                    // Expire and abort are public: send them from executors
+                    // to exercise the anyone-may-call path.
+                    Op::Expire => {
+                        let t = call_tx(
+                            &executors[0],
+                            executor_nonces[0],
+                            contract,
+                            calls::expire(),
+                            0,
+                        );
+                        executor_nonces[0] += 1;
+                        Some(t)
+                    }
+                    Op::Abort => {
+                        let t = call_tx(
+                            &executors[1],
+                            executor_nonces[1],
+                            contract,
+                            calls::abort(),
+                            0,
+                        );
+                        executor_nonces[1] += 1;
+                        Some(t)
+                    }
+                    Op::Mine => None,
+                };
+
+                let success = match tx {
+                    Some(tx) => {
+                        let hash = tx.hash();
+                        chain.submit(tx).unwrap();
+                        chain.produce_block();
+                        chain.receipt(&hash).expect("receipt recorded").success
+                    }
+                    None => {
+                        chain.produce_block();
+                        true
+                    }
+                };
+
+                prop_assert_eq!(
+                    success, predicted,
+                    "model disagreed on {:?} at height {} (phase {:?})",
+                    op, exec_height, model.phase
+                );
+                // Terminal phases absorb every call.
+                if was_terminal && !matches!(op, Op::Mine) {
+                    prop_assert!(!success, "{op:?} succeeded after terminal phase");
+                }
+
+                // Apply the successful op to the model and expected balances.
+                if success {
+                    match *op {
+                        Op::Fund(v) => {
+                            model.escrow += v;
+                            *expected.get_mut(&consumer_addr).unwrap() -= v;
+                            *expected.get_mut(&contract).unwrap() += v;
+                        }
+                        Op::Register(e) => model.registered[e] = true,
+                        Op::Participate {
+                            executor,
+                            provider,
+                            records,
+                        } => model.contributions.push((provider, records, executor)),
+                        Op::Start => {
+                            model.phase = ModelPhase::Executing;
+                            model.started_height = exec_height;
+                        }
+                        Op::SubmitResult { executor } => model.voted[executor] = true,
+                        Op::Finalize { share } => {
+                            // Unanimous result: every voter earns the fee,
+                            // the first contributor's provider earns the
+                            // share, the consumer gets the remainder.
+                            let mut paid: u128 = 0;
+                            if share > 0 {
+                                let (p, _, _) = model.contributions[0];
+                                *expected.get_mut(&providers[p]).unwrap() += share;
+                                paid += share;
+                            }
+                            for e in 0..2 {
+                                if model.voted[e] {
+                                    *expected.get_mut(&executor_addrs[e]).unwrap() += EXECUTOR_FEE;
+                                    paid += EXECUTOR_FEE;
+                                }
+                            }
+                            prop_assert!(paid <= model.escrow, "payout exceeds escrow");
+                            *expected.get_mut(&consumer_addr).unwrap() += model.escrow - paid;
+                            *expected.get_mut(&contract).unwrap() = 0;
+                            model.escrow = 0;
+                            model.phase = ModelPhase::Terminal;
+                        }
+                        Op::Cancel | Op::Expire | Op::Abort => {
+                            // Full refund, exactly once.
+                            *expected.get_mut(&consumer_addr).unwrap() += model.escrow;
+                            *expected.get_mut(&contract).unwrap() = 0;
+                            model.escrow = 0;
+                            model.phase = ModelPhase::Terminal;
+                        }
+                        Op::Mine => {}
+                    }
+                }
+
+                // Invariants, every step.
+                prop_assert_eq!(
+                    chain.state.total_native_supply(),
+                    initial_supply,
+                    "supply not conserved after {:?}",
+                    op
+                );
+                for (addr, want) in &expected {
+                    prop_assert_eq!(
+                        chain.state.balance(addr),
+                        *want,
+                        "balance of {} wrong after {:?} (phase {:?})",
+                        addr, op, model.phase
+                    );
+                }
+                if model.phase == ModelPhase::Terminal {
+                    prop_assert_eq!(
+                        chain.state.balance(&contract),
+                        0,
+                        "terminal contract still holds escrow"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -62,6 +62,7 @@ fn replica_converges_with_producer() {
                         1,
                         1,
                         0,
+                        0,
                         None,
                     ),
                 },

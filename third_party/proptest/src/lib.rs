@@ -9,7 +9,7 @@
 //! `collection::vec`, `option::of`, `prop_map`, and character-class
 //! string patterns like `"[a-z]{1,20}"`.
 
-use rand::rngs::StdRng;
+pub use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Run-count configuration (`#![proptest_config(...)]`).
@@ -102,6 +102,62 @@ macro_rules! impl_range_strategy {
     )*};
 }
 impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($( ( $($S:ident $idx:tt),+ ) );* $(;)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!(
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4)
+);
+
+/// Boxed draw function, the element type of [`OneOf`].
+pub type BoxedGen<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Type-erased union strategy backing [`prop_oneof!`]: draws uniformly
+/// among the alternatives.
+pub struct OneOf<T> {
+    options: Vec<BoxedGen<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union from generator closures (used by `prop_oneof!`).
+    pub fn new(options: Vec<BoxedGen<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! with no alternatives");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        (self.options[i])(rng)
+    }
+}
+
+/// Uniformly chooses one of several strategies producing the same value
+/// type (upstream's unweighted `prop_oneof!` form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $({
+                let __s = $strategy;
+                Box::new(move |rng: &mut $crate::StdRng| $crate::Strategy::generate(&__s, rng)) as _
+            }),+
+        ])
+    };
+}
 
 /// Marker for types with a full-domain `any::<T>()` strategy.
 pub trait Arbitrary: Sized {
@@ -301,8 +357,8 @@ macro_rules! __proptest_items {
 /// Common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Just, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Just, OneOf,
+        ProptestConfig, Strategy,
     };
 
     /// Mirror of `proptest::prelude::prop` (module alias).
