@@ -75,6 +75,11 @@ impl BlockHeader {
     }
 
     /// Verifies the proposer signature.
+    ///
+    /// Routed through [`crate::sigcache`]: during sync replay and fork
+    /// choice the same headers are re-validated repeatedly, and an
+    /// already-accepted header costs one hash instead of an
+    /// exponentiation.
     pub fn verify_signature(&self) -> bool {
         let payload = Self::signing_bytes(
             self.height,
@@ -84,7 +89,7 @@ impl BlockHeader {
             self.timestamp,
             &self.proposer,
         );
-        self.proposer.verify(&payload, &self.signature)
+        crate::sigcache::verify_cached(&payload, &self.proposer, &self.signature)
     }
 
     /// The header hash (block identifier).

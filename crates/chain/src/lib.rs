@@ -18,6 +18,9 @@
 //! - [`chain`] — the ledger: mempool, PoA production, receipts, events;
 //! - [`sync`] — block sync over `pds2-net`: catch-up, fork choice on
 //!   rejoin, crash-stop recovery (the chaos-harness consumer);
+//! - [`sigcache`] — bounded cache of verified-signature digests, so sync
+//!   replay and fork choice never re-pay an exponentiation for a
+//!   signature this process has already accepted (DESIGN.md §5d);
 //! - [`event`] — the audit-trail event log.
 
 pub mod address;
@@ -28,6 +31,7 @@ pub mod erc20;
 pub mod erc721;
 pub mod event;
 pub mod gas;
+pub mod sigcache;
 pub mod state;
 pub mod sync;
 pub mod tx;

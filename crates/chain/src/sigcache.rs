@@ -1,0 +1,169 @@
+//! Process-wide cache of already-verified signature digests.
+//!
+//! [`ChainReplica`](crate::sync::ChainReplica) re-validates whole chains
+//! during catch-up and fork choice (`adopt_if_longer` replays every block
+//! from genesis), and crash recovery re-applies blocks this process has
+//! already accepted. Schnorr verification is the dominant cost of that
+//! replay, yet the verdict for a given (message, key, signature) triple
+//! never changes — so the chain layer remembers accepted triples by
+//! digest and skips the exponentiations on re-encounter.
+//!
+//! Soundness: an entry is inserted only after a *successful* full
+//! verification, and the key is the SHA-256 digest of the
+//! domain-separated, length-prefixed triple. A lookup hit therefore
+//! implies (up to SHA-256 collisions — the same assumption every hash
+//! and Merkle commitment in the system already makes) that fresh
+//! verification would return `true`. Failed verifications are never
+//! cached, so malformed or tampered inputs always pay — and always fail —
+//! the real check. Cache state can only convert "would verify" into
+//! "verified cheaply": accept/reject decisions, and therefore chain
+//! state, are identical with the cache empty, warm, or disabled, at any
+//! `PDS2_THREADS` value.
+//!
+//! The cache is two-generation bounded: inserts go to the live
+//! generation; when it fills, the previous generation is dropped and the
+//! live one takes its place. Memory is thus capped at roughly
+//! `2 × CAPACITY` digests while recent entries (the ones replay hits)
+//! survive.
+
+use parking_lot::Mutex;
+use pds2_crypto::schnorr::{PublicKey, Signature};
+use pds2_crypto::sha256::{Digest, Sha256};
+use pds2_crypto::Encode;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Digests retained per generation (two generations live at once).
+const CAPACITY: usize = 1 << 16;
+
+struct Generations {
+    live: HashSet<Digest>,
+    prev: HashSet<Digest>,
+}
+
+static CACHE: OnceLock<Mutex<Generations>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<Generations> {
+    CACHE.get_or_init(|| {
+        Mutex::new(Generations {
+            live: HashSet::new(),
+            prev: HashSet::new(),
+        })
+    })
+}
+
+/// Collision-resistant digest of a (message, key, signature) triple.
+///
+/// Length-prefixed and domain-separated, so distinct triples can never
+/// produce the same preimage bytes.
+pub fn triple_digest(message: &[u8], key: &PublicKey, sig: &Signature) -> Digest {
+    let key_bytes = key.to_bytes();
+    let sig_bytes = Encode::to_bytes(sig);
+    let mut h = Sha256::new();
+    h.update(b"pds2-sigcache-v1");
+    h.update(&(message.len() as u64).to_le_bytes());
+    h.update(message);
+    h.update(&(key_bytes.len() as u64).to_le_bytes());
+    h.update(&key_bytes);
+    h.update(&(sig_bytes.len() as u64).to_le_bytes());
+    h.update(&sig_bytes);
+    h.finalize()
+}
+
+/// Whether this triple digest has been verified before.
+pub fn contains(digest: &Digest) -> bool {
+    let guard = cache().lock();
+    let hit = guard.live.contains(digest) || guard.prev.contains(digest);
+    if hit {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+/// Records a digest whose triple passed full verification.
+pub fn insert(digest: Digest) {
+    let mut guard = cache().lock();
+    if guard.live.len() >= CAPACITY {
+        guard.prev = std::mem::take(&mut guard.live);
+    }
+    guard.live.insert(digest);
+}
+
+/// Verifies `sig` over `message` with the cache in front of the real
+/// check: a remembered accept short-circuits, everything else runs the
+/// full verification and remembers a success.
+pub fn verify_cached(message: &[u8], key: &PublicKey, sig: &Signature) -> bool {
+    let digest = triple_digest(message, key, sig);
+    if contains(&digest) {
+        return true;
+    }
+    let ok = key.verify(message, sig);
+    if ok {
+        insert(digest);
+    }
+    ok
+}
+
+/// (hits, misses) since process start (or the last [`clear`]).
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Drops all cached digests and resets counters (bench/test helper: cold
+/// runs must not see a previous run's warm cache).
+pub fn clear() {
+    let mut guard = cache().lock();
+    guard.live.clear();
+    guard.prev.clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds2_crypto::KeyPair;
+
+    #[test]
+    fn accepted_signature_is_remembered() {
+        clear();
+        let kp = KeyPair::from_seed(31);
+        let sig = kp.sign(b"cache me");
+        assert!(verify_cached(b"cache me", &kp.public, &sig));
+        let (h0, _) = stats();
+        assert!(verify_cached(b"cache me", &kp.public, &sig));
+        let (h1, _) = stats();
+        assert_eq!(h1, h0 + 1, "second verification must be a cache hit");
+    }
+
+    #[test]
+    fn rejected_signature_is_never_cached() {
+        clear();
+        let kp = KeyPair::from_seed(32);
+        let sig = kp.sign(b"good");
+        assert!(!verify_cached(b"evil", &kp.public, &sig));
+        assert!(!verify_cached(b"evil", &kp.public, &sig));
+        let (hits, _) = stats();
+        assert_eq!(
+            hits, 0,
+            "failures must keep paying (and failing) the real check"
+        );
+    }
+
+    #[test]
+    fn distinct_triples_have_distinct_digests() {
+        let kp = KeyPair::from_seed(33);
+        let other = KeyPair::from_seed(34);
+        let sig = kp.sign(b"m");
+        let d = triple_digest(b"m", &kp.public, &sig);
+        assert_ne!(d, triple_digest(b"n", &kp.public, &sig));
+        assert_ne!(d, triple_digest(b"m", &other.public, &sig));
+        let sig2 = kp.sign(b"x");
+        assert_ne!(d, triple_digest(b"m", &kp.public, &sig2));
+    }
+}

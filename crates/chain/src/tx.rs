@@ -206,8 +206,12 @@ impl SignedTransaction {
     }
 
     /// Verifies the signature against the embedded sender key.
+    ///
+    /// Routed through [`crate::sigcache`]: a triple this process already
+    /// accepted (e.g. during sync replay or fork choice) short-circuits;
+    /// everything else runs the full Schnorr check.
     pub fn verify_signature(&self) -> bool {
-        self.tx.from.verify(self.hash().as_bytes(), &self.signature)
+        crate::sigcache::verify_cached(self.hash().as_bytes(), &self.tx.from, &self.signature)
     }
 }
 

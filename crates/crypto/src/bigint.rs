@@ -508,12 +508,46 @@ impl BigUint {
     }
 
     /// `(self * other) % modulus`.
+    ///
+    /// A one-shot multiply keeps the divrem reduction: Montgomery form
+    /// only wins once the per-modulus setup is amortised, so callers on a
+    /// hot path with a fixed modulus should hold a
+    /// [`crate::montgomery::MontgomeryCtx`] instead (as the Schnorr
+    /// verifier does).
     pub fn mul_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
         self.mul(other).rem(modulus)
     }
 
-    /// `self^exponent mod modulus` by square-and-multiply.
+    /// Exponent size (bits) above which [`Self::modpow`] routes odd
+    /// moduli through the Montgomery fast path. Below it, the context
+    /// setup (two divrems + window table) costs more than the handful of
+    /// schoolbook multiplies it replaces.
+    const MONTGOMERY_EXP_BITS: u32 = 32;
+
+    /// `self^exponent mod modulus`.
+    ///
+    /// Odd moduli with non-trivial exponents go through fixed-window
+    /// Montgomery exponentiation ([`crate::montgomery`]); even moduli and
+    /// tiny exponents use the schoolbook square-and-multiply loop. Both
+    /// paths return bit-identical values (pinned by property tests).
     pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        if !modulus.is_even() && exponent.bits() >= Self::MONTGOMERY_EXP_BITS {
+            if let Some(ctx) = crate::montgomery::MontgomeryCtx::new(modulus) {
+                return ctx.modpow(self, exponent);
+            }
+        }
+        self.modpow_schoolbook(exponent, modulus)
+    }
+
+    /// `self^exponent mod modulus` by bit-by-bit square-and-multiply with
+    /// divrem reduction — the reference implementation the Montgomery
+    /// path is checked against (kept public for property tests and the
+    /// `bench_crypto` before/after comparison).
+    pub fn modpow_schoolbook(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();

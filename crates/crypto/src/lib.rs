@@ -5,6 +5,9 @@
 //!
 //! - [`bigint`] — arbitrary-precision unsigned integers with modular
 //!   arithmetic and primality testing (used by Paillier and Schnorr);
+//! - [`montgomery`] — Montgomery-form multiplication, fixed-window and
+//!   Shamir/Straus dual exponentiation (the signature-verification fast
+//!   path; see DESIGN.md §5d);
 //! - [`sha256`] — SHA-256 (FIPS 180-4);
 //! - [`hmac`] — HMAC-SHA-256 and HKDF;
 //! - [`chacha20`] — ChaCha20 stream cipher plus encrypt-then-MAC sealing;
@@ -23,11 +26,13 @@ pub mod chacha20;
 pub mod codec;
 pub mod hmac;
 pub mod merkle;
+pub mod montgomery;
 pub mod schnorr;
 pub mod sha256;
 
 pub use bigint::BigUint;
 pub use codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 pub use merkle::{MerkleProof, MerkleTree};
+pub use montgomery::{MontgomeryCtx, PowTable};
 pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
 pub use sha256::{sha256, Digest, Sha256};

@@ -1,0 +1,416 @@
+//! Montgomery-form modular arithmetic: the signature-verification fast
+//! path.
+//!
+//! Schoolbook `mul_mod` pays a full Knuth division per multiplication.
+//! [`MontgomeryCtx`] precomputes, once per (odd) modulus `n`, everything
+//! needed to replace that division with a fused multiply-and-reduce
+//! (CIOS — coarsely integrated operand scanning): `-n^{-1} mod 2^64` and
+//! `R^2 mod n` for `R = 2^{64k}` where `k` is the limb count of `n`.
+//! Every subsequent modular multiplication is then one `O(k^2)` pass with
+//! no division and no allocation beyond the output limbs.
+//!
+//! On top of the multiplier sit three exponentiation strategies:
+//!
+//! * [`MontgomeryCtx::modpow`] — fixed-window (w = 4) exponentiation:
+//!   ~`bits` squarings plus one table multiply per 4 bits, versus one
+//!   multiply per set bit for the bit-by-bit schoolbook loop;
+//! * [`MontgomeryCtx::modpow_with_table`] — the same walk over a caller
+//!   supplied [`PowTable`], so fixed bases (the group generator, a
+//!   frequently-seen public key) amortise their table across calls;
+//! * [`MontgomeryCtx::modpow_dual`] — Shamir/Straus simultaneous double
+//!   exponentiation: `a^x · b^y mod n` in ONE interleaved pass sharing
+//!   the squaring chain, which is what Schnorr verification
+//!   (`g^s · y^{q-e}`) needs.
+//!
+//! Results are plain [`BigUint`] values, bit-identical to the schoolbook
+//! path — the representation changes inside a call, never the outcome —
+//! so the repo-wide determinism invariant (identical results at every
+//! `PDS2_THREADS`) is untouched. Property tests in
+//! `crates/crypto/tests/proptests.rs` pin the equivalence over random
+//! operands and the edge cases (0, 1, n−1, operand = n).
+
+use crate::bigint::BigUint;
+
+/// Precomputed per-modulus state for Montgomery multiplication.
+///
+/// Valid for odd moduli `n > 1`. `R = 2^{64·k}` with `k = n.limbs().len()`.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// Modulus limbs (little-endian, no leading zeros).
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64` (exists because `n` is odd).
+    n0inv: u64,
+    /// `R mod n` — the Montgomery representation of 1.
+    r1: Vec<u64>,
+    /// `R^2 mod n` — converts a value into Montgomery form in one mul.
+    r2: Vec<u64>,
+    /// The modulus as a `BigUint` (for reductions and the public getter).
+    modulus: BigUint,
+}
+
+/// A precomputed window table of powers `base^0 .. base^15` in Montgomery
+/// form, reusable across exponentiations with the same base and modulus.
+#[derive(Clone, Debug)]
+pub struct PowTable {
+    entries: Vec<Vec<u64>>, // entries[i] = Mont(base^i), i in 0..16
+}
+
+/// Fixed window width for all exponentiation strategies.
+const WINDOW: u32 = 4;
+const TABLE_LEN: usize = 1 << WINDOW;
+
+impl MontgomeryCtx {
+    /// Builds a context for an odd modulus `> 1`; `None` otherwise.
+    pub fn new(modulus: &BigUint) -> Option<MontgomeryCtx> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return None;
+        }
+        let n = modulus.limbs().to_vec();
+        let k = n.len();
+        // n0inv = -(n[0]^-1) mod 2^64 via Newton iteration (doubles the
+        // number of correct low bits each round; 6 rounds cover 64 bits).
+        let mut inv = n[0];
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n[0].wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+        // R mod n and R^2 mod n: the only divisions this context ever does.
+        let r1 = BigUint::one().shl(64 * k as u32).rem(modulus);
+        let r2 = BigUint::one().shl(128 * k as u32).rem(modulus);
+        Some(MontgomeryCtx {
+            n0inv,
+            r1: pad(r1.limbs(), k),
+            r2: pad(r2.limbs(), k),
+            n,
+            modulus: modulus.clone(),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// CIOS Montgomery multiplication: `a · b · R^{-1} mod n`.
+    ///
+    /// `a` and `b` are k-limb values `< n`; the result is k limbs `< n`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.n.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        // t holds k+2 limbs of running state; t[k+1] never exceeds 1.
+        let mut t = vec![0u64; k + 2];
+        for &ai in a {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = t[j] as u128 + ai as u128 * bj as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+            // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let mut carry: u128 = (t[0] as u128 + m as u128 * self.n[0] as u128) >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1] + (cur >> 64) as u64;
+            t[k + 1] = 0;
+        }
+        // Final conditional subtraction brings the result below n.
+        if t[k] != 0 || ge(&t[..k], &self.n) {
+            sub_in_place(&mut t, &self.n);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts a value (reduced mod n first) into Montgomery form.
+    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        let reduced = x.rem(&self.modulus);
+        self.mont_mul(&pad(reduced.limbs(), self.n.len()), &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back to a plain `BigUint`.
+    fn demont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// `(a * b) mod n` through the Montgomery multiplier.
+    ///
+    /// Worth it only when the context is already cached: a one-shot call
+    /// pays two conversions on top of the multiply.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.demont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Builds the w=4 window table for `base` (16 Montgomery entries).
+    pub fn pow_table(&self, base: &BigUint) -> PowTable {
+        let base_m = self.to_mont(base);
+        let mut entries = Vec::with_capacity(TABLE_LEN);
+        entries.push(self.r1.clone()); // base^0 = 1
+        entries.push(base_m.clone());
+        for i in 2..TABLE_LEN {
+            entries.push(self.mont_mul(&entries[i - 1], &base_m));
+        }
+        PowTable { entries }
+    }
+
+    /// `base^exp mod n` by fixed-window (w = 4) exponentiation.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.modpow_with_table(&self.pow_table(base), exp)
+    }
+
+    /// `base^exp mod n` reusing a precomputed window table for `base`.
+    pub fn modpow_with_table(&self, table: &PowTable, exp: &BigUint) -> BigUint {
+        debug_assert_eq!(table.entries[0].len(), self.n.len());
+        let windows = exp.bits().div_ceil(WINDOW);
+        let mut acc = self.r1.clone(); // Mont(1)
+        for w in (0..windows).rev() {
+            for _ in 0..WINDOW {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let idx = window_at(exp, w);
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table.entries[idx]);
+            }
+        }
+        self.demont(&acc)
+    }
+
+    /// Shamir/Straus simultaneous double exponentiation:
+    /// `a^x · b^y mod n` in one interleaved pass over a shared squaring
+    /// chain, given window tables for both bases.
+    pub fn modpow_dual(
+        &self,
+        a_table: &PowTable,
+        x: &BigUint,
+        b_table: &PowTable,
+        y: &BigUint,
+    ) -> BigUint {
+        let windows = x.bits().max(y.bits()).div_ceil(WINDOW);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            for _ in 0..WINDOW {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let ix = window_at(x, w);
+            if ix != 0 {
+                acc = self.mont_mul(&acc, &a_table.entries[ix]);
+            }
+            let iy = window_at(y, w);
+            if iy != 0 {
+                acc = self.mont_mul(&acc, &b_table.entries[iy]);
+            }
+        }
+        self.demont(&acc)
+    }
+}
+
+/// Extracts 4-bit window `w` (windows counted from the least significant
+/// bit) of `exp` as a table index.
+fn window_at(exp: &BigUint, w: u32) -> usize {
+    let base = w * WINDOW;
+    let mut idx = 0usize;
+    for b in 0..WINDOW {
+        if exp.bit(base + b) {
+            idx |= 1 << b;
+        }
+    }
+    idx
+}
+
+/// Zero-pads a limb slice to `k` limbs.
+fn pad(limbs: &[u64], k: usize) -> Vec<u64> {
+    let mut out = limbs.to_vec();
+    out.resize(k, 0);
+    out
+}
+
+/// `a >= b` on equal-length little-endian limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `t -= b` in place over `b.len() + 1` limbs of `t` (t[len] absorbs the
+/// final borrow from the redundant top limb).
+fn sub_in_place(t: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, &bi) in b.iter().enumerate() {
+        let (d1, b1) = t[i].overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        t[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    t[b.len()] = t[b.len()].wrapping_sub(borrow);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn odd_modulus(rng: &mut StdRng, bits: u32) -> BigUint {
+        BigUint::random_bits(rng, bits).set_bit(bits - 1).set_bit(0)
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(100)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(101)).is_some());
+    }
+
+    #[test]
+    fn mul_mod_matches_schoolbook_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for bits in [64u32, 128, 192, 260, 521] {
+            let n = odd_modulus(&mut rng, bits);
+            let ctx = MontgomeryCtx::new(&n).unwrap();
+            for _ in 0..50 {
+                let a = BigUint::random_bits(&mut rng, bits + 17);
+                let b = BigUint::random_bits(&mut rng, bits);
+                assert_eq!(
+                    ctx.mul_mod(&a, &b),
+                    a.rem(&n).mul_mod(&b.rem(&n), &n),
+                    "bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_mod_edge_operands() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = odd_modulus(&mut rng, 256);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let n_minus_1 = n.sub(&BigUint::one());
+        let cases = [
+            BigUint::zero(),
+            BigUint::one(),
+            n_minus_1.clone(),
+            n.clone(), // operand = modulus reduces to zero
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(ctx.mul_mod(a, b), a.rem(&n).mul_mod(&b.rem(&n), &n));
+            }
+        }
+        // (n-1)^2 = 1 mod n.
+        assert_eq!(ctx.mul_mod(&n_minus_1, &n_minus_1), BigUint::one());
+    }
+
+    #[test]
+    fn modpow_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for bits in [64u32, 255, 260] {
+            let n = odd_modulus(&mut rng, bits);
+            let ctx = MontgomeryCtx::new(&n).unwrap();
+            for _ in 0..20 {
+                let base = BigUint::random_bits(&mut rng, bits + 5);
+                let exp = BigUint::random_bits(&mut rng, bits);
+                assert_eq!(
+                    ctx.modpow(&base, &exp),
+                    base.modpow_schoolbook(&exp, &n),
+                    "bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_edge_exponents() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = odd_modulus(&mut rng, 256);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = BigUint::random_bits(&mut rng, 256);
+        assert_eq!(ctx.modpow(&base, &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.modpow(&base, &BigUint::one()), base.rem(&n));
+        assert_eq!(
+            ctx.modpow(&BigUint::zero(), &BigUint::from_u64(5)),
+            BigUint::zero()
+        );
+        assert_eq!(
+            ctx.modpow(&BigUint::one(), &BigUint::from_u64(1 << 40)),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn to_from_mont_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let n = odd_modulus(&mut rng, 320);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        for _ in 0..100 {
+            let x = BigUint::random_bits(&mut rng, 320);
+            let m = ctx.to_mont(&x);
+            assert_eq!(ctx.demont(&m), x.rem(&n));
+        }
+    }
+
+    #[test]
+    fn dual_exponentiation_matches_two_modpows() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let n = odd_modulus(&mut rng, 260);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        for _ in 0..20 {
+            let a = BigUint::random_bits(&mut rng, 260);
+            let b = BigUint::random_bits(&mut rng, 260);
+            let x = BigUint::random_bits(&mut rng, 255);
+            let y = BigUint::random_bits(&mut rng, 255);
+            let fused = ctx.modpow_dual(&ctx.pow_table(&a), &x, &ctx.pow_table(&b), &y);
+            let split = ctx.modpow(&a, &x).mul_mod(&ctx.modpow(&b, &y), &n);
+            assert_eq!(fused, split);
+        }
+    }
+
+    #[test]
+    fn dual_exponentiation_asymmetric_exponent_lengths() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = odd_modulus(&mut rng, 256);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let a = BigUint::random_bits(&mut rng, 256);
+        let b = BigUint::random_bits(&mut rng, 256);
+        for (xb, yb) in [(0u32, 255u32), (255, 0), (3, 250), (250, 3)] {
+            let x = BigUint::random_bits(&mut rng, xb.max(1)).rem(&BigUint::one().shl(xb.max(1)));
+            let x = if xb == 0 { BigUint::zero() } else { x };
+            let y = BigUint::random_bits(&mut rng, yb.max(1));
+            let y = if yb == 0 { BigUint::zero() } else { y };
+            let fused = ctx.modpow_dual(&ctx.pow_table(&a), &x, &ctx.pow_table(&b), &y);
+            let split = ctx.modpow(&a, &x).mul_mod(&ctx.modpow(&b, &y), &n);
+            assert_eq!(fused, split, "xb={xb} yb={yb}");
+        }
+    }
+
+    #[test]
+    fn single_limb_modulus_works() {
+        let n = BigUint::from_u64(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = BigUint::from_u64(123_456);
+        let exp = BigUint::from_u64(1_000_000_006);
+        // Fermat: base^(p-1) = 1 mod p.
+        assert_eq!(ctx.modpow(&base, &exp), BigUint::one());
+    }
+}

@@ -4,6 +4,7 @@ use pds2_crypto::bigint::BigUint;
 use pds2_crypto::codec::{Decode, Encode, Encoder};
 use pds2_crypto::merkle::MerkleTree;
 use pds2_crypto::sha256::sha256;
+use pds2_crypto::MontgomeryCtx;
 use proptest::prelude::*;
 
 /// Strategy producing BigUints up to ~256 bits from raw byte vectors.
@@ -150,5 +151,131 @@ proptest! {
         let mut other = msg.clone();
         other.push(1);
         prop_assert!(!kp.public.verify(&other, &sig));
+    }
+
+    /// The Shamir-trick fast verifier and the schoolbook reference verifier
+    /// must reach the same decision on valid, tampered and mismatched
+    /// inputs alike (DESIGN.md §5d).
+    #[test]
+    fn fast_verify_matches_reference(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        bump in 1u64..1000,
+    ) {
+        let kp = pds2_crypto::KeyPair::from_seed(seed);
+        let other = pds2_crypto::KeyPair::from_seed(seed.wrapping_add(1));
+        let q = &pds2_crypto::schnorr::Group::standard().q;
+        let sig = kp.sign(&msg);
+        let mut tampered_s = sig.clone();
+        tampered_s.s = tampered_s.s.add_mod(&BigUint::from_u64(bump), q);
+        let mut tampered_e = sig.clone();
+        tampered_e.e = tampered_e.e.add_mod(&BigUint::from_u64(bump), q);
+        let mut wrong_msg = msg.clone();
+        wrong_msg.push(0);
+        for (pk, m, s) in [
+            (&kp.public, &msg, &sig),
+            (&kp.public, &wrong_msg, &sig),
+            (&other.public, &msg, &sig),
+            (&kp.public, &msg, &tampered_s),
+            (&kp.public, &msg, &tampered_e),
+        ] {
+            prop_assert_eq!(pk.verify(m, s), pk.verify_reference(m, s));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic vs the schoolbook (divrem-reduction) baseline.
+// ---------------------------------------------------------------------------
+
+/// Odd moduli > 1 up to ~320 bits — the domain `MontgomeryCtx` accepts.
+fn odd_modulus() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 1..40).prop_map(|mut v| {
+        *v.last_mut().expect("non-empty") |= 1;
+        let m = BigUint::from_bytes_be(&v);
+        if m.is_one() {
+            BigUint::from_u64(3)
+        } else {
+            m
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn montgomery_mul_matches_schoolbook(a in biguint(), b in biguint(), m in odd_modulus()) {
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul_mod(&b, &m));
+    }
+
+    /// Multiplying by one round-trips through Montgomery form: the result
+    /// must be the plain residue, exercising to-Mont → REDC → from-Mont.
+    #[test]
+    fn montgomery_roundtrip_is_identity(a in biguint(), m in odd_modulus()) {
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(ctx.mul_mod(&a, &BigUint::one()), a.rem(&m));
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_schoolbook(
+        base in biguint(),
+        exp in proptest::collection::vec(any::<u8>(), 0..16).prop_map(|v| BigUint::from_bytes_be(&v)),
+        m in odd_modulus(),
+    ) {
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow_schoolbook(&exp, &m));
+    }
+
+    /// The public `modpow` dispatcher (Montgomery when profitable,
+    /// schoolbook otherwise) must be extensionally equal to the schoolbook
+    /// reference on every modulus, even or odd.
+    #[test]
+    fn dispatched_modpow_matches_schoolbook(
+        base in biguint(),
+        exp in biguint(),
+        m in biguint_nonzero().prop_map(|v| v.add(&BigUint::one())),
+    ) {
+        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_schoolbook(&exp, &m));
+    }
+}
+
+/// Deterministic sweep of the boundary operands (0, 1, m−1, m, m+1) the
+/// random strategies rarely land on, against several modulus shapes
+/// including the standard group prime.
+#[test]
+fn montgomery_edge_operands_match_schoolbook() {
+    let p = pds2_crypto::schnorr::Group::standard().p.clone();
+    let moduli = [
+        BigUint::from_u64(3),
+        BigUint::from_u64(0xffff_ffff_ffff_fff1), // near the limb boundary
+        // (2^64 - 1)^2 + 2: a two-limb odd modulus straddling the carry path.
+        BigUint::from_u64(u64::MAX)
+            .mul(&BigUint::from_u64(u64::MAX))
+            .add(&BigUint::from_u64(2)),
+        p,
+    ];
+    for m in &moduli {
+        let ctx = MontgomeryCtx::new(m).expect("odd modulus > 1");
+        let edges = [
+            BigUint::zero(),
+            BigUint::one(),
+            m.sub(&BigUint::one()),
+            m.clone(),
+            m.add(&BigUint::one()),
+        ];
+        for a in &edges {
+            for b in &edges {
+                assert_eq!(ctx.mul_mod(a, b), a.mul_mod(b, m), "mul a={a:?} b={b:?}");
+            }
+            for e in &edges {
+                assert_eq!(
+                    ctx.modpow(a, e),
+                    a.modpow_schoolbook(e, m),
+                    "pow a={a:?} e={e:?}"
+                );
+            }
+        }
     }
 }

@@ -31,6 +31,24 @@
 //! [`std::thread::available_parallelism`]. A value of `1` executes on
 //! the calling thread with zero spawning overhead — exactly the code a
 //! serial implementation would have run.
+//!
+//! ## Serial-fallback cutoff
+//!
+//! Spawning workers the hardware cannot run concurrently only buys
+//! scheduling overhead (the original `BENCH_parallel.json` measured
+//! block validation at 0.72× with `PDS2_THREADS=4` on a 1-core host).
+//! Two guards remove that penalty without touching results:
+//!
+//! * **effective-core detection** — an env-derived worker count is
+//!   capped at [`hardware_cores`] (a scoped [`with_threads`] override is
+//!   honoured verbatim: tests force worker counts deliberately);
+//! * **work-size threshold** — inputs below [`MIN_PAR_ITEMS`] items run
+//!   on the calling thread; fork-join setup dwarfs the work for tiny
+//!   batches.
+//!
+//! Both guards change only *where* code runs, never what it computes —
+//! the determinism contract (bit-identical at any worker count) already
+//! guarantees that.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -47,16 +65,41 @@ thread_local! {
 /// Cached `PDS2_THREADS` / hardware default (read once per process).
 static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
+/// Cached hardware thread count (read once per process).
+static HW_CORES: OnceLock<usize> = OnceLock::new();
+
+/// Inputs smaller than this run on the calling thread regardless of the
+/// worker count: fork-join setup costs more than the work it would
+/// distribute.
+pub const MIN_PAR_ITEMS: usize = 16;
+
+/// Number of hardware threads the machine reports (cached; ≥ 1).
+pub fn hardware_cores() -> usize {
+    *HW_CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Caps a requested worker count by the hardware: asking for more
+/// workers than cores only adds scheduling overhead (never changes
+/// results — see the crate-level determinism contract).
+pub fn effective_workers(requested: usize) -> usize {
+    requested.clamp(1, hardware_cores())
+}
+
 fn env_threads() -> usize {
     *ENV_THREADS.get_or_init(|| {
         match std::env::var("PDS2_THREADS") {
+            // Env-derived counts are capped at the hardware: a
+            // `PDS2_THREADS=4` on a 1-core host runs serial instead of
+            // paying for context switches.
             Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => n.min(256),
+                Ok(n) if n >= 1 => effective_workers(n.min(256)),
                 _ => 1, // unparseable or zero: fail safe to serial
             },
-            Err(_) => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            Err(_) => hardware_cores(),
         }
     })
 }
@@ -121,7 +164,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = current_threads();
-    if threads <= 1 || items.len() < 2 {
+    if threads <= 1 || items.len() < MIN_PAR_ITEMS {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = default_chunk(items.len(), threads);
@@ -285,6 +328,36 @@ mod tests {
             assert_eq!(with_threads(5, current_threads), 5);
             assert_eq!(current_threads(), 2);
         });
+    }
+
+    #[test]
+    fn effective_workers_caps_at_hardware() {
+        let cores = hardware_cores();
+        assert!(cores >= 1);
+        assert_eq!(effective_workers(0), 1);
+        assert_eq!(effective_workers(1), 1);
+        assert_eq!(effective_workers(cores), cores);
+        assert_eq!(effective_workers(cores + 7), cores);
+        assert_eq!(effective_workers(usize::MAX), cores);
+    }
+
+    #[test]
+    fn tiny_inputs_stay_on_the_calling_thread() {
+        let main_id = std::thread::current().id();
+        let items: Vec<u32> = (0..MIN_PAR_ITEMS as u32 - 1).collect();
+        let ids = with_threads(8, || {
+            par_map_indexed(&items, |_, _| std::thread::current().id())
+        });
+        assert!(
+            ids.iter().all(|id| *id == main_id),
+            "below the work-size threshold no worker may be spawned"
+        );
+        // Results are identical either way, threshold or not.
+        let serial: Vec<u32> = items.iter().map(|v| v * 2).collect();
+        assert_eq!(
+            with_threads(8, || par_map_indexed(&items, |_, v| v * 2)),
+            serial
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use pds2_chain::erc20::Erc20Op;
 use pds2_chain::erc721::Erc721Op;
 use pds2_chain::tx::SignedTransaction;
 use pds2_crypto::codec::Decode;
+use pds2_crypto::{PublicKey, Signature};
 use proptest::prelude::*;
 
 fn arbitrary_bytes() -> impl Strategy<Value = Vec<u8>> {
@@ -32,6 +33,8 @@ macro_rules! fuzz_decode {
 
 fuzz_decode!(signed_transaction_never_panics, SignedTransaction);
 fuzz_decode!(block_header_never_panics, BlockHeader);
+fuzz_decode!(signature_never_panics, Signature);
+fuzz_decode!(public_key_never_panics, PublicKey);
 fuzz_decode!(erc20_op_never_panics, Erc20Op);
 fuzz_decode!(erc721_op_never_panics, Erc721Op);
 fuzz_decode!(workload_spec_never_panics, WorkloadSpec);
@@ -207,6 +210,73 @@ mod corrupted_in_flight {
                         !intact || decoded == block,
                         "flip at byte {idx} bit {bit} produced a different block \
                          passing all integrity checks"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_signature_always_errors() {
+        let kp = KeyPair::from_seed(7);
+        let sig = kp.sign(b"truncation probe");
+        assert_truncation_rejected::<pds2_crypto::Signature>(&sig.to_bytes(), "signature");
+    }
+
+    #[test]
+    fn truncated_public_key_always_errors() {
+        let kp = KeyPair::from_seed(7);
+        assert_truncation_rejected::<pds2_crypto::PublicKey>(&kp.public.to_bytes(), "public key");
+    }
+
+    /// A bit-flipped signature encoding either fails to decode or decodes
+    /// to a signature the (unchanged) key rejects — on both the fast and
+    /// the schoolbook verification paths.
+    #[test]
+    fn bitflipped_signature_every_position() {
+        let kp = KeyPair::from_seed(7);
+        let msg = b"bit flip probe";
+        let sig = kp.sign(msg);
+        let wire = sig.to_bytes();
+        for idx in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bytes = wire.clone();
+                bytes[idx] ^= 1 << bit;
+                if let Ok(decoded) = pds2_crypto::Signature::from_bytes(&bytes) {
+                    let fast = kp.public.verify(msg, &decoded);
+                    let reference = kp.public.verify_reference(msg, &decoded);
+                    assert_eq!(fast, reference, "paths split at byte {idx} bit {bit}");
+                    assert!(
+                        !fast || decoded == sig,
+                        "flip at byte {idx} bit {bit} produced a different \
+                         signature that still verifies"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A bit-flipped public-key encoding either fails to decode or decodes
+    /// to a key that rejects the original signature — again identically on
+    /// both verification paths.
+    #[test]
+    fn bitflipped_public_key_every_position() {
+        let kp = KeyPair::from_seed(7);
+        let msg = b"bit flip probe";
+        let sig = kp.sign(msg);
+        let wire = kp.public.to_bytes();
+        for idx in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bytes = wire.clone();
+                bytes[idx] ^= 1 << bit;
+                if let Ok(decoded) = pds2_crypto::PublicKey::from_bytes(&bytes) {
+                    let fast = decoded.verify(msg, &sig);
+                    let reference = decoded.verify_reference(msg, &sig);
+                    assert_eq!(fast, reference, "paths split at byte {idx} bit {bit}");
+                    assert!(
+                        !fast || decoded == kp.public,
+                        "flip at byte {idx} bit {bit} produced a different \
+                         key accepting the original signature"
                     );
                 }
             }

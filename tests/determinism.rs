@@ -86,6 +86,78 @@ fn chain_state_root_is_thread_count_invariant() {
     }
 }
 
+/// The Montgomery/Shamir fast verification path (DESIGN.md §5d) must make
+/// the same accept/reject decision as the schoolbook reference path on
+/// every signature, and the chain must reach bit-identical state roots at
+/// every thread count whether the verified-signature cache is cold or warm.
+#[test]
+fn verification_fast_path_is_thread_and_cache_invariant() {
+    let block = make_block();
+    // Tampered variant: corrupt one signature scalar. The tx bodies (and
+    // therefore the tx root) stay valid, so rejection must come from the
+    // signature check itself.
+    let q = &pds2_crypto::schnorr::Group::standard().q;
+    let mut tampered = cold_copy(&block);
+    tampered.transactions[3].signature.s = tampered.transactions[3]
+        .signature
+        .s
+        .add_mod(&pds2_crypto::BigUint::one(), q);
+
+    // Signature level: fast and reference verifiers agree on every tx of
+    // both blocks.
+    for b in [&block, &tampered] {
+        for t in &b.transactions {
+            let msg = t.tx.hash();
+            assert_eq!(
+                t.tx.from.verify(msg.as_bytes(), &t.signature),
+                t.tx.from.verify_reference(msg.as_bytes(), &t.signature),
+                "verification paths disagree"
+            );
+        }
+    }
+
+    // Chain level: decisions and resulting state are invariant under the
+    // thread count, and under cache temperature (the second validation of
+    // the valid block hits the verified-signature cache).
+    let results: Vec<(Digest, Digest)> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            pds2_par::with_threads(threads, || {
+                pds2_chain::sigcache::clear();
+                let mut verifier = make_chain();
+                assert!(
+                    verifier
+                        .validate_external_block(&cold_copy(&tampered))
+                        .is_err(),
+                    "tampered block accepted at {threads} threads"
+                );
+                verifier
+                    .validate_external_block(&cold_copy(&block))
+                    .expect("valid block, cold cache");
+                verifier
+                    .validate_external_block(&cold_copy(&block))
+                    .expect("valid block, warm cache");
+                assert!(
+                    verifier
+                        .validate_external_block(&cold_copy(&tampered))
+                        .is_err(),
+                    "tampered block accepted with a warm cache"
+                );
+                verifier
+                    .apply_external_block(&cold_copy(&block))
+                    .expect("valid block");
+                (verifier.state.state_root(), verifier.head_hash())
+            })
+        })
+        .collect();
+    for pair in &results[1..] {
+        assert_eq!(
+            pair, &results[0],
+            "state root / head hash changed with thread count"
+        );
+    }
+}
+
 #[test]
 fn merkle_root_is_thread_count_invariant() {
     // Enough leaves to cross the parallel-level threshold in

@@ -601,9 +601,9 @@ mod workload_lifecycle {
                                 *expected.get_mut(&providers[p]).unwrap() += share;
                                 paid += share;
                             }
-                            for e in 0..2 {
-                                if model.voted[e] {
-                                    *expected.get_mut(&executor_addrs[e]).unwrap() += EXECUTOR_FEE;
+                            for (addr, voted) in executor_addrs.iter().zip(&model.voted) {
+                                if *voted {
+                                    *expected.get_mut(addr).unwrap() += EXECUTOR_FEE;
                                     paid += EXECUTOR_FEE;
                                 }
                             }
