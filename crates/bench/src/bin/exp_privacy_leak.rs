@@ -3,7 +3,7 @@
 //! Trains models on an overfit-prone task under increasing DP noise and
 //! reports the loss-threshold attack's advantage alongside the model's
 //! test accuracy — the leakage/utility trade-off the paper says "any
-//! implementation of PDS² [must] take steps to minimize".
+//! implementation of PDS² \[must\] take steps to minimize".
 //!
 //! `cargo run --release -p pds2-bench --bin exp_privacy_leak`
 

@@ -200,22 +200,31 @@ impl Blockchain {
     /// Submits a transaction to the mempool after stateless+stateful
     /// admission checks.
     pub fn submit(&mut self, tx: SignedTransaction) -> Result<Digest, ChainError> {
+        pds2_obs::counter!("chain.txs_submitted").inc();
         if !tx.verify_signature() {
+            pds2_obs::counter!("chain.txs_rejected").inc();
             return Err(ChainError::InvalidSignature);
         }
         let hash = tx.hash();
         if self.seen.contains(&hash) {
+            pds2_obs::counter!("chain.txs_rejected").inc();
             return Err(ChainError::Duplicate);
         }
         let account_nonce = self.state.nonce(&tx.tx.sender());
         if tx.tx.nonce < account_nonce {
+            pds2_obs::counter!("chain.txs_rejected").inc();
             return Err(ChainError::StaleNonce {
                 expected: account_nonce,
                 got: tx.tx.nonce,
             });
         }
         self.seen.insert(hash);
-        self.mempool.lock().push_back(tx);
+        let pool_len = {
+            let mut pool = self.mempool.lock();
+            pool.push_back(tx);
+            pool.len()
+        };
+        pds2_obs::gauge!("chain.mempool_size").set(pool_len as f64);
         Ok(hash)
     }
 
@@ -231,6 +240,7 @@ impl Blockchain {
     /// stale, in which case they are dropped.
     pub fn produce_block(&mut self) -> Block {
         let height = self.height();
+        let span = pds2_obs::span("chain", "produce_block", pds2_obs::Stamp::Block(height));
         let parent = self.head_hash();
         let timestamp = height * self.config.block_interval_secs;
 
@@ -306,9 +316,24 @@ impl Blockchain {
         };
 
         // Record.
+        let mut gas_used: u64 = 0;
         for receipt in receipts {
+            gas_used += receipt.gas_used;
             self.events.extend(receipt.events.iter().cloned());
             self.receipts.insert(receipt.tx_hash, receipt);
+        }
+        pds2_obs::counter!("chain.blocks_produced").inc();
+        pds2_obs::counter!("chain.txs_included").add(block.transactions.len() as u64);
+        pds2_obs::histogram!("chain.gas_per_block").observe(gas_used);
+        pds2_obs::gauge!("chain.mempool_size").set(self.mempool_len() as f64);
+        if pds2_obs::enabled() {
+            span.finish(
+                pds2_obs::Stamp::Block(height),
+                vec![
+                    ("txs", pds2_obs::Value::from(block.transactions.len())),
+                    ("gas_used", pds2_obs::Value::from(gas_used)),
+                ],
+            );
         }
         self.blocks.push(block.clone());
         block
@@ -328,6 +353,32 @@ impl Blockchain {
     /// Validates a block received from elsewhere against the current head
     /// (used by tests to demonstrate tamper rejection). Does not execute.
     pub fn validate_external_block(&self, block: &Block) -> Result<(), ChainError> {
+        let height = block.header.height;
+        let span = pds2_obs::span("chain", "validate_block", pds2_obs::Stamp::Block(height));
+        let res = self.validate_external_block_uninstrumented(block);
+        match res {
+            Ok(()) => pds2_obs::counter!("chain.blocks_validated").inc(),
+            Err(_) => pds2_obs::counter!("chain.blocks_rejected").inc(),
+        }
+        if pds2_obs::enabled() {
+            span.finish(
+                pds2_obs::Stamp::Block(height),
+                vec![
+                    ("txs", pds2_obs::Value::from(block.transactions.len())),
+                    ("ok", pds2_obs::Value::from(res.is_ok() as u64)),
+                ],
+            );
+        }
+        res
+    }
+
+    /// [`validate_external_block`](Self::validate_external_block) minus
+    /// the observability wrapper. Public so `bench_obs` can time the
+    /// bare validation path as the baseline for its overhead
+    /// measurement; everyone else should call the instrumented entry
+    /// point.
+    #[doc(hidden)]
+    pub fn validate_external_block_uninstrumented(&self, block: &Block) -> Result<(), ChainError> {
         if block.header.height != self.height() {
             return Err(ChainError::InvalidBlock("wrong height"));
         }
@@ -420,6 +471,13 @@ impl Blockchain {
             .lock()
             .retain(|t| !included.contains(&t.hash()));
         self.blocks.push(block.clone());
+        pds2_obs::counter!("chain.blocks_applied").inc();
+        pds2_obs::event!(
+            "chain",
+            "apply_block",
+            pds2_obs::Stamp::Block(height),
+            "txs" => block.transactions.len(),
+        );
         Ok(())
     }
 }

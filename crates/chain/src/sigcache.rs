@@ -30,8 +30,8 @@ use parking_lot::Mutex;
 use pds2_crypto::schnorr::{PublicKey, Signature};
 use pds2_crypto::sha256::{Digest, Sha256};
 use pds2_crypto::Encode;
+use pds2_obs::Counter;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Digests retained per generation (two generations live at once).
@@ -43,8 +43,18 @@ struct Generations {
 }
 
 static CACHE: OnceLock<Mutex<Generations>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss totals live on the `pds2-obs` registry (names
+/// `chain.sigcache_hits` / `chain.sigcache_misses`) so they appear in
+/// the same [`pds2_obs::snapshot`] as every other metric; [`stats`]
+/// and [`clear`] remain the crate-local view of the same counters.
+fn hits() -> &'static Counter {
+    pds2_obs::counter!("chain.sigcache_hits")
+}
+
+fn misses() -> &'static Counter {
+    pds2_obs::counter!("chain.sigcache_misses")
+}
 
 fn cache() -> &'static Mutex<Generations> {
     CACHE.get_or_init(|| {
@@ -78,9 +88,9 @@ pub fn contains(digest: &Digest) -> bool {
     let guard = cache().lock();
     let hit = guard.live.contains(digest) || guard.prev.contains(digest);
     if hit {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        hits().inc();
     } else {
-        MISSES.fetch_add(1, Ordering::Relaxed);
+        misses().inc();
     }
     hit
 }
@@ -111,7 +121,7 @@ pub fn verify_cached(message: &[u8], key: &PublicKey, sig: &Signature) -> bool {
 
 /// (hits, misses) since process start (or the last [`clear`]).
 pub fn stats() -> (u64, u64) {
-    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+    (hits().get(), misses().get())
 }
 
 /// Drops all cached digests and resets counters (bench/test helper: cold
@@ -120,8 +130,8 @@ pub fn clear() {
     let mut guard = cache().lock();
     guard.live.clear();
     guard.prev.clear();
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
+    hits().reset();
+    misses().reset();
 }
 
 #[cfg(test)]

@@ -344,6 +344,16 @@ impl WorkloadContract {
         let exec_timeout_blocks = dec.get_u64().map_err(parse)?;
         let reward_token = dec.get_option().map_err(parse)?;
         dec.expect_end().map_err(parse)?;
+        pds2_obs::counter!("market.contracts_created").inc();
+        pds2_obs::event!(
+            "market",
+            "contract.created",
+            pds2_obs::Stamp::None,
+            "provider_reward" => provider_reward,
+            "executor_fee" => executor_fee,
+            "min_providers" => min_providers,
+            "min_records" => min_records,
+        );
         Ok(Box::new(WorkloadContract {
             state: WorkloadState {
                 consumer: deployer,
@@ -453,6 +463,13 @@ impl Contract for WorkloadContract {
                     "workload.funded",
                     format!("by={} total={}", ctx.sender, self.state.funded),
                 )?;
+                pds2_obs::counter!("market.fund_calls").inc();
+                pds2_obs::event!(
+                    "market",
+                    "contract.funded",
+                    pds2_obs::Stamp::Block(ctx.block_height),
+                    "escrow" => self.state.funded,
+                );
                 Ok(Vec::new())
             }
             calls::REGISTER_EXECUTOR => {
@@ -522,6 +539,16 @@ impl Contract for WorkloadContract {
                 }
                 self.state.phase = Phase::Executing;
                 self.state.started_height = ctx.block_height;
+                pds2_obs::counter!("market.contracts_started").inc();
+                pds2_obs::event!(
+                    "market",
+                    "contract.phase",
+                    pds2_obs::Stamp::Block(ctx.block_height),
+                    "from" => "open", "to" => "executing",
+                    "providers" => self.state.contributions.len(),
+                    "records" => self.state.total_records(),
+                    "escrow" => self.state.funded,
+                );
                 ctx.emit(
                     "workload.started",
                     format!(
@@ -644,6 +671,15 @@ impl Contract for WorkloadContract {
                 self.state.slashed = slashed;
                 self.state.result = Some(majority);
                 self.state.phase = Phase::Completed;
+                pds2_obs::counter!("market.contracts_completed").inc();
+                pds2_obs::event!(
+                    "market",
+                    "contract.phase",
+                    pds2_obs::Stamp::Block(ctx.block_height),
+                    "from" => "executing", "to" => "completed",
+                    "paid" => paid,
+                    "slashed" => self.state.slashed.len(),
+                );
                 ctx.emit(
                     "workload.completed",
                     format!(
@@ -664,6 +700,13 @@ impl Contract for WorkloadContract {
                     self.state.funded = 0;
                 }
                 self.state.phase = Phase::Cancelled;
+                pds2_obs::counter!("market.contracts_cancelled").inc();
+                pds2_obs::event!(
+                    "market",
+                    "contract.phase",
+                    pds2_obs::Stamp::Block(ctx.block_height),
+                    "from" => "open", "to" => "cancelled", "reason" => "cancel",
+                );
                 ctx.emit("workload.cancelled", format!("by={}", ctx.sender))?;
                 Ok(Vec::new())
             }
@@ -683,6 +726,13 @@ impl Contract for WorkloadContract {
                     self.state.funded = 0;
                 }
                 self.state.phase = Phase::Cancelled;
+                pds2_obs::counter!("market.contracts_expired").inc();
+                pds2_obs::event!(
+                    "market",
+                    "contract.phase",
+                    pds2_obs::Stamp::Block(ctx.block_height),
+                    "from" => "open", "to" => "cancelled", "reason" => "expired",
+                );
                 ctx.emit(
                     "workload.expired",
                     format!("by={} at_height={}", ctx.sender, ctx.block_height),
@@ -708,6 +758,13 @@ impl Contract for WorkloadContract {
                     self.state.funded = 0;
                 }
                 self.state.phase = Phase::Cancelled;
+                pds2_obs::counter!("market.contracts_aborted").inc();
+                pds2_obs::event!(
+                    "market",
+                    "contract.phase",
+                    pds2_obs::Stamp::Block(ctx.block_height),
+                    "from" => "executing", "to" => "cancelled", "reason" => "abort",
+                );
                 ctx.emit(
                     "workload.aborted",
                     format!("by={} at_height={}", ctx.sender, ctx.block_height),

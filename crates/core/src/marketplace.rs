@@ -995,6 +995,43 @@ impl Marketplace {
     /// Step 5: executors train inside enclaves and aggregate peer-to-peer;
     /// every honest executor submits the agreed result hash on-chain.
     pub fn execute(&mut self, workload_id: u64) -> Result<ExecutionReport, MarketError> {
+        let span = pds2_obs::span("market", "execute", pds2_obs::Stamp::Block(self.now()));
+        let res = self.execute_attempt(workload_id);
+        match &res {
+            Ok(report) => {
+                pds2_obs::counter!("market.executions").inc();
+                if pds2_obs::enabled() {
+                    span.finish(
+                        pds2_obs::Stamp::Block(self.now()),
+                        vec![
+                            ("workload", pds2_obs::Value::from(workload_id)),
+                            ("ok", pds2_obs::Value::from(1u64)),
+                            (
+                                "validation_score",
+                                pds2_obs::Value::from(report.validation_score),
+                            ),
+                        ],
+                    );
+                }
+            }
+            Err(_) => {
+                pds2_obs::counter!("market.execution_failures").inc();
+                if pds2_obs::enabled() {
+                    span.finish(
+                        pds2_obs::Stamp::Block(self.now()),
+                        vec![
+                            ("workload", pds2_obs::Value::from(workload_id)),
+                            ("ok", pds2_obs::Value::from(0u64)),
+                        ],
+                    );
+                }
+            }
+        }
+        res
+    }
+
+    /// [`Marketplace::execute`] minus the observability wrapper.
+    fn execute_attempt(&mut self, workload_id: u64) -> Result<ExecutionReport, MarketError> {
         let state = self.workload_state(workload_id)?;
         if state.phase != Phase::Executing {
             return Err(MarketError::BadPhase(format!(
@@ -1133,6 +1170,15 @@ impl Marketplace {
                 Ok(report) => return Ok((report, attempt)),
                 Err(e) if attempt >= max_attempts => return Err(e),
                 Err(_) => {
+                    pds2_obs::counter!("market.retries").inc();
+                    pds2_obs::event!(
+                        "market",
+                        "execute.retry",
+                        pds2_obs::Stamp::Block(self.now()),
+                        "workload" => workload_id,
+                        "attempt" => attempt as u64,
+                        "backoff_blocks" => backoff,
+                    );
                     self.mine_empty_blocks(backoff);
                     backoff *= 2;
                     attempt += 1;
@@ -1195,6 +1241,14 @@ impl Marketplace {
             return Err(MarketError::ChainFailure(receipt.error.unwrap_or_default()));
         }
         self.tick();
+        pds2_obs::counter!("market.aborts").inc();
+        pds2_obs::event!(
+            "market",
+            "workload.abort",
+            pds2_obs::Stamp::Block(self.now()),
+            "workload" => workload_id,
+            "refund" => refund,
+        );
         Ok(refund)
     }
 

@@ -257,7 +257,7 @@ impl BigUint {
     /// just below that so the recursive halves stay in schoolbook range.
     const KARATSUBA_THRESHOLD: usize = 96;
 
-    /// `self * other` (schoolbook below [`Self::KARATSUBA_THRESHOLD`]
+    /// `self * other` (schoolbook below `Self::KARATSUBA_THRESHOLD`
     /// limbs, Karatsuba above — relevant for Paillier's 2048-bit `n²`
     /// arithmetic).
     pub fn mul(&self, other: &BigUint) -> BigUint {

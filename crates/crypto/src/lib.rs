@@ -8,7 +8,7 @@
 //! - [`montgomery`] — Montgomery-form multiplication, fixed-window and
 //!   Shamir/Straus dual exponentiation (the signature-verification fast
 //!   path; see DESIGN.md §5d);
-//! - [`sha256`] — SHA-256 (FIPS 180-4);
+//! - [`mod@sha256`] — SHA-256 (FIPS 180-4);
 //! - [`hmac`] — HMAC-SHA-256 and HKDF;
 //! - [`chacha20`] — ChaCha20 stream cipher plus encrypt-then-MAC sealing;
 //! - [`codec`] — the canonical binary encoding used for every hashed or

@@ -3,8 +3,8 @@
 //! Paillier additively homomorphic encryption — the **homomorphic
 //! encryption** candidate from §III-B of the PDS² paper.
 //!
-//! The paper argues that HE "provide[s] confidentiality guarantees derived
-//! from cryptographic principles" but "introduce[s] large overheads in the
+//! The paper argues that HE "provide\[s\] confidentiality guarantees derived
+//! from cryptographic principles" but "introduce\[s\] large overheads in the
 //! computation … impractical for most applications". This crate makes that
 //! claim measurable: it performs real Paillier arithmetic over the
 //! workspace's own bignum library, so experiment E4 can compare plaintext,

@@ -1,7 +1,7 @@
 //! Membership-inference attack harness (§IV-D "Privacy Leaks").
 //!
 //! The paper warns that information "may still leak … through the results
-//! that [consumers] download from the platform", citing the white-box
+//! that \[consumers\] download from the platform", citing the white-box
 //! membership-inference literature. This module implements the standard
 //! loss-threshold attack: training members tend to have lower per-sample
 //! loss than non-members, so an attacker thresholds the loss to guess

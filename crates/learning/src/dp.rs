@@ -82,6 +82,16 @@ impl PrivacyAccountant {
         self.epsilon += epsilon;
         self.delta += delta;
         self.releases += 1;
+        pds2_obs::counter!("learning.dp_releases").inc();
+        pds2_obs::gauge!("learning.dp_epsilon_spent").add(epsilon);
+        pds2_obs::event!(
+            "learning",
+            "dp.spend",
+            pds2_obs::Stamp::None,
+            "epsilon" => epsilon,
+            "delta" => delta,
+            "total_epsilon" => self.epsilon,
+        );
     }
 
     /// Total ε under basic composition.

@@ -144,11 +144,21 @@ where
         }
         if updates.is_empty() {
             stats.wasted_rounds += 1;
+            pds2_obs::counter!("learning.fed_wasted_rounds").inc();
         } else {
             let averaged = weighted_mean(&updates, &weights);
             global.set_params(&averaged);
         }
-        accuracy_curve.push(eval(&global, test));
+        let acc = eval(&global, test);
+        pds2_obs::counter!("learning.fed_rounds").inc();
+        pds2_obs::event!(
+            "learning",
+            "fed.round",
+            pds2_obs::Stamp::Round(round as u64),
+            "participants" => updates.len(),
+            "accuracy" => acc,
+        );
+        accuracy_curve.push(acc);
     }
     FedOutcome {
         model: global,

@@ -276,8 +276,11 @@ impl<M: Model> Node for GossipNode<M> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, GossipMsg>, from: NodeId, msg: GossipMsg) {
         if !msg.verify() {
             // Corrupted in flight: never merge a model we cannot
-            // authenticate against its digest.
+            // authenticate against its digest. The per-node field feeds
+            // `GossipOutcome`; the registry counter is the process-wide
+            // aggregate visible in `pds2_obs::snapshot()`.
             self.corrupted_dropped += 1;
+            pds2_obs::counter!("learning.corrupted_dropped").inc();
             return;
         }
         let want_reply = msg.want_reply;
@@ -415,6 +418,15 @@ where
         } else {
             accs.iter().sum::<f64>() / accs.len() as f64
         };
+        pds2_obs::counter!("learning.gossip_evals").inc();
+        pds2_obs::event!(
+            "learning",
+            "gossip.eval",
+            pds2_obs::Stamp::Sim(t),
+            "round" => accuracy_curve.len(),
+            "online" => online.len(),
+            "accuracy" => mean,
+        );
         accuracy_curve.push(mean);
     }
     let stats = sim.stats();

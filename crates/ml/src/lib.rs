@@ -1,6 +1,6 @@
 //! # pds2-ml
 //!
-//! The machine-learning substrate for PDS² workloads: the paper "focus[es]
+//! The machine-learning substrate for PDS² workloads: the paper "focus\[es\]
 //! on ML training tasks, as they represent one of the most relevant and
 //! valuable data aggregation workloads in the industry" (§I).
 //!

@@ -373,6 +373,7 @@ impl<N: Node> Simulator<N> {
             match action {
                 Action::Send { to, msg } => {
                     self.stats.sent += 1;
+                    pds2_obs::counter!("net.sent").inc();
                     // Fault layer first (dedicated RNG, deterministic
                     // event order), then the benign link model — so the
                     // protocol RNG stream is identical with and without
@@ -386,16 +387,37 @@ impl<N: Node> Simulator<N> {
                         match fate.verdict {
                             SendVerdict::DropPartition => {
                                 self.stats.dropped_partition += 1;
+                                pds2_obs::counter!("net.dropped_partition").inc();
+                                pds2_obs::event!(
+                                    "net",
+                                    "drop.partition",
+                                    pds2_obs::Stamp::Sim(self.now),
+                                    "from" => origin, "to" => to, "kind" => kind as u64,
+                                );
                                 continue;
                             }
                             SendVerdict::DropFault => {
                                 self.stats.dropped_fault += 1;
+                                pds2_obs::counter!("net.dropped_fault").inc();
+                                pds2_obs::event!(
+                                    "net",
+                                    "drop.censor",
+                                    pds2_obs::Stamp::Sim(self.now),
+                                    "from" => origin, "to" => to, "kind" => kind as u64,
+                                );
                                 continue;
                             }
                             SendVerdict::DeliverCorrupted => {
                                 match N::corrupt_msg(&msg, fault.rng_mut()) {
                                     Some(mangled) => {
                                         self.stats.corrupted += 1;
+                                        pds2_obs::counter!("net.corrupted").inc();
+                                        pds2_obs::event!(
+                                            "net",
+                                            "corrupt",
+                                            pds2_obs::Stamp::Sim(self.now),
+                                            "from" => origin, "to" => to, "kind" => kind as u64,
+                                        );
                                         msg = mangled;
                                     }
                                     None => {
@@ -403,6 +425,13 @@ impl<N: Node> Simulator<N> {
                                         // even represent: the frame is
                                         // destroyed on the wire.
                                         self.stats.dropped_fault += 1;
+                                        pds2_obs::counter!("net.dropped_fault").inc();
+                                        pds2_obs::event!(
+                                            "net",
+                                            "drop.censor",
+                                            pds2_obs::Stamp::Sim(self.now),
+                                            "from" => origin, "to" => to, "kind" => kind as u64,
+                                        );
                                         continue;
                                     }
                                 }
@@ -411,12 +440,27 @@ impl<N: Node> Simulator<N> {
                         }
                         if fate.extra_delay_us > 0 {
                             self.stats.reordered += 1;
+                            pds2_obs::counter!("net.reordered").inc();
+                            pds2_obs::event!(
+                                "net",
+                                "reorder",
+                                pds2_obs::Stamp::Sim(self.now),
+                                "from" => origin, "to" => to,
+                                "extra_delay_us" => fate.extra_delay_us,
+                            );
                             extra_delay_us = fate.extra_delay_us;
                         }
                         duplicate_after_us = fate.duplicate_after_us;
                     }
                     if self.link.drops(&mut self.rng) {
                         self.stats.dropped_loss += 1;
+                        pds2_obs::counter!("net.dropped_loss").inc();
+                        pds2_obs::event!(
+                            "net",
+                            "drop.loss",
+                            pds2_obs::Stamp::Sim(self.now),
+                            "from" => origin, "to" => to,
+                        );
                         continue;
                     }
                     let size = N::msg_size(&msg);
@@ -424,6 +468,13 @@ impl<N: Node> Simulator<N> {
                     let at = self.now + delay + extra_delay_us;
                     if let Some(after_us) = duplicate_after_us {
                         self.stats.duplicated += 1;
+                        pds2_obs::counter!("net.duplicated").inc();
+                        pds2_obs::event!(
+                            "net",
+                            "duplicate",
+                            pds2_obs::Stamp::Sim(self.now),
+                            "from" => origin, "to" => to,
+                        );
                         self.push(
                             at + after_us.max(1),
                             EventKind::Deliver {
@@ -446,6 +497,7 @@ impl<N: Node> Simulator<N> {
                 }
                 Action::Timer { delay_us, tag } => {
                     let at = self.now + delay_us;
+                    pds2_obs::counter!("net.timers_set").inc();
                     self.push(at, EventKind::Timer { node: origin, tag });
                 }
             }
@@ -496,6 +548,7 @@ impl<N: Node> Simulator<N> {
                     self.online[node] = online;
                 }
                 EventKind::Timer { node, tag } => {
+                    pds2_obs::counter!("net.timers_fired").inc();
                     if self.online[node] {
                         self.stats.timers_fired += 1;
                         self.call_node(node, |n, ctx| n.on_timer(ctx, tag));
@@ -519,22 +572,64 @@ impl<N: Node> Simulator<N> {
                         .is_some_and(|f| f.severed_at_delivery(from, to, self.now))
                     {
                         self.stats.dropped_partition += 1;
+                        pds2_obs::counter!("net.dropped_partition").inc();
+                        pds2_obs::event!(
+                            "net",
+                            "drop.partition",
+                            pds2_obs::Stamp::Sim(self.now),
+                            "from" => from, "to" => to,
+                        );
                     } else if self.online[to] {
                         self.stats.delivered += 1;
                         self.stats.bytes_delivered += size;
-                        self.record_trace(from, to, N::msg_kind(&msg), size, N::msg_digest(&msg));
+                        pds2_obs::counter!("net.delivered").inc();
+                        pds2_obs::counter!("net.bytes_delivered").add(size);
+                        let kind = N::msg_kind(&msg);
+                        let digest = N::msg_digest(&msg);
+                        self.record_trace(from, to, kind, size, digest);
+                        // Same (time, from, to, kind, size, digest) tuple
+                        // the delivery trace hash commits to, so a JSONL
+                        // trace can be joined against `trace_hash()`.
+                        pds2_obs::event!(
+                            "net",
+                            "deliver",
+                            pds2_obs::Stamp::Sim(self.now),
+                            "from" => from, "to" => to, "kind" => kind as u64,
+                            "size" => size, "digest" => digest,
+                        );
                         self.call_node(to, |n, ctx| n.on_message(ctx, from, msg));
                     } else {
                         self.stats.dropped_offline += 1;
+                        pds2_obs::counter!("net.dropped_offline").inc();
+                        pds2_obs::event!(
+                            "net",
+                            "drop.offline",
+                            pds2_obs::Stamp::Sim(self.now),
+                            "from" => from, "to" => to,
+                        );
                     }
                 }
                 EventKind::Crash { node } => {
                     self.stats.crashes += 1;
+                    pds2_obs::counter!("net.crashes").inc();
+                    pds2_obs::event!(
+                        "net",
+                        "crash",
+                        pds2_obs::Stamp::Sim(self.now),
+                        "node" => node,
+                    );
                     self.online[node] = false;
                     self.nodes[node].on_crash();
                 }
                 EventKind::Recover { node } => {
                     self.stats.recoveries += 1;
+                    pds2_obs::counter!("net.recoveries").inc();
+                    pds2_obs::event!(
+                        "net",
+                        "recover",
+                        pds2_obs::Stamp::Sim(self.now),
+                        "node" => node,
+                    );
                     self.online[node] = true;
                     self.call_node(node, |n, ctx| n.on_recover(ctx));
                 }

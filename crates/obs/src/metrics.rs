@@ -1,0 +1,296 @@
+//! Process-wide typed metrics registry.
+//!
+//! Handles are interned by name and leaked to `&'static`, so a hot-path
+//! increment is one relaxed atomic operation with no lock and no hash
+//! lookup (call sites cache the handle in a `OnceLock` via the
+//! [`counter!`](crate::counter!) family of macros). Counters and
+//! histograms are monotonic totals; [`reset_metrics`] and per-handle
+//! `reset` exist for benches and tests that need cold starts.
+//!
+//! Metrics are deliberately *not* part of the trace digest: parallel
+//! workers increment them in nondeterministic interleavings, and cache
+//! warmth (e.g. the sigcache) legitimately changes hit/miss splits
+//! between otherwise identical runs. Totals are still deterministic
+//! for serial workloads, which the chaos tests assert.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Monotonically increasing `u64` total.
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the total. Bench/test helper: cold runs must not see a
+    /// previous run's counts (mirrors `sigcache::clear`).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins `f64` value (stored as IEEE-754 bits in an atomic).
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (CAS loop; gauges are low-frequency).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets to 0.0.
+    pub fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Bucket upper bounds: powers of four (1, 4, 16, …, 4^15) plus a
+/// catch-all. Fourteen doublings cover everything from per-tx gas to
+/// per-block byte counts without tuning.
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// Fixed-bucket histogram of `u64` observations.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Upper bound (inclusive) of bucket `i`; the last bucket is
+    /// unbounded.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            1u64 << (2 * i as u32)
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let mut idx = HISTOGRAM_BUCKETS - 1;
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            if v <= Self::bucket_bound(i) {
+                idx = i;
+                break;
+            }
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Zeroes all buckets, count and sum.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`Histogram::bucket_bound`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: HashMap<&'static str, &'static Counter>,
+    gauges: HashMap<&'static str, &'static Gauge>,
+    histograms: HashMap<&'static str, &'static Histogram>,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Registry> {
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Interns and returns the counter named `name`. Prefer the
+/// [`counter!`](crate::counter!) macro, which caches the handle per
+/// call site.
+pub fn counter_handle(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock();
+    reg.counters.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Counter {
+            value: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// Interns and returns the gauge named `name`.
+pub fn gauge_handle(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock();
+    reg.gauges.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }))
+    })
+}
+
+/// Interns and returns the histogram named `name`.
+pub fn histogram_handle(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock();
+    reg.histograms.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// Point-in-time copy of every registered metric, name-sorted so two
+/// snapshots diff cleanly.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter delta `self - earlier` (names missing from `earlier`
+    /// count from zero). Gauges/histograms are excluded: deltas on
+    /// last-write-wins values are not meaningful.
+    pub fn counter_deltas(&self, earlier: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(k, v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect()
+    }
+
+    /// One `name value` line per metric, sorted — the runbook's
+    /// "human snapshot" format.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge {k} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {k} count={} sum={} mean={:.3}\n",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+/// Snapshots every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock();
+    let mut snap = MetricsSnapshot::default();
+    for (name, c) in &reg.counters {
+        snap.counters.insert((*name).to_string(), c.get());
+    }
+    for (name, g) in &reg.gauges {
+        snap.gauges.insert((*name).to_string(), g.get());
+    }
+    for (name, h) in &reg.histograms {
+        snap.histograms.insert((*name).to_string(), h.snapshot());
+    }
+    snap
+}
+
+/// Zeroes every registered metric (handles stay valid). Bench/test
+/// helper; production code never resets.
+pub fn reset_metrics() {
+    let reg = registry().lock();
+    for c in reg.counters.values() {
+        c.reset();
+    }
+    for g in reg.gauges.values() {
+        g.reset();
+    }
+    for h in reg.histograms.values() {
+        h.reset();
+    }
+}

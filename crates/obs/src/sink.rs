@@ -1,0 +1,105 @@
+//! Pluggable event sinks.
+//!
+//! The collector folds every event into the trace digest *before*
+//! handing it to the sink, so the digest is sink-invariant: a ring
+//! capture, a JSONL capture and a digest-only [`SinkKind::Null`]
+//! capture of the same run report the same [`trace_digest`]
+//! (`crate::trace_digest`). Sinks only decide what, if anything, is
+//! retained for later inspection.
+
+use crate::trace::Event;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// Which sink a capture writes to.
+#[derive(Clone, Debug)]
+pub enum SinkKind {
+    /// Keep the last `n` events in memory; [`finish`](crate::Capture::finish)
+    /// returns them. The test sink.
+    Ring(usize),
+    /// Append one JSON object per event to the given file. The bench /
+    /// offline-analysis sink.
+    Jsonl(PathBuf),
+    /// Retain nothing; only the digest and event count survive.
+    Null,
+}
+
+pub(crate) enum ActiveSink {
+    Ring {
+        cap: usize,
+        buf: VecDeque<Event>,
+        evicted: u64,
+    },
+    Jsonl {
+        path: PathBuf,
+        writer: BufWriter<std::fs::File>,
+    },
+    Null,
+}
+
+impl ActiveSink {
+    pub(crate) fn open(kind: SinkKind) -> std::io::Result<ActiveSink> {
+        Ok(match kind {
+            SinkKind::Ring(cap) => ActiveSink::Ring {
+                cap: cap.max(1),
+                buf: VecDeque::new(),
+                evicted: 0,
+            },
+            SinkKind::Jsonl(path) => {
+                let file = std::fs::File::create(&path)?;
+                ActiveSink::Jsonl {
+                    path,
+                    writer: BufWriter::new(file),
+                }
+            }
+            SinkKind::Null => ActiveSink::Null,
+        })
+    }
+
+    pub(crate) fn record(&mut self, event: &Event) {
+        match self {
+            ActiveSink::Ring { cap, buf, evicted } => {
+                if buf.len() >= *cap {
+                    buf.pop_front();
+                    *evicted += 1;
+                }
+                buf.push_back(event.clone());
+            }
+            ActiveSink::Jsonl { writer, .. } => {
+                // Disk errors must not abort a simulation mid-run; the
+                // capture report's path lets callers re-check the file.
+                let _ = writer.write_all(event.to_json().as_bytes());
+                let _ = writer.write_all(b"\n");
+            }
+            ActiveSink::Null => {}
+        }
+    }
+
+    /// (retained events, evicted count, jsonl path) at capture end.
+    pub(crate) fn close(self) -> (Vec<Event>, u64, Option<PathBuf>) {
+        match self {
+            ActiveSink::Ring { buf, evicted, .. } => (buf.into(), evicted, None),
+            ActiveSink::Jsonl { path, mut writer } => {
+                let _ = writer.flush();
+                (Vec::new(), 0, Some(path))
+            }
+            ActiveSink::Null => (Vec::new(), 0, None),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}

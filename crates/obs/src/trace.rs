@@ -1,0 +1,522 @@
+//! Deterministic span/event collector with a replay-checkable digest.
+//!
+//! One process-global collector guards a running SHA-256 chain: at
+//! capture start the digest is seeded with a domain-separation tag,
+//! and every event folds in as `d' = H(d ‖ encode(event))` where
+//! `encode` is a canonical length-prefixed binary form (never the JSON
+//! rendering). Event timestamps are [`Stamp`]s — simulated time, block
+//! height or learning round — so the chain commits only to *logical*
+//! behaviour and is bit-identical across reruns and `PDS2_THREADS`.
+
+use crate::sink::{escape_json, ActiveSink, SinkKind};
+use parking_lot::{Mutex, MutexGuard};
+use pds2_crypto::sha256::{Digest, Sha256};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Logical timestamp of an event. Never the wall clock: wall time
+/// would make every trace digest unique and the layer useless for
+/// run-to-run diffing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stamp {
+    /// No meaningful time axis (pure state transitions).
+    None,
+    /// Simulated microseconds from the discrete-event net simulator.
+    Sim(u64),
+    /// Governance-chain block height.
+    Block(u64),
+    /// Learning round (gossip eval index, FedAvg round, …).
+    Round(u64),
+}
+
+/// Typed event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Wide unsigned integer (token amounts are `u128`).
+    U128(u128),
+    /// Signed integer.
+    I64(i64),
+    /// Float; digested by IEEE-754 bit pattern, so NaN payloads and
+    /// signed zeros are committed to exactly.
+    F64(f64),
+    /// Short label (contract phase names, message kinds, …).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u128> for Value {
+    fn from(v: u128) -> Value {
+        Value::U128(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Whether an event is a point or a span boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Standalone occurrence.
+    Point,
+    /// Span opened.
+    SpanStart,
+    /// Span closed.
+    SpanEnd,
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Position in the capture's event stream (0-based).
+    pub seq: u64,
+    /// Point / span-start / span-end.
+    pub kind: EventKind,
+    /// Subsystem (`"chain"`, `"net"`, `"market"`, `"learning"`, …).
+    pub domain: &'static str,
+    /// Event name within the domain.
+    pub name: &'static str,
+    /// Owning span id, or 0 for free-standing points.
+    pub span: u64,
+    /// Logical timestamp.
+    pub stamp: Stamp,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Canonical binary form folded into the trace digest:
+    /// length-prefixed, little-endian, tag bytes for every variant.
+    /// The JSON rendering is *not* digested, so cosmetic JSONL changes
+    /// can never silently change digests.
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(match self.kind {
+            EventKind::Point => 0,
+            EventKind::SpanStart => 1,
+            EventKind::SpanEnd => 2,
+        });
+        out.push(self.domain.len() as u8);
+        out.extend_from_slice(self.domain.as_bytes());
+        out.push(self.name.len() as u8);
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&self.span.to_le_bytes());
+        let (tag, t) = match self.stamp {
+            Stamp::None => (0u8, 0u64),
+            Stamp::Sim(t) => (1, t),
+            Stamp::Block(h) => (2, h),
+            Stamp::Round(r) => (3, r),
+        };
+        out.push(tag);
+        out.extend_from_slice(&t.to_le_bytes());
+        out.push(self.fields.len() as u8);
+        for (key, value) in &self.fields {
+            out.push(key.len() as u8);
+            out.extend_from_slice(key.as_bytes());
+            match value {
+                Value::U64(v) => {
+                    out.push(0);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Value::U128(v) => {
+                    out.push(1);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Value::I64(v) => {
+                    out.push(2);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Value::F64(v) => {
+                    out.push(3);
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                Value::Str(s) => {
+                    out.push(4);
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+    }
+
+    /// One-line JSON object (the JSONL sink's row format).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str(&format!(
+            "{{\"seq\":{},\"kind\":\"{}\",\"domain\":\"{}\",\"name\":\"{}\"",
+            self.seq,
+            match self.kind {
+                EventKind::Point => "point",
+                EventKind::SpanStart => "span_start",
+                EventKind::SpanEnd => "span_end",
+            },
+            self.domain,
+            self.name
+        ));
+        if self.span != 0 {
+            s.push_str(&format!(",\"span\":{}", self.span));
+        }
+        match self.stamp {
+            Stamp::None => {}
+            Stamp::Sim(t) => s.push_str(&format!(",\"sim_us\":{t}")),
+            Stamp::Block(h) => s.push_str(&format!(",\"block\":{h}")),
+            Stamp::Round(r) => s.push_str(&format!(",\"round\":{r}")),
+        }
+        if !self.fields.is_empty() {
+            s.push_str(",\"fields\":{");
+            for (i, (key, value)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('"');
+                escape_json(key, &mut s);
+                s.push_str("\":");
+                match value {
+                    Value::U64(v) => s.push_str(&v.to_string()),
+                    Value::U128(v) => s.push_str(&v.to_string()),
+                    Value::I64(v) => s.push_str(&v.to_string()),
+                    Value::F64(v) => {
+                        if v.is_finite() {
+                            s.push_str(&format!("{v}"));
+                        } else {
+                            s.push_str(&format!("\"{v}\""));
+                        }
+                    }
+                    Value::Str(v) => {
+                        s.push('"');
+                        escape_json(v, &mut s);
+                        s.push('"');
+                    }
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+struct Collector {
+    active: Option<ActiveSink>,
+    digest: Digest,
+    last_digest: Digest,
+    seq: u64,
+    /// Next span sequence number per 32-bit domain hash; reset at
+    /// capture start so span ids are identical across reruns.
+    span_seqs: HashMap<u32, u32>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: OnceLock<Mutex<Collector>> = OnceLock::new();
+static TEST_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+fn collector() -> &'static Mutex<Collector> {
+    COLLECTOR.get_or_init(|| {
+        Mutex::new(Collector {
+            active: None,
+            digest: Digest::ZERO,
+            last_digest: Digest::ZERO,
+            seq: 0,
+            span_seqs: HashMap::new(),
+        })
+    })
+}
+
+fn seed_digest() -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"pds2-obs-trace-v1");
+    h.finalize()
+}
+
+/// FNV-1a 32-bit hash; picks the high half of span ids so ids from
+/// different subsystems can never collide.
+fn domain_hash(domain: &str) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for b in domain.as_bytes() {
+        h ^= *b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    // Never 0: span id 0 means "no span".
+    h.max(1)
+}
+
+/// Whether a capture is active. One relaxed atomic load — the whole
+/// cost of the layer when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn fold(col: &mut Collector, event: &Event) {
+    let mut bytes = Vec::with_capacity(96);
+    event.encode(&mut bytes);
+    let mut h = Sha256::new();
+    h.update(col.digest.as_bytes());
+    h.update(&bytes);
+    col.digest = h.finalize();
+    if let Some(sink) = col.active.as_mut() {
+        sink.record(event);
+    }
+}
+
+fn emit_locked(
+    col: &mut Collector,
+    kind: EventKind,
+    domain: &'static str,
+    name: &'static str,
+    span: u64,
+    stamp: Stamp,
+    fields: Vec<(&'static str, Value)>,
+) {
+    if col.active.is_none() {
+        return;
+    }
+    let event = Event {
+        seq: col.seq,
+        kind,
+        domain,
+        name,
+        span,
+        stamp,
+        fields,
+    };
+    col.seq += 1;
+    fold(col, &event);
+}
+
+/// Records a point event. Prefer the [`event!`](crate::event!) macro,
+/// which skips field construction when tracing is disabled.
+pub fn emit(
+    domain: &'static str,
+    name: &'static str,
+    stamp: Stamp,
+    fields: Vec<(&'static str, Value)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let mut col = collector().lock();
+    emit_locked(&mut col, EventKind::Point, domain, name, 0, stamp, fields);
+}
+
+/// An open span. Close it with [`Span::finish`] to attach result
+/// fields; dropping it closes with no fields.
+#[must_use = "a span closes when dropped; hold it for the spanned region"]
+pub struct Span {
+    id: u64,
+    domain: &'static str,
+    name: &'static str,
+    open: bool,
+}
+
+impl Span {
+    /// The span's id (0 when tracing was disabled at open).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Closes the span with an explicit stamp and result fields.
+    pub fn finish(mut self, stamp: Stamp, fields: Vec<(&'static str, Value)>) {
+        self.close(stamp, fields);
+    }
+
+    fn close(&mut self, stamp: Stamp, fields: Vec<(&'static str, Value)>) {
+        if !self.open {
+            return;
+        }
+        self.open = false;
+        if self.id == 0 || !enabled() {
+            return;
+        }
+        let mut col = collector().lock();
+        emit_locked(
+            &mut col,
+            EventKind::SpanEnd,
+            self.domain,
+            self.name,
+            self.id,
+            stamp,
+            fields,
+        );
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close(Stamp::None, Vec::new());
+    }
+}
+
+/// Opens a span: allocates a domain-separated id and records a
+/// span-start event. When tracing is disabled the span is inert
+/// (id 0, no events on close).
+pub fn span(domain: &'static str, name: &'static str, stamp: Stamp) -> Span {
+    if !enabled() {
+        return Span {
+            id: 0,
+            domain,
+            name,
+            open: false,
+        };
+    }
+    let mut col = collector().lock();
+    if col.active.is_none() {
+        return Span {
+            id: 0,
+            domain,
+            name,
+            open: false,
+        };
+    }
+    let dh = domain_hash(domain);
+    let seq = col.span_seqs.entry(dh).or_insert(0);
+    *seq += 1;
+    let id = ((dh as u64) << 32) | (*seq as u64);
+    emit_locked(
+        &mut col,
+        EventKind::SpanStart,
+        domain,
+        name,
+        id,
+        stamp,
+        Vec::new(),
+    );
+    Span {
+        id,
+        domain,
+        name,
+        open: true,
+    }
+}
+
+/// Live handle to an active capture; [`finish`](Capture::finish) it to
+/// get the [`TraceReport`]. Dropping without finishing still closes
+/// the capture (report discarded).
+pub struct Capture {
+    finished: bool,
+}
+
+/// What a finished capture produced.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Hex SHA-256 digest of the canonical event stream. Equal digests
+    /// ⇔ bit-identical traces.
+    pub digest: String,
+    /// Total events recorded (including any the ring evicted).
+    pub events: u64,
+    /// Retained events (ring sink only; newest-last).
+    pub entries: Vec<Event>,
+    /// Events the ring evicted to stay within capacity.
+    pub evicted: u64,
+    /// The JSONL file written (JSONL sink only).
+    pub path: Option<PathBuf>,
+}
+
+/// Starts a capture with the given sink. Panics if one is already
+/// active — captures are process-global, so tests must serialize via
+/// [`test_lock`].
+pub fn capture(kind: SinkKind) -> Capture {
+    let mut col = collector().lock();
+    assert!(
+        col.active.is_none(),
+        "pds2-obs capture already active; serialize tests with obs::test_lock()"
+    );
+    let sink = ActiveSink::open(kind).expect("opening obs sink");
+    col.active = Some(sink);
+    col.digest = seed_digest();
+    col.seq = 0;
+    col.span_seqs.clear();
+    ENABLED.store(true, Ordering::Relaxed);
+    Capture { finished: false }
+}
+
+fn finish_locked(col: &mut Collector) -> TraceReport {
+    ENABLED.store(false, Ordering::Relaxed);
+    let (entries, evicted, path) = col
+        .active
+        .take()
+        .expect("finish called with no active capture")
+        .close();
+    col.last_digest = col.digest;
+    TraceReport {
+        digest: col.digest.to_hex(),
+        events: col.seq,
+        entries,
+        evicted,
+        path,
+    }
+}
+
+impl Capture {
+    /// Ends the capture and returns digest, event count, and whatever
+    /// the sink retained.
+    pub fn finish(mut self) -> TraceReport {
+        self.finished = true;
+        let mut col = collector().lock();
+        finish_locked(&mut col)
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        if !self.finished {
+            let mut col = collector().lock();
+            if col.active.is_some() {
+                finish_locked(&mut col);
+            }
+        }
+    }
+}
+
+/// Hex digest of the active capture's event stream so far, or of the
+/// most recently finished capture. Two runs behaved identically
+/// (as far as their instrumentation can see) iff these strings match.
+pub fn trace_digest() -> String {
+    let col = collector().lock();
+    if col.active.is_some() {
+        col.digest.to_hex()
+    } else {
+        col.last_digest.to_hex()
+    }
+}
+
+/// Global lock for tests that assert counter deltas or trace digests.
+/// The registry and collector are process-global, so concurrent tests
+/// in one binary would otherwise interleave increments and captures.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK.get_or_init(|| Mutex::new(())).lock()
+}

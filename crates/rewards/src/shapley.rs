@@ -277,7 +277,7 @@ pub fn leave_one_out<U: Utility>(utility: &mut U) -> Vec<f64> {
 }
 
 /// Proportional-to-weight baseline (e.g. rewards by dataset size — the
-/// "monetization of data based on size" the paper says "do[es] not work
+/// "monetization of data based on size" the paper says "do\[es\] not work
 /// well"). Returns shares that sum to `total`.
 pub fn proportional(weights: &[f64], total: f64) -> Vec<f64> {
     let sum: f64 = weights.iter().sum();

@@ -52,6 +52,7 @@ impl MlUtility {
         let mut model = LogisticRegression::new(pooled.dim());
         train(&mut model, &pooled, &self.sgd);
         self.training_runs += 1;
+        pds2_obs::counter!("rewards.training_runs").inc();
         let preds: Vec<f64> = self.test.x.iter().map(|x| model.classify(x)).collect();
         pds2_ml::metrics::accuracy(&preds, &self.test.y)
     }
@@ -59,10 +60,16 @@ impl MlUtility {
 
 impl Utility for MlUtility {
     fn value(&mut self, coalition: &[usize]) -> f64 {
+        // Counters only (no trace events): Monte-Carlo Shapley clones
+        // this utility into pds2-par workers, and counter totals stay
+        // meaningful under any interleaving.
+        pds2_obs::counter!("rewards.shapley_evals").inc();
         let key = coalition.to_vec();
         if let Some(&v) = self.cache.get(&key) {
+            pds2_obs::counter!("rewards.utility_cache_hits").inc();
             return v;
         }
+        pds2_obs::counter!("rewards.utility_cache_misses").inc();
         let v = self.accuracy_of(coalition);
         self.cache.insert(key, v);
         v

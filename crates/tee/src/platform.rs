@@ -3,13 +3,13 @@
 //! A [`Platform`] models one SGX-capable machine: it owns a hardware
 //! attestation key and a fused seal secret, launches [`Enclave`]s from
 //! measured code, and charges every enclave call to the platform's
-//! [`CostModel`](crate::cost::CostModel).
+//! [`crate::cost::CostModel`].
 //!
 //! Sealing policy is MRENCLAVE-like: the sealing key is derived from the
 //! platform secret *and* the enclave measurement, so data sealed by one
 //! enclave version cannot be opened by different code — and never by the
 //! (potentially hostile) platform owner, which is the property PDS² relies
-//! on so that "trust in [executors] becomes unnecessary" (§II-E).
+//! on so that "trust in \[executors\] becomes unnecessary" (§II-E).
 
 use crate::attestation::{PlatformId, Quote};
 use crate::cost::{CostMeter, CostModel};

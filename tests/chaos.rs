@@ -17,6 +17,7 @@ use pds2_learning::gossip::{run_gossip_experiment_with_faults, GossipConfig};
 use pds2_ml::data::gaussian_blobs;
 use pds2_ml::model::LogisticRegression;
 use pds2_net::{FaultPlan, LinkEffect, LinkModel, LinkScope, NetStats, Simulator};
+use pds2_obs as obs;
 use std::sync::Arc;
 
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
@@ -81,6 +82,35 @@ fn run_chain(seed: u64, plan: FaultPlan, until_us: u64) -> ChainRun {
     }
 }
 
+/// Runs the scenario once and cross-checks the `pds2-obs` counter
+/// deltas against the simulator's own `NetStats` accounting. Callers
+/// hold [`obs::test_lock`]: counters are process-global, so a
+/// concurrently running test would pollute the deltas.
+fn run_chain_counted(seed: u64, plan: FaultPlan, until_us: u64) -> ChainRun {
+    let before = obs::snapshot();
+    let run = run_chain(seed, plan, until_us);
+    let d = obs::snapshot().counter_deltas(&before);
+    let delta = |name: &str| d.get(name).copied().unwrap_or(0);
+    assert_eq!(delta("net.sent"), run.stats.sent, "net.sent counter");
+    assert_eq!(delta("net.delivered"), run.stats.delivered);
+    assert_eq!(delta("net.bytes_delivered"), run.stats.bytes_delivered);
+    assert_eq!(delta("net.dropped_partition"), run.stats.dropped_partition);
+    assert_eq!(delta("net.dropped_fault"), run.stats.dropped_fault);
+    assert_eq!(delta("net.corrupted"), run.stats.corrupted);
+    assert_eq!(delta("net.crashes"), run.stats.crashes);
+    assert_eq!(delta("net.recoveries"), run.stats.recoveries);
+    assert_eq!(delta("net.timers_fired"), run.stats.timers_fired);
+    assert!(delta("chain.blocks_produced") > 0, "{d:?}");
+    // `>=`: failed fork-choice candidates apply (and count) blocks the
+    // replica's own accounting never credits.
+    assert!(
+        delta("chain.blocks_applied") >= run.applied.iter().sum::<u64>(),
+        "{d:?} vs {:?}",
+        run.applied
+    );
+    run
+}
+
 fn assert_converged(run: &ChainRun) {
     for i in 1..N_REPLICAS {
         assert_eq!(
@@ -109,9 +139,10 @@ fn assert_replays_identically(seed: u64, plan: impl Fn() -> FaultPlan, until_us:
 
 #[test]
 fn partition_then_heal_chain_converges() {
+    let _obs = obs::test_lock();
     let plan =
         || FaultPlan::new(0xC4A0).partition(2_000_000, 5_000_000, vec![vec![0, 1], vec![2, 3]]);
-    let run = run_chain(11, plan(), 15_000_000);
+    let run = run_chain_counted(11, plan(), 15_000_000);
     assert!(
         run.stats.dropped_partition > 0,
         "the partition must actually sever traffic: {:?}",
@@ -135,8 +166,9 @@ fn partition_then_heal_chain_converges() {
 
 #[test]
 fn crash_recovery_resyncs_to_canonical_chain() {
+    let _obs = obs::test_lock();
     let plan = || FaultPlan::new(0xDEAD).crash(2, 3_000_000, Some(6_000_000));
-    let run = run_chain(23, plan(), 15_000_000);
+    let run = run_chain_counted(23, plan(), 15_000_000);
     assert_eq!(run.stats.crashes, 1);
     assert_eq!(run.stats.recoveries, 1);
     // The crashed replica lost everything volatile; it must have pulled
@@ -160,6 +192,7 @@ fn crash_recovery_resyncs_to_canonical_chain() {
 
 #[test]
 fn byzantine_corruption_is_detected_and_dropped() {
+    let _obs = obs::test_lock();
     let plan = || {
         FaultPlan::new(0xB12A).byzantine(
             500_000,
@@ -168,7 +201,7 @@ fn byzantine_corruption_is_detected_and_dropped() {
             LinkEffect::Corrupt { probability: 0.25 },
         )
     };
-    let run = run_chain(37, plan(), 12_000_000);
+    let run = run_chain_counted(37, plan(), 12_000_000);
     assert!(
         run.stats.corrupted + run.stats.dropped_fault > 0,
         "byzantine window must corrupt traffic: {:?}",
@@ -188,10 +221,11 @@ fn typed_block_censorship_is_repaired_by_catchup() {
     // Censor every NewBlock broadcast for a while: proposals vanish, but
     // announce/request/blocks still flow, so replicas stay in sync purely
     // through the catch-up path.
+    let _obs = obs::test_lock();
     let plan = || {
         FaultPlan::new(0x7D0).drop_kind(500_000, 6_000_000, LinkScope::any(), kind::NEW_BLOCK, 1.0)
     };
-    let run = run_chain(41, plan(), 12_000_000);
+    let run = run_chain_counted(41, plan(), 12_000_000);
     assert!(
         run.stats.dropped_fault > 0,
         "censorship must drop NewBlock frames: {:?}",
@@ -221,7 +255,8 @@ fn golden_plan() -> FaultPlan {
 
 #[test]
 fn golden_trace_regression() {
-    let run = run_chain(0x601D, golden_plan(), 10_050_000);
+    let _obs = obs::test_lock();
+    let run = run_chain_counted(0x601D, golden_plan(), 10_050_000);
     assert_converged(&run);
     let fixture = include_str!("fixtures/chaos_golden.txt");
     let mut fields = fixture.split_whitespace();
@@ -247,6 +282,7 @@ fn golden_trace_regression() {
 
 #[test]
 fn gossip_partition_heals_and_accuracy_recovers() {
+    let _obs = obs::test_lock();
     let run = || {
         let data = gaussian_blobs(600, 3, 0.7, 1);
         let (train, test) = data.split(0.25, 2);
@@ -271,7 +307,14 @@ fn gossip_partition_heals_and_accuracy_recovers() {
             || LogisticRegression::new(3),
         )
     };
+    let before = obs::snapshot();
     let out = run();
+    let deltas = obs::snapshot().counter_deltas(&before);
+    assert_eq!(
+        deltas.get("learning.gossip_evals").copied().unwrap_or(0),
+        2,
+        "one gossip_evals tick per evaluation point"
+    );
     // Mid-run the halves learn separately; after healing, models mix
     // across the former boundary and the final accuracy recovers.
     assert!(

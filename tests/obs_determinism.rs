@@ -1,0 +1,296 @@
+//! Observability determinism: the `pds2-obs` trace digest must be a
+//! pure function of (seed, fault plan, workload) — bit-identical across
+//! reruns, `PDS2_THREADS` worker counts, and sink choices — and counter
+//! snapshots must mirror the simulator's own accounting.
+//!
+//! Every test takes `obs::test_lock()`: the registry and collector are
+//! process-global, so concurrent tests in this binary would interleave
+//! captures and increments.
+
+use pds2::market::marketplace::{Marketplace, StorageChoice};
+use pds2::market::workload::{RewardScheme, TaskKind, WorkloadSpec};
+use pds2::storage::semantic::{MetaValue, Metadata, Requirement};
+use pds2::tee::measurement::EnclaveCode;
+use pds2_chain::address::Address;
+use pds2_chain::chain::{Blockchain, ChainConfig};
+use pds2_chain::contract::ContractRegistry;
+use pds2_chain::sync::{ChainReplica, GenesisFactory};
+use pds2_crypto::KeyPair;
+use pds2_learning::gossip::{run_gossip_experiment_with_faults, GossipConfig};
+use pds2_ml::data::gaussian_blobs;
+use pds2_ml::model::LogisticRegression;
+use pds2_net::{FaultPlan, LinkEffect, LinkModel, LinkScope, Simulator};
+use pds2_obs as obs;
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+const N_REPLICAS: usize = 4;
+
+fn factory() -> GenesisFactory {
+    Arc::new(|| {
+        Blockchain::new(
+            (0..N_REPLICAS as u64)
+                .map(|i| KeyPair::from_seed(9_000 + i))
+                .collect(),
+            &[(Address::of(&KeyPair::from_seed(1).public), 1_000_000)],
+            ContractRegistry::new(),
+            ChainConfig::default(),
+        )
+    })
+}
+
+fn chaos_chain_run(seed: u64, until_us: u64) -> pds2_net::NetStats {
+    let plan = FaultPlan::new(0x0B5)
+        .partition(1_500_000, 3_500_000, vec![vec![0, 1], vec![2, 3]])
+        .crash(2, 4_000_000, Some(5_500_000))
+        .byzantine(
+            500_000,
+            2_500_000,
+            LinkScope::from_node(3),
+            LinkEffect::Corrupt { probability: 0.3 },
+        );
+    let f = factory();
+    let replicas: Vec<ChainReplica> = (0..N_REPLICAS)
+        .map(|i| ChainReplica::new(f.clone(), Some(i), 200_000, 150_000))
+        .collect();
+    let link = LinkModel {
+        base_latency_us: 5_000,
+        jitter_us: 2_000,
+        bandwidth_bytes_per_sec: 12_500_000,
+        drop_probability: 0.0,
+        node_slowdown: Vec::new(),
+    };
+    let mut sim = Simulator::new(replicas, link, seed);
+    sim.install_fault_plan(plan);
+    sim.enable_trace();
+    sim.run_until(until_us);
+    sim.stats()
+}
+
+/// Same (seed, plan, workload) ⇒ identical `trace_digest()` across
+/// threads 1/4/8 and with ring-buffer vs JSONL vs null sinks — the
+/// tentpole acceptance criterion, on the full chaos stack.
+#[test]
+fn chain_chaos_trace_digest_is_thread_and_sink_invariant() {
+    let _g = obs::test_lock();
+    let digest_with = |kind: obs::SinkKind, threads: usize| {
+        let cap = obs::capture(kind);
+        pds2_par::with_threads(threads, || chaos_chain_run(77, 9_000_000));
+        cap.finish().digest
+    };
+
+    let ring = digest_with(obs::SinkKind::Ring(4096), 1);
+    assert_eq!(
+        ring,
+        obs::trace_digest(),
+        "trace_digest() must report the finished capture"
+    );
+
+    let path = std::env::temp_dir().join("pds2_obs_determinism.jsonl");
+    let jsonl = digest_with(obs::SinkKind::Jsonl(path.clone()), 1);
+    let lines = std::fs::read_to_string(&path).expect("jsonl trace written");
+    std::fs::remove_file(&path).ok();
+    assert!(!lines.is_empty(), "jsonl sink must record events");
+    assert_eq!(ring, jsonl, "ring vs JSONL sink changed the digest");
+
+    for threads in THREAD_COUNTS {
+        let d = digest_with(obs::SinkKind::Null, threads);
+        assert_eq!(d, ring, "trace digest diverged at {threads} threads");
+    }
+}
+
+/// Counter deltas around one serial run mirror the simulator's own
+/// `NetStats` exactly, and repeat exactly on a rerun (the sigcache
+/// counters are excluded: warmth legitimately shifts hit/miss splits).
+#[test]
+fn chain_counters_mirror_net_stats_and_replay() {
+    let _g = obs::test_lock();
+    let run_with_deltas = || {
+        let before = obs::snapshot();
+        let stats = chaos_chain_run(78, 8_000_000);
+        let deltas = obs::snapshot().counter_deltas(&before);
+        (stats, deltas)
+    };
+    let (stats, deltas) = run_with_deltas();
+    assert_eq!(deltas["net.sent"], stats.sent);
+    assert_eq!(deltas["net.delivered"], stats.delivered);
+    assert_eq!(deltas["net.bytes_delivered"], stats.bytes_delivered);
+    assert_eq!(deltas["net.dropped_partition"], stats.dropped_partition);
+    assert_eq!(deltas["net.crashes"], stats.crashes);
+    assert_eq!(deltas["net.recoveries"], stats.recoveries);
+    assert_eq!(
+        deltas["net.corrupted"] + deltas["net.dropped_fault"],
+        stats.corrupted + stats.dropped_fault
+    );
+    assert!(deltas["chain.blocks_produced"] > 0, "{deltas:?}");
+    assert!(deltas["chain.blocks_validated"] > 0, "{deltas:?}");
+
+    let (stats2, deltas2) = run_with_deltas();
+    assert_eq!(stats2, stats, "chaos run must replay bit-identically");
+    let strip_sigcache = |d: &std::collections::BTreeMap<String, u64>| {
+        d.iter()
+            .filter(|(k, _)| !k.starts_with("chain.sigcache"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strip_sigcache(&deltas2),
+        strip_sigcache(&deltas),
+        "counter deltas must replay exactly for a serial workload"
+    );
+}
+
+/// The marketplace lifecycle trace — contract phase transitions, escrow
+/// funding, block production spans — is deterministic across reruns and
+/// thread counts, and the lifecycle counters move as the contract walks
+/// Open → Executing → Completed.
+#[test]
+fn marketplace_lifecycle_trace_is_deterministic() {
+    let _g = obs::test_lock();
+    let lifecycle = || {
+        let mut market = Marketplace::new(5);
+        let consumer = market.register_consumer(1, 10_000_000);
+        let data = gaussian_blobs(240, 4, 0.7, 3);
+        let (train, validation) = data.split(0.2, 4);
+        let shards = train.partition_iid(3, 5);
+        let mut providers = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let p = market.register_provider(1000 + i as u64, StorageChoice::Local);
+            market.provider_add_device(p).unwrap();
+            let meta = Metadata::new().with(
+                "type",
+                MetaValue::Class("sensor/environment/temperature".into()),
+                0,
+            );
+            market.provider_ingest(p, 0, shard, meta).unwrap();
+            providers.push(p);
+        }
+        let executors: Vec<Address> = (0..2).map(|i| market.register_executor(2000 + i)).collect();
+        let code = EnclaveCode::new("trainer", 1, b"trainer-v1".to_vec());
+        let spec = WorkloadSpec {
+            title: "obs".into(),
+            precondition: Requirement::HasClass {
+                attr: "type".into(),
+                class: "sensor/environment".into(),
+            },
+            task: TaskKind::BinaryClassification,
+            feature_dim: validation.dim() as u32,
+            provider_reward: 30_000,
+            executor_fee: 1_000,
+            reward_scheme: RewardScheme::ProportionalToRecords,
+            min_providers: 3,
+            min_records: 20,
+            code_measurement: code.measurement(),
+            validation,
+            local_epochs: 4,
+            aggregation_rounds: 2,
+            dp_noise_multiplier: None,
+            reward_token: None,
+            data_bounds: None,
+        };
+        let workload = market.submit_workload(consumer, spec, code, 2).unwrap();
+        for &e in &executors {
+            market.executor_join(e, workload).unwrap();
+        }
+        let assignments: Vec<_> = providers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, executors[i % 2]))
+            .collect();
+        market.run_full_lifecycle(workload, &assignments).unwrap();
+    };
+
+    let before = obs::snapshot();
+    let cap = obs::capture(obs::SinkKind::Ring(usize::MAX));
+    lifecycle();
+    let report = cap.finish();
+    let deltas = obs::snapshot().counter_deltas(&before);
+    assert!(report.events > 0);
+    assert_eq!(deltas["market.contracts_created"], 1);
+    assert_eq!(deltas["market.contracts_started"], 1);
+    assert_eq!(deltas["market.contracts_completed"], 1);
+    assert_eq!(deltas["market.executions"], 1);
+    assert!(deltas["market.fund_calls"] >= 1);
+    assert!(deltas["chain.blocks_produced"] > 0);
+    assert!(
+        report
+            .entries
+            .iter()
+            .any(|e| e.domain == "market" && e.name == "contract.phase"),
+        "phase-transition events must be traced"
+    );
+
+    for threads in THREAD_COUNTS {
+        let cap = obs::capture(obs::SinkKind::Null);
+        pds2_par::with_threads(threads, lifecycle);
+        let again = cap.finish();
+        assert_eq!(
+            again.digest, report.digest,
+            "lifecycle trace diverged at {threads} threads"
+        );
+        assert_eq!(again.events, report.events);
+    }
+}
+
+/// Gossip learning under byzantine corruption: eval events are digested
+/// deterministically at any thread count, and the migrated
+/// `learning.corrupted_dropped` registry counter agrees with the
+/// per-node totals summed into `GossipOutcome`.
+#[test]
+fn gossip_trace_and_corruption_counter_are_deterministic() {
+    let _g = obs::test_lock();
+    let run = || {
+        let data = gaussian_blobs(400, 3, 0.7, 1);
+        let (train, test) = data.split(0.25, 2);
+        let shards = train.partition_iid(8, 3);
+        let plan = FaultPlan::new(0xC0FF).byzantine(
+            200_000,
+            2_000_000,
+            LinkScope::any(),
+            LinkEffect::Corrupt { probability: 0.3 },
+        );
+        run_gossip_experiment_with_faults(
+            shards,
+            &test,
+            GossipConfig {
+                period_us: 100_000,
+                ..Default::default()
+            },
+            LinkModel::instant(),
+            7,
+            &[1_500_000, 4_000_000],
+            None,
+            Some(plan),
+            || LogisticRegression::new(3),
+        )
+    };
+
+    let before = obs::snapshot();
+    let cap = obs::capture(obs::SinkKind::Ring(usize::MAX));
+    let out = run();
+    let report = cap.finish();
+    let deltas = obs::snapshot().counter_deltas(&before);
+    assert!(out.corrupted_dropped > 0, "corruption must be observed");
+    assert_eq!(
+        deltas["learning.corrupted_dropped"], out.corrupted_dropped,
+        "registry counter must agree with the bespoke per-node totals"
+    );
+    assert_eq!(deltas["learning.gossip_evals"], 2);
+    let evals: Vec<_> = report
+        .entries
+        .iter()
+        .filter(|e| e.domain == "learning" && e.name == "gossip.eval")
+        .collect();
+    assert_eq!(evals.len(), 2, "one eval event per evaluation point");
+
+    for threads in THREAD_COUNTS {
+        let cap = obs::capture(obs::SinkKind::Null);
+        let again = pds2_par::with_threads(threads, run);
+        let d = cap.finish().digest;
+        assert_eq!(
+            d, report.digest,
+            "gossip trace diverged at {threads} threads"
+        );
+        assert_eq!(again.trace_hash, out.trace_hash);
+    }
+}
