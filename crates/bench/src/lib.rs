@@ -138,6 +138,8 @@ pub fn build_world(
     }
 }
 
+pub mod trace_scenario;
+
 /// Round-robin provider→executor assignments.
 pub fn round_robin_assignments(world: &BenchWorld) -> Vec<(Address, Address)> {
     world

@@ -17,7 +17,13 @@ use crate::tx::SignedTransaction;
 use parking_lot::Mutex;
 use pds2_crypto::schnorr::{KeyPair, PublicKey};
 use pds2_crypto::sha256::Digest;
+use pds2_obs::TraceCtx;
 use std::collections::{HashMap, VecDeque};
+
+/// First eight bytes of a digest as a trace-field-sized fingerprint.
+fn digest_tag(d: &Digest) -> u64 {
+    u64::from_le_bytes(d.as_bytes()[..8].try_into().expect("digest >= 8 bytes"))
+}
 
 /// Chain configuration.
 #[derive(Clone, Debug)]
@@ -107,6 +113,15 @@ pub struct Blockchain {
     events: Vec<Event>,
     mempool: Mutex<VecDeque<SignedTransaction>>,
     seen: std::collections::HashSet<Digest>,
+    /// Ambient causal context: chain work not attributable to a specific
+    /// transaction (block production/validation/apply spans) joins this
+    /// trace. Replicas set it per network delivery; the marketplace sets
+    /// it per workload call.
+    trace_ctx: TraceCtx,
+    /// Causal context and submission height of each pending traced
+    /// transaction; consumed (and emitted as `tx.included`) when the tx
+    /// enters a block. Populated only while a capture is active.
+    tx_traces: HashMap<Digest, (TraceCtx, u64)>,
 }
 
 impl Blockchain {
@@ -132,7 +147,20 @@ impl Blockchain {
             events: Vec::new(),
             mempool: Mutex::new(VecDeque::new()),
             seen: std::collections::HashSet::new(),
+            trace_ctx: TraceCtx::NONE,
+            tx_traces: HashMap::new(),
         }
+    }
+
+    /// Sets the ambient causal context (see the `trace_ctx` field).
+    /// [`TraceCtx::NONE`] detaches the chain from any trace.
+    pub fn set_trace_ctx(&mut self, ctx: TraceCtx) {
+        self.trace_ctx = ctx;
+    }
+
+    /// The current ambient causal context.
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.trace_ctx
     }
 
     /// Convenience single-validator chain for tests and examples.
@@ -198,8 +226,24 @@ impl Blockchain {
     }
 
     /// Submits a transaction to the mempool after stateless+stateful
-    /// admission checks.
+    /// admission checks, under the ambient causal context.
     pub fn submit(&mut self, tx: SignedTransaction) -> Result<Digest, ChainError> {
+        let ctx = self.trace_ctx;
+        self.submit_traced(tx, ctx)
+    }
+
+    /// [`submit`](Self::submit) under an explicit causal context. With a
+    /// live capture and `ctx == NONE`, submission *mints* a new trace
+    /// (`chain/tx.submit` root) — a bare tx entering the system is a
+    /// workload in its own right; a non-empty `ctx` (the marketplace's
+    /// workload trace, a replica's delivery span) joins that trace
+    /// instead. Inclusion later emits `chain/tx.included` on the same
+    /// trace with the blocks-waited count.
+    pub fn submit_traced(
+        &mut self,
+        tx: SignedTransaction,
+        ctx: TraceCtx,
+    ) -> Result<Digest, ChainError> {
         pds2_obs::counter!("chain.txs_submitted").inc();
         if !tx.verify_signature() {
             pds2_obs::counter!("chain.txs_rejected").inc();
@@ -217,6 +261,36 @@ impl Blockchain {
                 expected: account_nonce,
                 got: tx.tx.nonce,
             });
+        }
+        if pds2_obs::enabled() {
+            let height = self.height();
+            let fields = vec![
+                ("tx", pds2_obs::Value::from(digest_tag(&hash))),
+                ("nonce", pds2_obs::Value::from(tx.tx.nonce)),
+            ];
+            let tx_ctx = if ctx.is_none() {
+                let root = pds2_obs::new_trace(
+                    "chain",
+                    "tx.submit",
+                    pds2_obs::Stamp::Block(height),
+                    fields,
+                );
+                let minted = root.ctx();
+                root.finish(pds2_obs::Stamp::Block(height), Vec::new());
+                minted
+            } else {
+                pds2_obs::emit_traced(
+                    "chain",
+                    "tx.submit",
+                    pds2_obs::Stamp::Block(height),
+                    ctx,
+                    fields,
+                );
+                ctx
+            };
+            if !tx_ctx.is_none() {
+                self.tx_traces.insert(hash, (tx_ctx, height));
+            }
         }
         self.seen.insert(hash);
         let pool_len = {
@@ -240,7 +314,13 @@ impl Blockchain {
     /// stale, in which case they are dropped.
     pub fn produce_block(&mut self) -> Block {
         let height = self.height();
-        let span = pds2_obs::span("chain", "produce_block", pds2_obs::Stamp::Block(height));
+        let span = pds2_obs::span_traced(
+            "chain",
+            "produce_block",
+            pds2_obs::Stamp::Block(height),
+            self.trace_ctx,
+            Vec::new(),
+        );
         let parent = self.head_hash();
         let timestamp = height * self.config.block_interval_secs;
 
@@ -296,13 +376,40 @@ impl Blockchain {
             *pool = pending;
         }
 
-        // Execute.
+        // Execute. Each traced transaction executes under its own
+        // submission-time context, so contract events it raises join the
+        // workload's trace rather than the producer's ambient one.
+        let produce_ctx = if span.id() != 0 {
+            span.ctx()
+        } else {
+            self.trace_ctx
+        };
         let mut receipts = Vec::with_capacity(selected.len());
+        let mut included = Vec::with_capacity(selected.len());
         for (i, tx) in selected.iter().enumerate() {
-            let receipt = self
-                .state
-                .apply_transaction(&self.registry, tx, height, i as u32);
+            let hash = tx.hash();
+            let trace = self
+                .tx_traces
+                .get(&hash)
+                .map(|(ctx, _)| *ctx)
+                .unwrap_or(produce_ctx);
+            let receipt =
+                self.state
+                    .apply_transaction_traced(&self.registry, tx, height, i as u32, trace);
             receipts.push(receipt);
+            if let Some((ctx, submitted_at)) = self.tx_traces.remove(&hash) {
+                included.push((hash, ctx, submitted_at));
+            }
+        }
+        for (hash, ctx, submitted_at) in included {
+            pds2_obs::trace_event!(
+                "chain",
+                "tx.included",
+                pds2_obs::Stamp::Block(height),
+                ctx,
+                "tx" => digest_tag(&hash),
+                "blocks_waited" => height.saturating_sub(submitted_at),
+            );
         }
 
         let tx_root = Block::compute_tx_root(&selected);
@@ -354,7 +461,13 @@ impl Blockchain {
     /// (used by tests to demonstrate tamper rejection). Does not execute.
     pub fn validate_external_block(&self, block: &Block) -> Result<(), ChainError> {
         let height = block.header.height;
-        let span = pds2_obs::span("chain", "validate_block", pds2_obs::Stamp::Block(height));
+        let span = pds2_obs::span_traced(
+            "chain",
+            "validate_block",
+            pds2_obs::Stamp::Block(height),
+            self.trace_ctx,
+            Vec::new(),
+        );
         let res = self.validate_external_block_uninstrumented(block);
         match res {
             Ok(()) => pds2_obs::counter!("chain.blocks_validated").inc(),
@@ -451,10 +564,19 @@ impl Blockchain {
         let height = block.header.height;
         let mut receipts = Vec::with_capacity(block.transactions.len());
         for (i, tx) in block.transactions.iter().enumerate() {
-            receipts.push(
-                self.state
-                    .apply_transaction(&self.registry, tx, height, i as u32),
-            );
+            let hash = tx.hash();
+            let trace = self
+                .tx_traces
+                .get(&hash)
+                .map(|(ctx, _)| *ctx)
+                .unwrap_or(self.trace_ctx);
+            receipts.push(self.state.apply_transaction_traced(
+                &self.registry,
+                tx,
+                height,
+                i as u32,
+                trace,
+            ));
         }
         if self.state.state_root() != block.header.state_root {
             return Err(ChainError::InvalidBlock("state root mismatch"));
@@ -464,18 +586,33 @@ impl Blockchain {
             self.seen.insert(receipt.tx_hash);
             self.receipts.insert(receipt.tx_hash, receipt);
         }
-        // Drop any mempool copies of the included transactions.
+        // Drop any mempool copies of the included transactions, and close
+        // out their pending trace records (submit-to-inclusion hops).
         let included: std::collections::HashSet<Digest> =
             block.transactions.iter().map(|t| t.hash()).collect();
         self.mempool
             .lock()
             .retain(|t| !included.contains(&t.hash()));
+        for tx in &block.transactions {
+            let hash = tx.hash();
+            if let Some((ctx, submitted_at)) = self.tx_traces.remove(&hash) {
+                pds2_obs::trace_event!(
+                    "chain",
+                    "tx.included",
+                    pds2_obs::Stamp::Block(height),
+                    ctx,
+                    "tx" => digest_tag(&hash),
+                    "blocks_waited" => height.saturating_sub(submitted_at),
+                );
+            }
+        }
         self.blocks.push(block.clone());
         pds2_obs::counter!("chain.blocks_applied").inc();
-        pds2_obs::event!(
+        pds2_obs::trace_event!(
             "chain",
             "apply_block",
             pds2_obs::Stamp::Block(height),
+            self.trace_ctx,
             "txs" => block.transactions.len(),
         );
         Ok(())

@@ -67,6 +67,11 @@ pub struct CallCtx<'a> {
     pub value: u128,
     /// Height of the block including this transaction.
     pub block_height: u64,
+    /// Causal context of the workload that submitted this transaction
+    /// ([`pds2_obs::TraceCtx::NONE`] when the submission was untraced).
+    /// Contracts attach their domain events to it via
+    /// [`pds2_obs::trace_event!`].
+    pub trace: pds2_obs::TraceCtx,
     pub(crate) gas: &'a mut GasMeter,
     pub(crate) events: &'a mut EventSink,
     pub(crate) pending_transfers: Vec<(Address, u128)>,
@@ -302,6 +307,7 @@ mod tests {
             contract: addr(2),
             value: 0,
             block_height: 5,
+            trace: pds2_obs::TraceCtx::NONE,
             gas: &mut gas,
             events: &mut events,
             pending_transfers: Vec::new(),
@@ -324,6 +330,7 @@ mod tests {
             contract: addr(2),
             value: 0,
             block_height: 0,
+            trace: pds2_obs::TraceCtx::NONE,
             gas: &mut gas,
             events: &mut events,
             pending_transfers: Vec::new(),

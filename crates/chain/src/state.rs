@@ -125,6 +125,31 @@ impl WorldState {
         block_height: u64,
         tx_index: u32,
     ) -> TxReceipt {
+        self.apply_transaction_traced(
+            registry,
+            signed,
+            block_height,
+            tx_index,
+            pds2_obs::TraceCtx::NONE,
+        )
+    }
+
+    /// [`WorldState::apply_transaction`] with an explicit causal context.
+    ///
+    /// The context flows into [`CallCtx::trace`] so contract code (and the
+    /// marketplace state machine built on it) can attach its phase events
+    /// to the workload's trace. Passing [`TraceCtx::NONE`] is exactly
+    /// `apply_transaction`.
+    ///
+    /// [`TraceCtx::NONE`]: pds2_obs::TraceCtx::NONE
+    pub fn apply_transaction_traced(
+        &mut self,
+        registry: &ContractRegistry,
+        signed: &SignedTransaction,
+        block_height: u64,
+        tx_index: u32,
+        trace: pds2_obs::TraceCtx,
+    ) -> TxReceipt {
         let tx_hash = signed.hash();
         let sender = signed.tx.sender();
 
@@ -238,6 +263,7 @@ impl WorldState {
                     input,
                     *value,
                     block_height,
+                    trace,
                     &mut meter,
                     &mut events,
                 )
@@ -286,6 +312,7 @@ impl WorldState {
         input: &[u8],
         value: u128,
         block_height: u64,
+        trace: pds2_obs::TraceCtx,
         meter: &mut GasMeter,
         events: &mut EventSink,
     ) -> Result<Vec<u8>, String> {
@@ -311,6 +338,7 @@ impl WorldState {
                 contract: contract_addr,
                 value,
                 block_height,
+                trace,
                 gas: meter,
                 events,
                 pending_transfers: Vec::new(),

@@ -230,6 +230,7 @@ impl Node for ChainReplica {
     type Msg = SyncMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, SyncMsg>) {
+        self.chain.set_trace_ctx(ctx.incoming());
         // Stagger by id so same-instant production/announce rounds keep a
         // stable per-node order without relying on queue tie-breaks.
         ctx.set_timer(self.produce_interval_us + ctx.id as u64, TIMER_PRODUCE);
@@ -237,6 +238,7 @@ impl Node for ChainReplica {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SyncMsg>, tag: u64) {
+        self.chain.set_trace_ctx(ctx.incoming());
         match tag {
             TIMER_PRODUCE => {
                 if !self.syncing && self.my_turn() {
@@ -260,6 +262,10 @@ impl Node for ChainReplica {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, SyncMsg>, from: NodeId, msg: SyncMsg) {
+        // Chain operations triggered by this message (apply, validate,
+        // produce) run under the sender's causal context: cross-node hops
+        // become parent→child edges in the trace DAG.
+        self.chain.set_trace_ctx(ctx.incoming());
         match msg {
             SyncMsg::NewBlock(block) => {
                 let height = block.header.height;
@@ -370,6 +376,7 @@ impl Node for ChainReplica {
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, SyncMsg>) {
+        self.chain.set_trace_ctx(ctx.incoming());
         // Re-arm timers (the crash dropped the schedule) and ask every
         // peer for the canonical chain before proposing again.
         ctx.set_timer(self.produce_interval_us + ctx.id as u64, TIMER_PRODUCE);

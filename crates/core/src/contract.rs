@@ -464,10 +464,11 @@ impl Contract for WorkloadContract {
                     format!("by={} total={}", ctx.sender, self.state.funded),
                 )?;
                 pds2_obs::counter!("market.fund_calls").inc();
-                pds2_obs::event!(
+                pds2_obs::trace_event!(
                     "market",
                     "contract.funded",
                     pds2_obs::Stamp::Block(ctx.block_height),
+                    ctx.trace,
                     "escrow" => self.state.funded,
                 );
                 Ok(Vec::new())
@@ -540,10 +541,11 @@ impl Contract for WorkloadContract {
                 self.state.phase = Phase::Executing;
                 self.state.started_height = ctx.block_height;
                 pds2_obs::counter!("market.contracts_started").inc();
-                pds2_obs::event!(
+                pds2_obs::trace_event!(
                     "market",
                     "contract.phase",
                     pds2_obs::Stamp::Block(ctx.block_height),
+                    ctx.trace,
                     "from" => "open", "to" => "executing",
                     "providers" => self.state.contributions.len(),
                     "records" => self.state.total_records(),
@@ -672,10 +674,11 @@ impl Contract for WorkloadContract {
                 self.state.result = Some(majority);
                 self.state.phase = Phase::Completed;
                 pds2_obs::counter!("market.contracts_completed").inc();
-                pds2_obs::event!(
+                pds2_obs::trace_event!(
                     "market",
                     "contract.phase",
                     pds2_obs::Stamp::Block(ctx.block_height),
+                    ctx.trace,
                     "from" => "executing", "to" => "completed",
                     "paid" => paid,
                     "slashed" => self.state.slashed.len(),
@@ -701,10 +704,11 @@ impl Contract for WorkloadContract {
                 }
                 self.state.phase = Phase::Cancelled;
                 pds2_obs::counter!("market.contracts_cancelled").inc();
-                pds2_obs::event!(
+                pds2_obs::trace_event!(
                     "market",
                     "contract.phase",
                     pds2_obs::Stamp::Block(ctx.block_height),
+                    ctx.trace,
                     "from" => "open", "to" => "cancelled", "reason" => "cancel",
                 );
                 ctx.emit("workload.cancelled", format!("by={}", ctx.sender))?;
@@ -727,10 +731,11 @@ impl Contract for WorkloadContract {
                 }
                 self.state.phase = Phase::Cancelled;
                 pds2_obs::counter!("market.contracts_expired").inc();
-                pds2_obs::event!(
+                pds2_obs::trace_event!(
                     "market",
                     "contract.phase",
                     pds2_obs::Stamp::Block(ctx.block_height),
+                    ctx.trace,
                     "from" => "open", "to" => "cancelled", "reason" => "expired",
                 );
                 ctx.emit(
@@ -759,10 +764,11 @@ impl Contract for WorkloadContract {
                 }
                 self.state.phase = Phase::Cancelled;
                 pds2_obs::counter!("market.contracts_aborted").inc();
-                pds2_obs::event!(
+                pds2_obs::trace_event!(
                     "market",
                     "contract.phase",
                     pds2_obs::Stamp::Block(ctx.block_height),
+                    ctx.trace,
                     "from" => "executing", "to" => "cancelled", "reason" => "abort",
                 );
                 ctx.emit(

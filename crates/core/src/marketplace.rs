@@ -173,6 +173,10 @@ struct WorkloadRuntime {
     /// Per-executor verification stats.
     /// (accepted, rejected, out-of-bounds)
     verifier_stats: HashMap<Address, (u64, u64, u64)>,
+    /// Causal context minted when the workload was submitted; every later
+    /// lifecycle phase re-enters it so the whole submit→payout story is
+    /// one trace ([`pds2_obs::TraceCtx::NONE`] when no capture was active).
+    trace: pds2_obs::TraceCtx,
 }
 
 /// Outcome of the execution phase.
@@ -245,6 +249,9 @@ pub struct Marketplace {
     next_workload_id: u64,
     next_device_seed: u64,
     now: u64,
+    /// Ambient causal context for chain traffic: the trace of whichever
+    /// workload a lifecycle method is currently acting for.
+    current_trace: pds2_obs::TraceCtx,
 }
 
 impl Marketplace {
@@ -274,7 +281,20 @@ impl Marketplace {
             next_workload_id: 0,
             next_device_seed: 0x1000,
             now: 0,
+            current_trace: pds2_obs::TraceCtx::NONE,
         }
+    }
+
+    /// Re-enters the causal context minted at workload submission, so
+    /// chain traffic and phase events from this lifecycle step join the
+    /// workload's trace. No-op ([`pds2_obs::TraceCtx::NONE`]) for unknown
+    /// workloads or untraced submissions.
+    fn enter_workload_trace(&mut self, workload_id: u64) {
+        self.current_trace = self
+            .workloads
+            .get(&workload_id)
+            .map(|r| r.trace)
+            .unwrap_or(pds2_obs::TraceCtx::NONE);
     }
 
     /// Current logical marketplace time.
@@ -506,6 +526,20 @@ impl Marketplace {
             .ok_or(MarketError::UnknownActor("consumer"))?
             .keys
             .clone();
+        // A workload entering the system is the root of a new trace: every
+        // later phase (join, accept, start, execute, payout) re-enters this
+        // context, and the chain/net layers inherit it for the workload's
+        // transactions and gossip.
+        let root = pds2_obs::new_trace(
+            "market",
+            "workload.submit",
+            pds2_obs::Stamp::Block(self.chain.height()),
+            vec![
+                ("max_executors", pds2_obs::Value::from(max_executors as u64)),
+                ("timeout_blocks", pds2_obs::Value::from(exec_timeout_blocks)),
+            ],
+        );
+        self.current_trace = root.ctx();
         // Mint the workload-code NFT (§III-A: code as a non-fungible asset).
         let code_content = sha256(&code.code);
         let receipt = self.send_tx(
@@ -600,9 +634,14 @@ impl Marketplace {
                 participation_tx: HashMap::new(),
                 result_params: None,
                 verifier_stats: HashMap::new(),
+                trace: self.current_trace,
             },
         );
         self.tick();
+        root.finish(
+            pds2_obs::Stamp::Block(self.chain.height()),
+            vec![("workload", pds2_obs::Value::from(id))],
+        );
         Ok(id)
     }
 
@@ -614,6 +653,7 @@ impl Marketplace {
         executor: Address,
         workload_id: u64,
     ) -> Result<(), MarketError> {
+        self.enter_workload_trace(workload_id);
         let runtime = self
             .workloads
             .get(&workload_id)
@@ -648,6 +688,13 @@ impl Marketplace {
         runtime.executors.push(executor);
         runtime.quotes.insert(executor, quote);
         self.tick();
+        pds2_obs::trace_event!(
+            "market",
+            "executor.join",
+            pds2_obs::Stamp::Block(self.chain.height()),
+            self.current_trace,
+            "workload" => workload_id,
+        );
         Ok(())
     }
 
@@ -790,6 +837,7 @@ impl Marketplace {
         workload_id: u64,
         executor: Address,
     ) -> Result<(), MarketError> {
+        self.enter_workload_trace(workload_id);
         let runtime = self
             .workloads
             .get(&workload_id)
@@ -963,12 +1011,22 @@ impl Marketplace {
         stats.1 += rejected;
         stats.2 += out_of_bounds;
         self.tick();
+        pds2_obs::trace_event!(
+            "market",
+            "provider.accept",
+            pds2_obs::Stamp::Block(self.chain.height()),
+            self.current_trace,
+            "workload" => workload_id,
+            "accepted" => accepted,
+            "rejected" => rejected,
+        );
         Ok(())
     }
 
     /// Step 5 precursor: asks the governance layer to start execution.
     /// Returns `true` when the contract's quorum conditions were met.
     pub fn try_start(&mut self, workload_id: u64) -> Result<bool, MarketError> {
+        self.enter_workload_trace(workload_id);
         let runtime = self
             .workloads
             .get(&workload_id)
@@ -995,14 +1053,27 @@ impl Marketplace {
     /// Step 5: executors train inside enclaves and aggregate peer-to-peer;
     /// every honest executor submits the agreed result hash on-chain.
     pub fn execute(&mut self, workload_id: u64) -> Result<ExecutionReport, MarketError> {
-        let span = pds2_obs::span("market", "execute", pds2_obs::Stamp::Block(self.now()));
+        self.enter_workload_trace(workload_id);
+        let span = pds2_obs::span_traced(
+            "market",
+            "execute",
+            pds2_obs::Stamp::Block(self.chain.height()),
+            self.current_trace,
+            Vec::new(),
+        );
+        // Chain traffic during the attempt nests under the execute span.
+        let outer = self.current_trace;
+        if span.id() != 0 {
+            self.current_trace = span.ctx();
+        }
         let res = self.execute_attempt(workload_id);
+        self.current_trace = outer;
         match &res {
             Ok(report) => {
                 pds2_obs::counter!("market.executions").inc();
                 if pds2_obs::enabled() {
                     span.finish(
-                        pds2_obs::Stamp::Block(self.now()),
+                        pds2_obs::Stamp::Block(self.chain.height()),
                         vec![
                             ("workload", pds2_obs::Value::from(workload_id)),
                             ("ok", pds2_obs::Value::from(1u64)),
@@ -1018,7 +1089,7 @@ impl Marketplace {
                 pds2_obs::counter!("market.execution_failures").inc();
                 if pds2_obs::enabled() {
                     span.finish(
-                        pds2_obs::Stamp::Block(self.now()),
+                        pds2_obs::Stamp::Block(self.chain.height()),
                         vec![
                             ("workload", pds2_obs::Value::from(workload_id)),
                             ("ok", pds2_obs::Value::from(0u64)),
@@ -1162,6 +1233,7 @@ impl Marketplace {
         workload_id: u64,
         policy: RetryPolicy,
     ) -> Result<(ExecutionReport, u32), MarketError> {
+        self.enter_workload_trace(workload_id);
         let max_attempts = policy.max_attempts.max(1);
         let mut backoff = policy.backoff_blocks.max(1);
         let mut attempt = 1u32;
@@ -1171,10 +1243,11 @@ impl Marketplace {
                 Err(e) if attempt >= max_attempts => return Err(e),
                 Err(_) => {
                     pds2_obs::counter!("market.retries").inc();
-                    pds2_obs::event!(
+                    pds2_obs::trace_event!(
                         "market",
                         "execute.retry",
-                        pds2_obs::Stamp::Block(self.now()),
+                        pds2_obs::Stamp::Block(self.chain.height()),
+                        self.current_trace,
                         "workload" => workload_id,
                         "attempt" => attempt as u64,
                         "backoff_blocks" => backoff,
@@ -1190,6 +1263,7 @@ impl Marketplace {
     /// Advances the governance chain by `n` empty blocks. Retry backoff,
     /// deadline expiry and execution timeouts all measure time in blocks.
     pub fn mine_empty_blocks(&mut self, n: u64) {
+        self.chain.set_trace_ctx(self.current_trace);
         for _ in 0..n {
             self.chain.produce_block();
         }
@@ -1200,6 +1274,7 @@ impl Marketplace {
     /// necessary, then calls ABORT, refunding the remaining escrow to the
     /// consumer. Returns the refunded amount.
     pub fn abort_workload(&mut self, workload_id: u64) -> Result<u128, MarketError> {
+        self.enter_workload_trace(workload_id);
         let state = self.workload_state(workload_id)?;
         if state.phase != Phase::Executing {
             return Err(MarketError::BadPhase(format!(
@@ -1242,10 +1317,11 @@ impl Marketplace {
         }
         self.tick();
         pds2_obs::counter!("market.aborts").inc();
-        pds2_obs::event!(
+        pds2_obs::trace_event!(
             "market",
             "workload.abort",
-            pds2_obs::Stamp::Block(self.now()),
+            pds2_obs::Stamp::Block(self.chain.height()),
+            self.current_trace,
             "workload" => workload_id,
             "refund" => refund,
         );
@@ -1259,6 +1335,7 @@ impl Marketplace {
         workload_id: u64,
         forged: Digest,
     ) -> Result<TxReceipt, MarketError> {
+        self.enter_workload_trace(workload_id);
         let contract = self
             .workloads
             .get(&workload_id)
@@ -1283,6 +1360,7 @@ impl Marketplace {
     /// Step 6: reward computation (per the spec's scheme) and on-chain
     /// payout through the workload contract.
     pub fn finalize(&mut self, workload_id: u64) -> Result<FinalizeReport, MarketError> {
+        self.enter_workload_trace(workload_id);
         let (spec, contract, consumer, provider_data) = {
             let runtime = self
                 .workloads
@@ -1325,6 +1403,15 @@ impl Marketplace {
             .map(|(e, _)| *e)
             .collect();
         self.tick();
+        pds2_obs::trace_event!(
+            "market",
+            "workload.payout",
+            pds2_obs::Stamp::Block(self.chain.height()),
+            self.current_trace,
+            "workload" => workload_id,
+            "providers_paid" => shares.len(),
+            "executors_paid" => paid_executors.len(),
+        );
         Ok(FinalizeReport {
             provider_shares: shares,
             paid_executors,
@@ -1435,7 +1522,10 @@ impl Marketplace {
     // ---------------------------------------------------------------
 
     /// Signs, submits and mines one transaction, returning its receipt.
+    /// The chain inherits the marketplace's ambient causal context, so the
+    /// submit→inclusion→contract-event chain joins the workload's trace.
     fn send_tx(&mut self, keys: &KeyPair, kind: TxKind) -> TxReceipt {
+        self.chain.set_trace_ctx(self.current_trace);
         let sender = Address::of(&keys.public);
         let nonce = self.chain.state.nonce(&sender);
         let tx = Transaction {

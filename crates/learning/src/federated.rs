@@ -103,6 +103,16 @@ where
     let mut accuracy_curve = Vec::with_capacity(cfg.rounds);
     let sample_size = ((shards.len() as f64 * cfg.client_fraction).round() as usize).max(1);
 
+    // One causal trace per experiment; each round is a child span.
+    let root = pds2_obs::new_trace(
+        "learning",
+        "fed.experiment",
+        pds2_obs::Stamp::Round(0),
+        vec![
+            ("clients", pds2_obs::Value::from(shards.len() as u64)),
+            ("rounds", pds2_obs::Value::from(cfg.rounds as u64)),
+        ],
+    );
     for round in 0..cfg.rounds {
         if round >= coordinator_alive_until {
             // Coordinator dead: nothing aggregates; model frozen.
@@ -151,15 +161,20 @@ where
         }
         let acc = eval(&global, test);
         pds2_obs::counter!("learning.fed_rounds").inc();
-        pds2_obs::event!(
+        pds2_obs::trace_event!(
             "learning",
             "fed.round",
             pds2_obs::Stamp::Round(round as u64),
+            root.ctx(),
             "participants" => updates.len(),
             "accuracy" => acc,
         );
         accuracy_curve.push(acc);
     }
+    root.finish(
+        pds2_obs::Stamp::Round(cfg.rounds as u64),
+        vec![("wasted_rounds", pds2_obs::Value::from(stats.wasted_rounds))],
+    );
     FedOutcome {
         model: global,
         accuracy_curve,

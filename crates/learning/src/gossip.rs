@@ -397,8 +397,30 @@ where
         sim.install_fault_plan(plan);
     }
     sim.enable_trace();
+    // The experiment is the root of one causal trace: every message the
+    // simulator delivers (and every eval round below) descends from it, so
+    // obs_report can profile the whole gossip run as a single DAG.
+    let root = pds2_obs::new_trace(
+        "learning",
+        "gossip.experiment",
+        pds2_obs::Stamp::Sim(0),
+        vec![
+            ("nodes", pds2_obs::Value::from(sim.len() as u64)),
+            ("evals", pds2_obs::Value::from(eval_at_us.len() as u64)),
+        ],
+    );
+    if root.id() != 0 {
+        sim.set_root_ctx(root.ctx());
+    }
     let mut accuracy_curve = Vec::with_capacity(eval_at_us.len());
     for &t in eval_at_us {
+        let round_span = pds2_obs::span_traced(
+            "learning",
+            "gossip.round",
+            pds2_obs::Stamp::Sim(sim.now()),
+            root.ctx(),
+            vec![("eval_at", pds2_obs::Value::from(t))],
+        );
         sim.run_until(t);
         // Per-node evaluation sweeps are read-only over the test set, so
         // they fan out across the pds2-par pool; the node-order mean below
@@ -419,18 +441,27 @@ where
             accs.iter().sum::<f64>() / accs.len() as f64
         };
         pds2_obs::counter!("learning.gossip_evals").inc();
-        pds2_obs::event!(
+        pds2_obs::trace_event!(
             "learning",
             "gossip.eval",
             pds2_obs::Stamp::Sim(t),
+            round_span.ctx(),
             "round" => accuracy_curve.len(),
             "online" => online.len(),
             "accuracy" => mean,
+        );
+        round_span.finish(
+            pds2_obs::Stamp::Sim(t),
+            vec![("accuracy", pds2_obs::Value::from(mean))],
         );
         accuracy_curve.push(mean);
     }
     let stats = sim.stats();
     let models_transferred = sim.stats().delivered;
+    root.finish(
+        pds2_obs::Stamp::Sim(sim.now()),
+        vec![("delivered", pds2_obs::Value::from(stats.delivered))],
+    );
     GossipOutcome {
         accuracy_curve,
         models_transferred,

@@ -8,6 +8,7 @@
 use crate::fault::{FaultPlan, FaultState, SendVerdict};
 use crate::link::LinkModel;
 use pds2_crypto::{Digest, Sha256};
+use pds2_obs::TraceCtx;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -87,18 +88,36 @@ pub struct Ctx<'a, M> {
     pub n_nodes: usize,
     rng: &'a mut StdRng,
     actions: Vec<Action<M>>,
+    incoming: TraceCtx,
 }
 
 enum Action<M> {
-    Send { to: NodeId, msg: M },
+    Send { to: NodeId, msg: M, ctx: TraceCtx },
     Timer { delay_us: u64, tag: u64 },
 }
 
 impl<'a, M> Ctx<'a, M> {
     /// Sends a message (subject to link latency/loss and the recipient
-    /// being online at delivery time).
+    /// being online at delivery time). The causal context of the event
+    /// being handled rides along in the envelope, so the receiver's
+    /// spans link back to this delivery without any protocol changes.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.actions.push(Action::Send { to, msg });
+        let ctx = self.incoming;
+        self.send_traced(to, msg, ctx);
+    }
+
+    /// Sends a message under an explicit causal context (overrides the
+    /// automatic propagation of [`Ctx::incoming`]).
+    pub fn send_traced(&mut self, to: NodeId, msg: M, ctx: TraceCtx) {
+        self.actions.push(Action::Send { to, msg, ctx });
+    }
+
+    /// Causal context this callback runs under: the delivery span of
+    /// the message being handled, the simulator's root context for
+    /// start/timer/recover callbacks, or [`TraceCtx::NONE`] when
+    /// tracing is off.
+    pub fn incoming(&self) -> TraceCtx {
+        self.incoming
     }
 
     /// Schedules `on_timer(tag)` after `delay_us`.
@@ -132,6 +151,8 @@ enum EventKind<M> {
         to: NodeId,
         msg: M,
         size: u64,
+        ctx: TraceCtx,
+        sent_us: SimTime,
     },
     Timer {
         node: NodeId,
@@ -217,6 +238,7 @@ pub struct Simulator<N: Node> {
     started: bool,
     fault: Option<FaultState>,
     trace: Option<Sha256>,
+    root_ctx: TraceCtx,
 }
 
 impl<N: Node> Simulator<N> {
@@ -235,7 +257,16 @@ impl<N: Node> Simulator<N> {
             started: false,
             fault: None,
             trace: None,
+            root_ctx: TraceCtx::NONE,
         }
+    }
+
+    /// Sets the causal root context: spontaneous node activity
+    /// (`on_start`, timers, recovery) and the sends it produces join
+    /// this trace. Mint one with `pds2_obs::new_trace` at experiment
+    /// start; deliveries then chain their own child spans off it.
+    pub fn set_root_ctx(&mut self, ctx: TraceCtx) {
+        self.root_ctx = ctx;
     }
 
     /// Number of nodes.
@@ -371,7 +402,7 @@ impl<N: Node> Simulator<N> {
     fn dispatch_actions(&mut self, origin: NodeId, actions: Vec<Action<N::Msg>>) {
         for action in actions {
             match action {
-                Action::Send { to, msg } => {
+                Action::Send { to, msg, ctx } => {
                     self.stats.sent += 1;
                     pds2_obs::counter!("net.sent").inc();
                     // Fault layer first (dedicated RNG, deterministic
@@ -388,10 +419,11 @@ impl<N: Node> Simulator<N> {
                             SendVerdict::DropPartition => {
                                 self.stats.dropped_partition += 1;
                                 pds2_obs::counter!("net.dropped_partition").inc();
-                                pds2_obs::event!(
+                                pds2_obs::trace_event!(
                                     "net",
                                     "drop.partition",
                                     pds2_obs::Stamp::Sim(self.now),
+                                    ctx,
                                     "from" => origin, "to" => to, "kind" => kind as u64,
                                 );
                                 continue;
@@ -399,10 +431,11 @@ impl<N: Node> Simulator<N> {
                             SendVerdict::DropFault => {
                                 self.stats.dropped_fault += 1;
                                 pds2_obs::counter!("net.dropped_fault").inc();
-                                pds2_obs::event!(
+                                pds2_obs::trace_event!(
                                     "net",
                                     "drop.censor",
                                     pds2_obs::Stamp::Sim(self.now),
+                                    ctx,
                                     "from" => origin, "to" => to, "kind" => kind as u64,
                                 );
                                 continue;
@@ -412,10 +445,11 @@ impl<N: Node> Simulator<N> {
                                     Some(mangled) => {
                                         self.stats.corrupted += 1;
                                         pds2_obs::counter!("net.corrupted").inc();
-                                        pds2_obs::event!(
+                                        pds2_obs::trace_event!(
                                             "net",
                                             "corrupt",
                                             pds2_obs::Stamp::Sim(self.now),
+                                            ctx,
                                             "from" => origin, "to" => to, "kind" => kind as u64,
                                         );
                                         msg = mangled;
@@ -426,10 +460,11 @@ impl<N: Node> Simulator<N> {
                                         // destroyed on the wire.
                                         self.stats.dropped_fault += 1;
                                         pds2_obs::counter!("net.dropped_fault").inc();
-                                        pds2_obs::event!(
+                                        pds2_obs::trace_event!(
                                             "net",
                                             "drop.censor",
                                             pds2_obs::Stamp::Sim(self.now),
+                                            ctx,
                                             "from" => origin, "to" => to, "kind" => kind as u64,
                                         );
                                         continue;
@@ -441,10 +476,11 @@ impl<N: Node> Simulator<N> {
                         if fate.extra_delay_us > 0 {
                             self.stats.reordered += 1;
                             pds2_obs::counter!("net.reordered").inc();
-                            pds2_obs::event!(
+                            pds2_obs::trace_event!(
                                 "net",
                                 "reorder",
                                 pds2_obs::Stamp::Sim(self.now),
+                                ctx,
                                 "from" => origin, "to" => to,
                                 "extra_delay_us" => fate.extra_delay_us,
                             );
@@ -455,10 +491,11 @@ impl<N: Node> Simulator<N> {
                     if self.link.drops(&mut self.rng) {
                         self.stats.dropped_loss += 1;
                         pds2_obs::counter!("net.dropped_loss").inc();
-                        pds2_obs::event!(
+                        pds2_obs::trace_event!(
                             "net",
                             "drop.loss",
                             pds2_obs::Stamp::Sim(self.now),
+                            ctx,
                             "from" => origin, "to" => to,
                         );
                         continue;
@@ -469,10 +506,11 @@ impl<N: Node> Simulator<N> {
                     if let Some(after_us) = duplicate_after_us {
                         self.stats.duplicated += 1;
                         pds2_obs::counter!("net.duplicated").inc();
-                        pds2_obs::event!(
+                        pds2_obs::trace_event!(
                             "net",
                             "duplicate",
                             pds2_obs::Stamp::Sim(self.now),
+                            ctx,
                             "from" => origin, "to" => to,
                         );
                         self.push(
@@ -482,6 +520,8 @@ impl<N: Node> Simulator<N> {
                                 to,
                                 msg: msg.clone(),
                                 size,
+                                ctx,
+                                sent_us: self.now,
                             },
                         );
                     }
@@ -492,6 +532,8 @@ impl<N: Node> Simulator<N> {
                             to,
                             msg,
                             size,
+                            ctx,
+                            sent_us: self.now,
                         },
                     );
                 }
@@ -504,7 +546,7 @@ impl<N: Node> Simulator<N> {
         }
     }
 
-    fn call_node<F>(&mut self, id: NodeId, f: F)
+    fn call_node<F>(&mut self, id: NodeId, incoming: TraceCtx, f: F)
     where
         F: FnOnce(&mut N, &mut Ctx<'_, N::Msg>),
     {
@@ -514,6 +556,7 @@ impl<N: Node> Simulator<N> {
             n_nodes: self.nodes.len(),
             rng: &mut self.rng,
             actions: Vec::new(),
+            incoming,
         };
         f(&mut self.nodes[id], &mut ctx);
         let actions = ctx.actions;
@@ -526,8 +569,9 @@ impl<N: Node> Simulator<N> {
             return;
         }
         self.started = true;
+        let root = self.root_ctx;
         for id in 0..self.nodes.len() {
-            self.call_node(id, |n, ctx| n.on_start(ctx));
+            self.call_node(id, root, |n, ctx| n.on_start(ctx));
         }
     }
 
@@ -551,7 +595,8 @@ impl<N: Node> Simulator<N> {
                     pds2_obs::counter!("net.timers_fired").inc();
                     if self.online[node] {
                         self.stats.timers_fired += 1;
-                        self.call_node(node, |n, ctx| n.on_timer(ctx, tag));
+                        let root = self.root_ctx;
+                        self.call_node(node, root, |n, ctx| n.on_timer(ctx, tag));
                     } else {
                         // Timers on offline nodes are silently skipped;
                         // protocols re-arm on their own schedule.
@@ -563,6 +608,8 @@ impl<N: Node> Simulator<N> {
                     to,
                     msg,
                     size,
+                    ctx,
+                    sent_us,
                 } => {
                     // A partition that split while this message was in
                     // flight destroys it at the boundary.
@@ -573,10 +620,11 @@ impl<N: Node> Simulator<N> {
                     {
                         self.stats.dropped_partition += 1;
                         pds2_obs::counter!("net.dropped_partition").inc();
-                        pds2_obs::event!(
+                        pds2_obs::trace_event!(
                             "net",
                             "drop.partition",
                             pds2_obs::Stamp::Sim(self.now),
+                            ctx,
                             "from" => from, "to" => to,
                         );
                     } else if self.online[to] {
@@ -587,24 +635,38 @@ impl<N: Node> Simulator<N> {
                         let kind = N::msg_kind(&msg);
                         let digest = N::msg_digest(&msg);
                         self.record_trace(from, to, kind, size, digest);
-                        // Same (time, from, to, kind, size, digest) tuple
-                        // the delivery trace hash commits to, so a JSONL
-                        // trace can be joined against `trace_hash()`.
-                        pds2_obs::event!(
+                        // One hop of the causal DAG: the delivery span is
+                        // a child of the sender's context, and everything
+                        // the handler does (sends, chain spans) chains
+                        // off the span. Fields carry the same
+                        // (from, to, kind, size, digest) tuple the
+                        // delivery trace hash commits to, plus `sent_us`
+                        // so `obs_report` can compute per-hop latency.
+                        let span = pds2_obs::span_traced(
                             "net",
                             "deliver",
                             pds2_obs::Stamp::Sim(self.now),
-                            "from" => from, "to" => to, "kind" => kind as u64,
-                            "size" => size, "digest" => digest,
+                            ctx,
+                            vec![
+                                ("from", pds2_obs::Value::from(from)),
+                                ("to", pds2_obs::Value::from(to)),
+                                ("kind", pds2_obs::Value::from(kind as u64)),
+                                ("size", pds2_obs::Value::from(size)),
+                                ("digest", pds2_obs::Value::from(digest)),
+                                ("sent_us", pds2_obs::Value::from(sent_us)),
+                            ],
                         );
-                        self.call_node(to, |n, ctx| n.on_message(ctx, from, msg));
+                        let incoming = if span.id() != 0 { span.ctx() } else { ctx };
+                        self.call_node(to, incoming, |n, ctx| n.on_message(ctx, from, msg));
+                        span.finish(pds2_obs::Stamp::Sim(self.now), Vec::new());
                     } else {
                         self.stats.dropped_offline += 1;
                         pds2_obs::counter!("net.dropped_offline").inc();
-                        pds2_obs::event!(
+                        pds2_obs::trace_event!(
                             "net",
                             "drop.offline",
                             pds2_obs::Stamp::Sim(self.now),
+                            ctx,
                             "from" => from, "to" => to,
                         );
                     }
@@ -631,7 +693,8 @@ impl<N: Node> Simulator<N> {
                         "node" => node,
                     );
                     self.online[node] = true;
-                    self.call_node(node, |n, ctx| n.on_recover(ctx));
+                    let root = self.root_ctx;
+                    self.call_node(node, root, |n, ctx| n.on_recover(ctx));
                 }
             }
         }

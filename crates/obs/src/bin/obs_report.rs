@@ -1,0 +1,92 @@
+//! `obs_report`: offline analysis of a JSONL trace capture.
+//!
+//! ```text
+//! obs_report <trace.jsonl> [--folded <out.folded>] [--prom <out.prom>]
+//! ```
+//!
+//! Reads the capture, reconstructs the causal DAG, and prints the
+//! deterministic text report (per-trace critical paths, per-domain
+//! breakdown, latency distributions) to stdout, followed by the report
+//! digest. `--folded` writes flamegraph collapse-format stacks;
+//! `--prom` writes a Prometheus-style exposition of the metrics
+//! reconstructed from the trace. By default both are written next to
+//! the input as `<input>.folded` / `<input>.prom`.
+//!
+//! Exits non-zero when the capture contains no traces (nothing was
+//! minted — almost always a bug in the instrumented run), so smoke
+//! jobs can assert a non-empty critical path by exit code alone.
+
+use pds2_obs::report::TraceAnalysis;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<PathBuf> = None;
+    let mut folded_out: Option<PathBuf> = None;
+    let mut prom_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--folded" => {
+                i += 1;
+                folded_out = args.get(i).map(PathBuf::from);
+            }
+            "--prom" => {
+                i += 1;
+                prom_out = args.get(i).map(PathBuf::from);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: obs_report <trace.jsonl> [--folded <path>] [--prom <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    let input = match input {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: obs_report <trace.jsonl> [--folded <path>] [--prom <path>]");
+            return ExitCode::from(2);
+        }
+    };
+    let body = match std::fs::read_to_string(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("obs_report: cannot read {}: {e}", input.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = TraceAnalysis::from_jsonl(&body);
+    print!("{}", analysis.render_text());
+    println!("report digest: {}", analysis.report_digest());
+
+    let folded_path =
+        folded_out.unwrap_or_else(|| PathBuf::from(format!("{}.folded", input.display())));
+    let prom_path = prom_out.unwrap_or_else(|| PathBuf::from(format!("{}.prom", input.display())));
+    if let Err(e) = std::fs::write(&folded_path, analysis.render_folded()) {
+        eprintln!("obs_report: cannot write {}: {e}", folded_path.display());
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(
+        &prom_path,
+        analysis.to_metrics_snapshot().render_prometheus(),
+    ) {
+        eprintln!("obs_report: cannot write {}: {e}", prom_path.display());
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "wrote {} and {}",
+        folded_path.display(),
+        prom_path.display()
+    );
+
+    let hops: usize = analysis.traces.iter().map(|t| t.critical_path.len()).sum();
+    if analysis.traces.is_empty() || hops == 0 {
+        eprintln!("obs_report: capture contains no traced critical path");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

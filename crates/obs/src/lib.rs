@@ -44,17 +44,18 @@
 //! registry and collector are process-global.
 
 mod metrics;
+pub mod report;
 mod sink;
 mod trace;
 
 pub use metrics::{
     counter_handle, gauge_handle, histogram_handle, reset_metrics, snapshot, Counter, Gauge,
-    Histogram, HistogramSnapshot, MetricsSnapshot,
+    Histogram, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use sink::SinkKind;
 pub use trace::{
-    capture, emit, enabled, span, test_lock, trace_digest, Capture, Event, EventKind, Span, Stamp,
-    TraceReport, Value,
+    capture, emit, emit_traced, enabled, new_trace, span, span_traced, test_lock, trace_digest,
+    Capture, Event, EventKind, Span, Stamp, TraceCtx, TraceReport, Value,
 };
 
 /// Interns (once per call site) and returns a `&'static` [`Counter`].
@@ -105,6 +106,33 @@ macro_rules! event {
     ($domain:expr, $name:expr, $stamp:expr $(, $key:expr => $val:expr)* $(,)?) => {
         if $crate::enabled() {
             $crate::emit($domain, $name, $stamp, vec![$(($key, $crate::Value::from($val))),*]);
+        }
+    };
+}
+
+/// Emits a point event attached to a causal context ([`TraceCtx`]): the
+/// event joins the context's trace as a child of `ctx.parent_span`.
+/// With [`TraceCtx::NONE`] this degrades to a plain [`event!`].
+///
+/// ```
+/// use pds2_obs as obs;
+/// let root = obs::new_trace("test", "job", obs::Stamp::Sim(0), vec![]);
+/// obs::trace_event!("test", "step", obs::Stamp::Sim(5), root.ctx(), "i" => 1u64);
+/// ```
+///
+/// When tracing is disabled this is a single relaxed atomic load — the
+/// field expressions are not evaluated.
+#[macro_export]
+macro_rules! trace_event {
+    ($domain:expr, $name:expr, $stamp:expr, $ctx:expr $(, $key:expr => $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit_traced(
+                $domain,
+                $name,
+                $stamp,
+                $ctx,
+                vec![$(($key, $crate::Value::from($val))),*],
+            );
         }
     };
 }

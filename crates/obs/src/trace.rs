@@ -99,6 +99,39 @@ pub enum EventKind {
     SpanEnd,
 }
 
+/// Causal context: which trace a unit of work belongs to and which span
+/// caused it (Dapper/X-Trace style, in logical time).
+///
+/// A context is *minted* exactly where a workload enters the system —
+/// contract/tx submission ([`new_trace`] via the chain) or a learning
+/// experiment start — and *propagated* everywhere else: inside simulated
+/// network envelopes, through block production/validation, and down the
+/// marketplace lifecycle. `trace_id` is the span id of the trace's root
+/// span, so ids stay deterministic and domain-separated; `parent_span`
+/// is the span that causally produced the present work. The zero
+/// context ([`TraceCtx::NONE`]) means "untraced": spans opened under it
+/// still record start/end events but join no DAG.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Id of the trace (the root span's id), or 0 for untraced work.
+    pub trace_id: u64,
+    /// Span that causally precedes this work, or 0.
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent_span: 0,
+    };
+
+    /// Whether this context carries no trace.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+}
+
 /// One recorded trace event.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Event {
@@ -112,6 +145,10 @@ pub struct Event {
     pub name: &'static str,
     /// Owning span id, or 0 for free-standing points.
     pub span: u64,
+    /// Trace this event belongs to (root span id), or 0 if untraced.
+    pub trace: u64,
+    /// Causal parent span, or 0 (roots and untraced events).
+    pub parent: u64,
     /// Logical timestamp.
     pub stamp: Stamp,
     /// Typed payload fields, in emission order.
@@ -135,6 +172,8 @@ impl Event {
         out.push(self.name.len() as u8);
         out.extend_from_slice(self.name.as_bytes());
         out.extend_from_slice(&self.span.to_le_bytes());
+        out.extend_from_slice(&self.trace.to_le_bytes());
+        out.extend_from_slice(&self.parent.to_le_bytes());
         let (tag, t) = match self.stamp {
             Stamp::None => (0u8, 0u64),
             Stamp::Sim(t) => (1, t),
@@ -189,6 +228,12 @@ impl Event {
         ));
         if self.span != 0 {
             s.push_str(&format!(",\"span\":{}", self.span));
+        }
+        if self.trace != 0 {
+            s.push_str(&format!(",\"trace\":{}", self.trace));
+        }
+        if self.parent != 0 {
+            s.push_str(&format!(",\"parent\":{}", self.parent));
         }
         match self.stamp {
             Stamp::None => {}
@@ -293,12 +338,20 @@ fn fold(col: &mut Collector, event: &Event) {
     }
 }
 
+/// (span, trace, parent) id triple of one event.
+#[derive(Clone, Copy)]
+struct Ids {
+    span: u64,
+    trace: u64,
+    parent: u64,
+}
+
 fn emit_locked(
     col: &mut Collector,
     kind: EventKind,
     domain: &'static str,
     name: &'static str,
-    span: u64,
+    ids: Ids,
     stamp: Stamp,
     fields: Vec<(&'static str, Value)>,
 ) {
@@ -310,7 +363,9 @@ fn emit_locked(
         kind,
         domain,
         name,
-        span,
+        span: ids.span,
+        trace: ids.trace,
+        parent: ids.parent,
         stamp,
         fields,
     };
@@ -326,11 +381,31 @@ pub fn emit(
     stamp: Stamp,
     fields: Vec<(&'static str, Value)>,
 ) {
+    emit_traced(domain, name, stamp, TraceCtx::NONE, fields);
+}
+
+/// Records a point event attached to a causal context: the event joins
+/// `ctx`'s trace as a zero-duration child of `ctx.parent_span`. With
+/// [`TraceCtx::NONE`] this degrades to a free-standing point. Prefer
+/// the [`trace_event!`](crate::trace_event!) macro, which skips field
+/// construction when tracing is disabled.
+pub fn emit_traced(
+    domain: &'static str,
+    name: &'static str,
+    stamp: Stamp,
+    ctx: TraceCtx,
+    fields: Vec<(&'static str, Value)>,
+) {
     if !enabled() {
         return;
     }
+    let ids = Ids {
+        span: 0,
+        trace: ctx.trace_id,
+        parent: if ctx.is_none() { 0 } else { ctx.parent_span },
+    };
     let mut col = collector().lock();
-    emit_locked(&mut col, EventKind::Point, domain, name, 0, stamp, fields);
+    emit_locked(&mut col, EventKind::Point, domain, name, ids, stamp, fields);
 }
 
 /// An open span. Close it with [`Span::finish`] to attach result
@@ -338,6 +413,8 @@ pub fn emit(
 #[must_use = "a span closes when dropped; hold it for the spanned region"]
 pub struct Span {
     id: u64,
+    trace: u64,
+    parent: u64,
     domain: &'static str,
     name: &'static str,
     open: bool,
@@ -347,6 +424,21 @@ impl Span {
     /// The span's id (0 when tracing was disabled at open).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The causal context to hand to work this span causes: children
+    /// opened (or events emitted) under it join this span's trace with
+    /// this span as their parent. [`TraceCtx::NONE`] for untraced or
+    /// inert spans.
+    pub fn ctx(&self) -> TraceCtx {
+        if self.trace == 0 {
+            TraceCtx::NONE
+        } else {
+            TraceCtx {
+                trace_id: self.trace,
+                parent_span: self.id,
+            }
+        }
     }
 
     /// Closes the span with an explicit stamp and result fields.
@@ -368,7 +460,11 @@ impl Span {
             EventKind::SpanEnd,
             self.domain,
             self.name,
-            self.id,
+            Ids {
+                span: self.id,
+                trace: self.trace,
+                parent: self.parent,
+            },
             stamp,
             fields,
         );
@@ -381,46 +477,98 @@ impl Drop for Span {
     }
 }
 
-/// Opens a span: allocates a domain-separated id and records a
-/// span-start event. When tracing is disabled the span is inert
-/// (id 0, no events on close).
-pub fn span(domain: &'static str, name: &'static str, stamp: Stamp) -> Span {
+fn inert_span(domain: &'static str, name: &'static str) -> Span {
+    Span {
+        id: 0,
+        trace: 0,
+        parent: 0,
+        domain,
+        name,
+        open: false,
+    }
+}
+
+fn open_span(
+    domain: &'static str,
+    name: &'static str,
+    stamp: Stamp,
+    ctx: TraceCtx,
+    root: bool,
+    fields: Vec<(&'static str, Value)>,
+) -> Span {
     if !enabled() {
-        return Span {
-            id: 0,
-            domain,
-            name,
-            open: false,
-        };
+        return inert_span(domain, name);
     }
     let mut col = collector().lock();
     if col.active.is_none() {
-        return Span {
-            id: 0,
-            domain,
-            name,
-            open: false,
-        };
+        return inert_span(domain, name);
     }
     let dh = domain_hash(domain);
     let seq = col.span_seqs.entry(dh).or_insert(0);
     *seq += 1;
     let id = ((dh as u64) << 32) | (*seq as u64);
+    let (trace, parent) = if root {
+        (id, 0)
+    } else if ctx.is_none() {
+        (0, 0)
+    } else {
+        (ctx.trace_id, ctx.parent_span)
+    };
     emit_locked(
         &mut col,
         EventKind::SpanStart,
         domain,
         name,
-        id,
+        Ids {
+            span: id,
+            trace,
+            parent,
+        },
         stamp,
-        Vec::new(),
+        fields,
     );
     Span {
         id,
+        trace,
+        parent,
         domain,
         name,
         open: true,
     }
+}
+
+/// Opens an *untraced* span: allocates a domain-separated id and
+/// records a span-start event, but joins no causal DAG. When tracing
+/// is disabled the span is inert (id 0, no events on close).
+pub fn span(domain: &'static str, name: &'static str, stamp: Stamp) -> Span {
+    open_span(domain, name, stamp, TraceCtx::NONE, false, Vec::new())
+}
+
+/// Opens a span as a causal child of `ctx` (with start fields). Under
+/// [`TraceCtx::NONE`] this behaves like [`span`] plus start fields —
+/// propagation code can thread a maybe-empty context without
+/// branching. Hand [`Span::ctx`] to everything this span causes.
+pub fn span_traced(
+    domain: &'static str,
+    name: &'static str,
+    stamp: Stamp,
+    ctx: TraceCtx,
+    fields: Vec<(&'static str, Value)>,
+) -> Span {
+    open_span(domain, name, stamp, ctx, false, fields)
+}
+
+/// Mints a new trace: opens a root span whose id becomes the trace id.
+/// Call this exactly where a workload enters the system (tx submission,
+/// workload submission, experiment start); everything caused by it
+/// should be threaded [`Span::ctx`]. Inert when tracing is disabled.
+pub fn new_trace(
+    domain: &'static str,
+    name: &'static str,
+    stamp: Stamp,
+    fields: Vec<(&'static str, Value)>,
+) -> Span {
+    open_span(domain, name, stamp, TraceCtx::NONE, true, fields)
 }
 
 /// Live handle to an active capture; [`finish`](Capture::finish) it to

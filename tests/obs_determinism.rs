@@ -11,6 +11,7 @@ use pds2::market::marketplace::{Marketplace, StorageChoice};
 use pds2::market::workload::{RewardScheme, TaskKind, WorkloadSpec};
 use pds2::storage::semantic::{MetaValue, Metadata, Requirement};
 use pds2::tee::measurement::EnclaveCode;
+use pds2_bench::trace_scenario;
 use pds2_chain::address::Address;
 use pds2_chain::chain::{Blockchain, ChainConfig};
 use pds2_chain::contract::ContractRegistry;
@@ -21,6 +22,7 @@ use pds2_ml::data::gaussian_blobs;
 use pds2_ml::model::LogisticRegression;
 use pds2_net::{FaultPlan, LinkEffect, LinkModel, LinkScope, Simulator};
 use pds2_obs as obs;
+use pds2_obs::report::{RawEvent, TraceAnalysis};
 use std::sync::Arc;
 
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
@@ -229,6 +231,75 @@ fn marketplace_lifecycle_trace_is_deterministic() {
             "lifecycle trace diverged at {threads} threads"
         );
         assert_eq!(again.events, report.events);
+    }
+}
+
+/// E16 acceptance: the shared trace-lifecycle scenario (faulty
+/// marketplace lifecycle + chaos chain sync + gossip under corruption)
+/// produces a causal DAG whose critical-path report — text and digest —
+/// is bit-identical across `PDS2_THREADS` ∈ {1, 4, 8} and across the
+/// ring and JSONL sinks, and every trace has a non-empty critical path.
+#[test]
+fn trace_lifecycle_critical_path_is_thread_and_sink_invariant() {
+    let _g = obs::test_lock();
+    const SEED: u64 = 0xE16;
+
+    // Reference: ring capture analysed from in-memory events.
+    let cap = obs::capture(obs::SinkKind::Ring(usize::MAX));
+    trace_scenario::run(SEED);
+    let ring = cap.finish();
+    let raw: Vec<RawEvent> = ring.entries.iter().map(RawEvent::from).collect();
+    let ring_analysis = TraceAnalysis::from_events(&raw);
+    let ring_text = ring_analysis.render_text();
+    assert!(!ring_analysis.traces.is_empty(), "scenario mints traces");
+    for t in &ring_analysis.traces {
+        assert!(
+            !t.critical_path.is_empty(),
+            "trace {} has an empty critical path",
+            t.root_label
+        );
+    }
+    // The lifecycle spans the whole submit→payout story: at least one
+    // workload trace pairs a submit root with a payout, and the chaos
+    // plan forces at least one retry event into the DAG.
+    assert!(
+        !ring_analysis.submit_to_payout_us.is_empty(),
+        "completed workload must yield a submit→payout sample"
+    );
+    assert!(
+        !ring_analysis.hop_latencies_us.is_empty(),
+        "cross-node deliveries must yield hop latencies"
+    );
+    assert!(
+        !ring_analysis.blocks_to_inclusion.is_empty(),
+        "included txs must yield blocks-to-inclusion samples"
+    );
+
+    // JSONL capture: re-parse the file and require the identical report.
+    let path = std::env::temp_dir().join("pds2_trace_e16_test.jsonl");
+    let cap = obs::capture(obs::SinkKind::Jsonl(path.clone()));
+    trace_scenario::run(SEED);
+    let jsonl = cap.finish();
+    let body = std::fs::read_to_string(&path).expect("jsonl written");
+    std::fs::remove_file(&path).ok();
+    let jsonl_analysis = TraceAnalysis::from_jsonl(&body);
+    assert_eq!(ring.digest, jsonl.digest, "capture digest: ring vs jsonl");
+    assert_eq!(
+        ring_text,
+        jsonl_analysis.render_text(),
+        "critical-path report: ring vs jsonl reconstruction"
+    );
+    assert_eq!(
+        ring_analysis.report_digest(),
+        jsonl_analysis.report_digest()
+    );
+
+    // Thread sweep: the capture digest is a pure function of the seed.
+    for threads in THREAD_COUNTS {
+        let cap = obs::capture(obs::SinkKind::Null);
+        pds2_par::with_threads(threads, || trace_scenario::run(SEED));
+        let d = cap.finish().digest;
+        assert_eq!(d, ring.digest, "E16 digest diverged at {threads} threads");
     }
 }
 
