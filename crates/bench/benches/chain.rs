@@ -21,6 +21,8 @@ fn chain_with_pending(n: usize, kind: impl Fn(u64) -> TxKind) -> Blockchain {
             nonce,
             kind: kind(nonce),
             gas_limit: 1_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&alice);
         chain.submit(tx).unwrap();
@@ -69,6 +71,8 @@ fn bench_tx_admission(c: &mut Criterion) {
         nonce: 0,
         kind: TxKind::Transfer { to: bob, amount: 1 },
         gas_limit: 100_000,
+        max_fee_per_gas: 0,
+        priority_fee_per_gas: 0,
     }
     .sign(&alice);
     c.bench_function("chain/tx_signature_verify", |b| {

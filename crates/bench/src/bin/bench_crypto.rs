@@ -138,6 +138,8 @@ fn build_block(n_txs: usize) -> Block {
             nonce,
             kind: TxKind::Transfer { to: bob, amount: 1 },
             gas_limit: 50_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&alice);
         chain.submit(tx).expect("admission");
@@ -239,6 +241,8 @@ fn sync_replay_bench(reps: usize, n_blocks: usize, txs_per_block: usize) -> Row 
                 nonce,
                 kind: TxKind::Transfer { to: bob, amount: 1 },
                 gas_limit: 50_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(&alice);
             canonical.submit(tx).expect("admission");

@@ -68,6 +68,8 @@ fn build_block(n_txs: usize) -> Block {
             nonce,
             kind: TxKind::Transfer { to: bob, amount: 1 },
             gas_limit: 50_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&alice);
         chain.submit(tx).expect("admission");

@@ -99,6 +99,8 @@ fn main() {
                 amount: 1,
             },
             gas_limit: 100_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&mallory);
         // Redirect the (signed) transfer to drain the victim instead.
@@ -144,6 +146,8 @@ fn main() {
                 value: 0,
             },
             gas_limit: 10_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&consumer_keys);
         let hash = w.market.chain.submit(tx).unwrap();

@@ -41,6 +41,8 @@ fn throughput(label: &str, n: usize, mut make: impl FnMut(u64) -> TxKind) -> Vec
                 nonce,
                 kind: make(nonce),
                 gas_limit: 1_000_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(&alice)
         })
@@ -112,6 +114,8 @@ fn main() {
                 nonce,
                 kind: TxKind::Transfer { to: bob, amount: 1 },
                 gas_limit: 50_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(&alice);
             chain.submit(tx).unwrap();

@@ -19,6 +19,13 @@ pub struct BlockHeader {
     pub tx_root: Digest,
     /// Logical timestamp (height × block interval).
     pub timestamp: u64,
+    /// Base fee per gas for this block (EIP-1559 style; every included
+    /// transaction burns this much per unit of gas). Consensus-critical:
+    /// validators recompute it from the parent and reject mismatches.
+    pub base_fee: u64,
+    /// Total gas consumed by this block's transactions (drives the next
+    /// block's base fee).
+    pub gas_used: u64,
     /// Proposing validator.
     pub proposer: PublicKey,
     /// Proposer's signature over the header body.
@@ -26,21 +33,26 @@ pub struct BlockHeader {
 }
 
 impl BlockHeader {
+    #[allow(clippy::too_many_arguments)]
     fn signing_bytes(
         height: u64,
         parent: &Digest,
         state_root: &Digest,
         tx_root: &Digest,
         timestamp: u64,
+        base_fee: u64,
+        gas_used: u64,
         proposer: &PublicKey,
     ) -> Vec<u8> {
         let mut enc = Encoder::new();
-        enc.put_raw(b"pds2-block-v1");
+        enc.put_raw(b"pds2-block-v2");
         enc.put_u64(height);
         enc.put_digest(parent);
         enc.put_digest(state_root);
         enc.put_digest(tx_root);
         enc.put_u64(timestamp);
+        enc.put_u64(base_fee);
+        enc.put_u64(gas_used);
         proposer.encode(&mut enc);
         enc.finish()
     }
@@ -54,6 +66,8 @@ impl BlockHeader {
         state_root: Digest,
         tx_root: Digest,
         timestamp: u64,
+        base_fee: u64,
+        gas_used: u64,
     ) -> BlockHeader {
         let payload = Self::signing_bytes(
             height,
@@ -61,6 +75,8 @@ impl BlockHeader {
             &state_root,
             &tx_root,
             timestamp,
+            base_fee,
+            gas_used,
             &keys.public,
         );
         BlockHeader {
@@ -69,6 +85,8 @@ impl BlockHeader {
             state_root,
             tx_root,
             timestamp,
+            base_fee,
+            gas_used,
             proposer: keys.public.clone(),
             signature: keys.sign(&payload),
         }
@@ -87,6 +105,8 @@ impl BlockHeader {
             &self.state_root,
             &self.tx_root,
             self.timestamp,
+            self.base_fee,
+            self.gas_used,
             &self.proposer,
         );
         crate::sigcache::verify_cached(&payload, &self.proposer, &self.signature)
@@ -105,6 +125,8 @@ impl Encode for BlockHeader {
         enc.put_digest(&self.state_root);
         enc.put_digest(&self.tx_root);
         enc.put_u64(self.timestamp);
+        enc.put_u64(self.base_fee);
+        enc.put_u64(self.gas_used);
         self.proposer.encode(enc);
         self.signature.encode(enc);
     }
@@ -118,6 +140,8 @@ impl Decode for BlockHeader {
             state_root: dec.get_digest()?,
             tx_root: dec.get_digest()?,
             timestamp: dec.get_u64()?,
+            base_fee: dec.get_u64()?,
+            gas_used: dec.get_u64()?,
             proposer: PublicKey::decode(dec)?,
             signature: Signature::decode(dec)?,
         })
@@ -186,6 +210,8 @@ mod tests {
                         amount: 1,
                     },
                     gas_limit: 30_000,
+                    max_fee_per_gas: 0,
+                    priority_fee_per_gas: 0,
                 }
                 .sign(&sender)
             })
@@ -198,6 +224,8 @@ mod tests {
             pds2_crypto::sha256(b"state"),
             tx_root,
             10,
+            3,
+            21_000,
         );
         Block {
             header,
@@ -216,6 +244,18 @@ mod tests {
     fn tampered_header_fails() {
         let mut b = sample_block(1);
         b.header.height = 99;
+        assert!(!b.header.verify_signature());
+    }
+
+    #[test]
+    fn tampered_fee_fields_fail() {
+        // base_fee and gas_used are consensus fields: both are covered by
+        // the proposer signature.
+        let mut b = sample_block(1);
+        b.header.base_fee += 1;
+        assert!(!b.header.verify_signature());
+        let mut b = sample_block(1);
+        b.header.gas_used ^= 1;
         assert!(!b.header.verify_signature());
     }
 

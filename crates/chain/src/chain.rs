@@ -12,13 +12,15 @@
 use crate::block::{Block, BlockHeader};
 use crate::contract::ContractRegistry;
 use crate::event::Event;
-use crate::state::{TxReceipt, WorldState};
+use crate::gas;
+use crate::mempool::{InsertOutcome, Mempool, SelectionStats, SubmitError};
+use crate::state::{BlockEnv, TxReceipt, WorldState};
 use crate::tx::SignedTransaction;
 use parking_lot::Mutex;
 use pds2_crypto::schnorr::{KeyPair, PublicKey};
 use pds2_crypto::sha256::Digest;
 use pds2_obs::TraceCtx;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// First eight bytes of a digest as a trace-field-sized fingerprint.
 fn digest_tag(d: &Digest) -> u64 {
@@ -34,6 +36,13 @@ pub struct ChainConfig {
     pub block_interval_secs: u64,
     /// Maximum transactions per block regardless of gas.
     pub max_txs_per_block: usize,
+    /// Maximum pending transactions held in the mempool; beyond it the
+    /// cheapest account tail is evicted to admit better-paying traffic.
+    pub mempool_capacity: usize,
+    /// Base fee carried by the first block. Defaults to 0, which keeps
+    /// legacy zero-fee transactions includable until congestion pushes
+    /// the fee up (see [`gas::next_base_fee`]).
+    pub initial_base_fee: u64,
 }
 
 impl Default for ChainConfig {
@@ -42,6 +51,8 @@ impl Default for ChainConfig {
             block_gas_limit: 30_000_000,
             block_interval_secs: 12,
             max_txs_per_block: 1024,
+            mempool_capacity: 1 << 20,
+            initial_base_fee: 0,
         }
     }
 }
@@ -64,6 +75,9 @@ pub enum ChainError {
     InvalidBlock(&'static str),
     /// The proposer is not the validator whose turn it is.
     WrongProposer,
+    /// The mempool refused the transaction (unfittable gas limit, pool
+    /// full, or an underpriced replacement).
+    Submit(SubmitError),
 }
 
 impl std::fmt::Display for ChainError {
@@ -76,6 +90,7 @@ impl std::fmt::Display for ChainError {
             ChainError::Duplicate => write!(f, "duplicate transaction"),
             ChainError::InvalidBlock(why) => write!(f, "invalid block: {why}"),
             ChainError::WrongProposer => write!(f, "proposer out of turn"),
+            ChainError::Submit(e) => write!(f, "mempool rejected transaction: {e}"),
         }
     }
 }
@@ -111,7 +126,10 @@ pub struct Blockchain {
     blocks: Vec<Block>,
     receipts: HashMap<Digest, TxReceipt>,
     events: Vec<Event>,
-    mempool: Mutex<VecDeque<SignedTransaction>>,
+    mempool: Mutex<Mempool>,
+    /// Base fee the *next* produced block will carry, derived from the
+    /// previous block's gas usage by [`gas::next_base_fee`].
+    next_base_fee: u64,
     seen: std::collections::HashSet<Digest>,
     /// Ambient causal context: chain work not attributable to a specific
     /// transaction (block production/validation/apply spans) joins this
@@ -140,12 +158,13 @@ impl Blockchain {
         Blockchain {
             state,
             registry,
-            config,
             validators,
             blocks: Vec::new(),
             receipts: HashMap::new(),
             events: Vec::new(),
-            mempool: Mutex::new(VecDeque::new()),
+            mempool: Mutex::new(Mempool::new(config.mempool_capacity)),
+            next_base_fee: config.initial_base_fee,
+            config,
             seen: std::collections::HashSet::new(),
             trace_ctx: TraceCtx::NONE,
             tx_traces: HashMap::new(),
@@ -225,6 +244,26 @@ impl Blockchain {
         self.mempool.lock().len()
     }
 
+    /// Base fee the next produced block will carry.
+    pub fn base_fee(&self) -> u64 {
+        self.next_base_fee
+    }
+
+    /// Every pending transaction in deterministic (sender, nonce) order.
+    /// The reorg path uses this to carry a pool across a fork switch.
+    pub fn mempool_txs(&self) -> Vec<SignedTransaction> {
+        self.mempool.lock().all()
+    }
+
+    /// Publishes the `chain.mempool_size` gauge from a pool length read
+    /// under the lock. Every site that mutates the pool reports through
+    /// this helper with the length it observed inside its own lock
+    /// acquisition, so the gauge never interleaves with a concurrent
+    /// mutation (it previously mixed in-lock and re-lock reads).
+    fn publish_mempool_gauge(len: usize) {
+        pds2_obs::gauge!("chain.mempool_size").set(len as f64);
+    }
+
     /// Submits a transaction to the mempool after stateless+stateful
     /// admission checks, under the ambient causal context.
     pub fn submit(&mut self, tx: SignedTransaction) -> Result<Digest, ChainError> {
@@ -262,11 +301,42 @@ impl Blockchain {
                 got: tx.tx.nonce,
             });
         }
+        // Admission into the fee-market pool; this can evict cheaper
+        // pending transactions (pool at capacity) or replace a same-nonce
+        // one (replace-by-fee).
+        let tx_nonce = tx.tx.nonce;
+        let mut evicted = Vec::new();
+        let (outcome, pool_len) = {
+            let mut pool = self.mempool.lock();
+            let outcome = pool.insert(tx, account_nonce, self.config.block_gas_limit, &mut evicted);
+            (outcome, pool.len())
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                pds2_obs::counter!("chain.txs_rejected").inc();
+                return Err(ChainError::Submit(e));
+            }
+        };
+        if let InsertOutcome::Replaced(old) = outcome {
+            pds2_obs::counter!("chain.txs_replaced").inc();
+            self.seen.remove(&old);
+            self.tx_traces.remove(&old);
+        }
+        if !evicted.is_empty() {
+            pds2_obs::counter!("chain.txs_evicted").add(evicted.len() as u64);
+            for h in &evicted {
+                // Evicted transactions were never included: forget them so
+                // the sender can resubmit (e.g. with a higher fee).
+                self.seen.remove(h);
+                self.tx_traces.remove(h);
+            }
+        }
         if pds2_obs::enabled() {
             let height = self.height();
             let fields = vec![
                 ("tx", pds2_obs::Value::from(digest_tag(&hash))),
-                ("nonce", pds2_obs::Value::from(tx.tx.nonce)),
+                ("nonce", pds2_obs::Value::from(tx_nonce)),
             ];
             let tx_ctx = if ctx.is_none() {
                 let root = pds2_obs::new_trace(
@@ -293,12 +363,7 @@ impl Blockchain {
             }
         }
         self.seen.insert(hash);
-        let pool_len = {
-            let mut pool = self.mempool.lock();
-            pool.push_back(tx);
-            pool.len()
-        };
-        pds2_obs::gauge!("chain.mempool_size").set(pool_len as f64);
+        Self::publish_mempool_gauge(pool_len);
         Ok(hash)
     }
 
@@ -323,57 +388,27 @@ impl Blockchain {
         );
         let parent = self.head_hash();
         let timestamp = height * self.config.block_interval_secs;
+        let base_fee = self.next_base_fee;
 
-        // Select transactions: respect per-sender nonce order and block gas.
-        // Passes repeat until no progress, so a nonce gap filled later in
-        // the pool still lets the earlier-submitted future tx in.
-        let mut selected: Vec<SignedTransaction> = Vec::new();
-        let mut gas_budget = self.config.block_gas_limit;
-        let mut expected_nonces: HashMap<crate::address::Address, u64> = HashMap::new();
-        {
+        // Select transactions from the priority index: highest effective
+        // tip first, per-account nonce chains kept contiguous, stale
+        // entries pruned on the way. O(accounts + selected · log accounts)
+        // instead of the old O(pending²) rescan.
+        let mut sel_stats = SelectionStats::default();
+        let (selected, pool_len) = {
+            let state = &self.state;
             let mut pool = self.mempool.lock();
-            let mut pending: VecDeque<SignedTransaction> = std::mem::take(&mut *pool);
-            loop {
-                let mut progressed = false;
-                let mut deferred: VecDeque<SignedTransaction> =
-                    VecDeque::with_capacity(pending.len());
-                while let Some(tx) = pending.pop_front() {
-                    if selected.len() >= self.config.max_txs_per_block {
-                        deferred.push_back(tx);
-                        continue;
-                    }
-                    let sender = tx.tx.sender();
-                    let expected = *expected_nonces
-                        .entry(sender)
-                        .or_insert_with(|| self.state.nonce(&sender));
-                    match tx.tx.nonce.cmp(&expected) {
-                        std::cmp::Ordering::Less => {
-                            // Stale: drop permanently.
-                            progressed = true;
-                            continue;
-                        }
-                        std::cmp::Ordering::Greater => {
-                            // Future nonce: retry after a potential gap fill.
-                            deferred.push_back(tx);
-                            continue;
-                        }
-                        std::cmp::Ordering::Equal => {}
-                    }
-                    if tx.tx.gas_limit > gas_budget {
-                        deferred.push_back(tx);
-                        continue;
-                    }
-                    gas_budget -= tx.tx.gas_limit;
-                    expected_nonces.insert(sender, expected + 1);
-                    selected.push(tx);
-                    progressed = true;
-                }
-                pending = deferred;
-                if !progressed || pending.is_empty() {
-                    break;
-                }
-            }
-            *pool = pending;
+            let selected = pool.select(
+                base_fee,
+                self.config.block_gas_limit,
+                self.config.max_txs_per_block,
+                |addr| state.nonce(addr),
+                &mut sel_stats,
+            );
+            (selected, pool.len())
+        };
+        if sel_stats.stale_dropped > 0 {
+            pds2_obs::counter!("chain.mempool_stale_dropped").add(sel_stats.stale_dropped as u64);
         }
 
         // Execute. Each traced transaction executes under its own
@@ -383,6 +418,12 @@ impl Blockchain {
             span.ctx()
         } else {
             self.trace_ctx
+        };
+        let proposer = self.proposer_for(height).clone();
+        let env = BlockEnv {
+            height,
+            base_fee,
+            coinbase: crate::address::Address::of(&proposer.public),
         };
         let mut receipts = Vec::with_capacity(selected.len());
         let mut included = Vec::with_capacity(selected.len());
@@ -395,7 +436,7 @@ impl Blockchain {
                 .unwrap_or(produce_ctx);
             let receipt =
                 self.state
-                    .apply_transaction_traced(&self.registry, tx, height, i as u32, trace);
+                    .apply_transaction_env(&self.registry, tx, &env, i as u32, trace);
             receipts.push(receipt);
             if let Some((ctx, submitted_at)) = self.tx_traces.remove(&hash) {
                 included.push((hash, ctx, submitted_at));
@@ -412,27 +453,28 @@ impl Blockchain {
             );
         }
 
+        let gas_used: u64 = receipts.iter().map(|r| r.gas_used).sum();
         let tx_root = Block::compute_tx_root(&selected);
         let state_root = self.state.state_root();
-        let proposer = self.proposer_for(height).clone();
-        let header =
-            BlockHeader::new_signed(&proposer, height, parent, state_root, tx_root, timestamp);
+        let header = BlockHeader::new_signed(
+            &proposer, height, parent, state_root, tx_root, timestamp, base_fee, gas_used,
+        );
         let block = Block {
             header,
             transactions: selected,
         };
+        self.next_base_fee = gas::next_base_fee(base_fee, gas_used, self.config.block_gas_limit);
 
         // Record.
-        let mut gas_used: u64 = 0;
         for receipt in receipts {
-            gas_used += receipt.gas_used;
             self.events.extend(receipt.events.iter().cloned());
             self.receipts.insert(receipt.tx_hash, receipt);
         }
         pds2_obs::counter!("chain.blocks_produced").inc();
         pds2_obs::counter!("chain.txs_included").add(block.transactions.len() as u64);
         pds2_obs::histogram!("chain.gas_per_block").observe(gas_used);
-        pds2_obs::gauge!("chain.mempool_size").set(self.mempool_len() as f64);
+        pds2_obs::gauge!("chain.base_fee").set(self.next_base_fee as f64);
+        Self::publish_mempool_gauge(pool_len);
         if pds2_obs::enabled() {
             span.finish(
                 pds2_obs::Stamp::Block(height),
@@ -448,11 +490,23 @@ impl Blockchain {
 
     /// Produces blocks until the mempool is drained (bounded by
     /// `max_blocks` as a safety stop). Returns the number produced.
+    ///
+    /// Stops early when a round makes no progress — the remaining
+    /// transactions are waiting on something block production cannot
+    /// provide (a nonce-gap fill, or a base fee above their fee cap) and
+    /// spinning to `max_blocks` would only mint empty blocks.
     pub fn produce_until_empty(&mut self, max_blocks: usize) -> usize {
         let mut produced = 0;
-        while self.mempool_len() > 0 && produced < max_blocks {
+        while produced < max_blocks {
+            let before = self.mempool_len();
+            if before == 0 {
+                break;
+            }
             self.produce_block();
             produced += 1;
+            if self.mempool_len() >= before {
+                break;
+            }
         }
         produced
     }
@@ -497,6 +551,11 @@ impl Blockchain {
         }
         if block.header.parent != self.head_hash() {
             return Err(ChainError::InvalidBlock("wrong parent"));
+        }
+        if block.header.base_fee != self.next_base_fee {
+            // The base fee is a pure function of the parent chain; a
+            // mismatch means the proposer computed (or forged) it wrong.
+            return Err(ChainError::InvalidBlock("wrong base fee"));
         }
         let expected_proposer = &self.proposer_for(block.header.height).public;
         if &block.header.proposer != expected_proposer {
@@ -562,6 +621,11 @@ impl Blockchain {
     pub fn apply_external_block(&mut self, block: &Block) -> Result<(), ChainError> {
         self.validate_external_block(block)?;
         let height = block.header.height;
+        let env = BlockEnv {
+            height,
+            base_fee: block.header.base_fee,
+            coinbase: crate::address::Address::of(&block.header.proposer),
+        };
         let mut receipts = Vec::with_capacity(block.transactions.len());
         for (i, tx) in block.transactions.iter().enumerate() {
             let hash = tx.hash();
@@ -570,17 +634,23 @@ impl Blockchain {
                 .get(&hash)
                 .map(|(ctx, _)| *ctx)
                 .unwrap_or(self.trace_ctx);
-            receipts.push(self.state.apply_transaction_traced(
+            receipts.push(self.state.apply_transaction_env(
                 &self.registry,
                 tx,
-                height,
+                &env,
                 i as u32,
                 trace,
             ));
         }
+        let gas_used: u64 = receipts.iter().map(|r| r.gas_used).sum();
+        if gas_used != block.header.gas_used {
+            return Err(ChainError::InvalidBlock("gas used mismatch"));
+        }
         if self.state.state_root() != block.header.state_root {
             return Err(ChainError::InvalidBlock("state root mismatch"));
         }
+        self.next_base_fee =
+            gas::next_base_fee(block.header.base_fee, gas_used, self.config.block_gas_limit);
         for receipt in receipts {
             self.events.extend(receipt.events.iter().cloned());
             self.seen.insert(receipt.tx_hash);
@@ -588,11 +658,14 @@ impl Blockchain {
         }
         // Drop any mempool copies of the included transactions, and close
         // out their pending trace records (submit-to-inclusion hops).
-        let included: std::collections::HashSet<Digest> =
-            block.transactions.iter().map(|t| t.hash()).collect();
-        self.mempool
-            .lock()
-            .retain(|t| !included.contains(&t.hash()));
+        let pool_len = {
+            let mut pool = self.mempool.lock();
+            for tx in &block.transactions {
+                pool.remove_by_hash(&tx.hash());
+            }
+            pool.len()
+        };
+        Self::publish_mempool_gauge(pool_len);
         for tx in &block.transactions {
             let hash = tx.hash();
             if let Some((ctx, submitted_at)) = self.tx_traces.remove(&hash) {
@@ -617,6 +690,74 @@ impl Blockchain {
         );
         Ok(())
     }
+
+    /// Applies a run of external blocks, pipelining signature
+    /// verification against state application: while block `i` executes,
+    /// a helper thread pre-verifies block `i+1`'s header and transaction
+    /// signatures, warming [`crate::sigcache`] so `i+1`'s validation pass
+    /// hits the cache instead of re-paying the exponentiations.
+    ///
+    /// Verification is a pure function of the block bytes and the cache
+    /// only short-circuits signatures that full verification would also
+    /// accept, so the chain state after this call is bit-identical to
+    /// applying the blocks serially — at any `PDS2_THREADS` setting. With
+    /// one worker thread (or a single block) it *is* the serial loop.
+    ///
+    /// Returns the number of blocks applied; stops at the first error.
+    pub fn apply_external_blocks_pipelined(
+        &mut self,
+        blocks: &[Block],
+    ) -> Result<usize, (usize, ChainError)> {
+        if pds2_par::current_threads() <= 1 || blocks.len() <= 1 {
+            for (i, b) in blocks.iter().enumerate() {
+                self.apply_external_block(b).map_err(|e| (i, e))?;
+            }
+            return Ok(blocks.len());
+        }
+        std::thread::scope(|scope| {
+            let mut warm: Option<std::thread::ScopedJoinHandle<'_, ()>> = None;
+            for (i, b) in blocks.iter().enumerate() {
+                if let Some(next) = blocks.get(i + 1) {
+                    warm = Some(scope.spawn(move || {
+                        // Results are irrelevant here: either outcome
+                        // leaves the sigcache warmed for the real check.
+                        let _ = next.header.verify_signature();
+                        for tx in &next.transactions {
+                            let _ = tx.verify_signature();
+                        }
+                    }));
+                }
+                let res = self.apply_external_block(b);
+                if let Some(h) = warm.take() {
+                    let _ = h.join();
+                }
+                res.map_err(|e| (i, e))?;
+            }
+            Ok(blocks.len())
+        })
+    }
+
+    /// Feeds transactions from orphaned blocks (or a pre-fork mempool)
+    /// back through submission after a reorg. Transactions the new chain
+    /// already includes, whose nonces it already consumed, or that fail
+    /// any other admission check are silently skipped — they are either
+    /// redundant or unusable on this fork. Returns how many re-entered
+    /// the pool.
+    pub fn reinstate_transactions(
+        &mut self,
+        txs: impl IntoIterator<Item = SignedTransaction>,
+    ) -> usize {
+        let mut reinstated = 0;
+        for tx in txs {
+            if self.submit(tx).is_ok() {
+                reinstated += 1;
+            }
+        }
+        if reinstated > 0 {
+            pds2_obs::counter!("chain.txs_reinstated").add(reinstated as u64);
+        }
+        reinstated
+    }
 }
 
 #[cfg(test)]
@@ -626,11 +767,24 @@ mod tests {
     use crate::tx::{Transaction, TxKind};
 
     fn signed_transfer(kp: &KeyPair, nonce: u64, to: Address, amount: u128) -> SignedTransaction {
+        fee_transfer(kp, nonce, to, amount, 0, 0)
+    }
+
+    fn fee_transfer(
+        kp: &KeyPair,
+        nonce: u64,
+        to: Address,
+        amount: u128,
+        max_fee: u64,
+        prio: u64,
+    ) -> SignedTransaction {
         Transaction {
             from: kp.public.clone(),
             nonce,
             kind: TxKind::Transfer { to, amount },
             gas_limit: 100_000,
+            max_fee_per_gas: max_fee,
+            priority_fee_per_gas: prio,
         }
         .sign(kp)
     }
@@ -781,6 +935,8 @@ mod tests {
             forged.header.state_root,
             forged.header.tx_root,
             forged.header.timestamp,
+            forged.header.base_fee,
+            forged.header.gas_used,
         );
         assert_eq!(
             chain.validate_external_block(&forged),
@@ -885,6 +1041,234 @@ mod tests {
         let mut proof = chain.prove_inclusion(&h).unwrap();
         proof.tx_hash = pds2_crypto::sha256(b"forged");
         assert!(!proof.verify(&header));
+    }
+
+    #[test]
+    fn unfittable_gas_limit_rejected_at_submit() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        let tx = Transaction {
+            from: alice.public.clone(),
+            nonce: 0,
+            kind: TxKind::Transfer { to: bob, amount: 1 },
+            gas_limit: 30_000_001, // above the 30M block gas limit
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
+        }
+        .sign(&alice);
+        let err = chain.submit(tx.clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            ChainError::Submit(crate::mempool::SubmitError::GasLimitTooHigh { .. })
+        ));
+        assert_eq!(chain.mempool_len(), 0);
+        // The rejected hash is not burned into `seen`: a corrected
+        // resubmission is not a Duplicate.
+        let ok = signed_transfer(&alice, 0, bob, 1);
+        chain.submit(ok).unwrap();
+        // And the old unfittable tx still fails for its own reason.
+        assert!(matches!(chain.submit(tx), Err(ChainError::Submit(_))));
+    }
+
+    #[test]
+    fn produce_until_empty_breaks_on_stuck_pool() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        // Nonce 1 with no nonce 0: can never be included.
+        chain.submit(signed_transfer(&alice, 1, bob, 1)).unwrap();
+        let produced = chain.produce_until_empty(100);
+        assert_eq!(produced, 1, "one no-progress round, then stop");
+        assert_eq!(chain.mempool_len(), 1, "gapped tx stays pending");
+    }
+
+    #[test]
+    fn blocks_order_by_effective_tip() {
+        let keys: Vec<KeyPair> = (1..=3).map(KeyPair::from_seed).collect();
+        let bob = Address::of(&KeyPair::from_seed(99).public);
+        let alloc: Vec<(Address, u128)> = keys
+            .iter()
+            .map(|k| (Address::of(&k.public), 1_000_000_000))
+            .collect();
+        let mut chain = Blockchain::new(
+            vec![KeyPair::from_seed(1000)],
+            &alloc,
+            ContractRegistry::new(),
+            ChainConfig::default(),
+        );
+        chain
+            .submit(fee_transfer(&keys[0], 0, bob, 1, 10, 2))
+            .unwrap();
+        chain
+            .submit(fee_transfer(&keys[1], 0, bob, 1, 10, 9))
+            .unwrap();
+        chain
+            .submit(fee_transfer(&keys[2], 0, bob, 1, 10, 5))
+            .unwrap();
+        let b = chain.produce_block();
+        let tips: Vec<u64> = b
+            .transactions
+            .iter()
+            .map(|t| t.tx.priority_fee_per_gas)
+            .collect();
+        assert_eq!(tips, [9, 5, 2], "highest tip first at base fee 0");
+    }
+
+    #[test]
+    fn base_fee_rises_under_load_and_decays_when_idle() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = Blockchain::new(
+            vec![KeyPair::from_seed(1000)],
+            &[(Address::of(&alice.public), u128::MAX / 2)],
+            ContractRegistry::new(),
+            ChainConfig {
+                // Target is 20k gas; one ~23k-gas transfer per block keeps
+                // every block above target, driving the fee up.
+                block_gas_limit: 40_000,
+                initial_base_fee: 1_000,
+                ..Default::default()
+            },
+        );
+        for nonce in 0..3 {
+            let tx = Transaction {
+                from: alice.public.clone(),
+                nonce,
+                kind: TxKind::Transfer { to: bob, amount: 1 },
+                gas_limit: 30_000,
+                max_fee_per_gas: 1_000_000,
+                priority_fee_per_gas: 1,
+            }
+            .sign(&alice);
+            chain.submit(tx).unwrap();
+        }
+        assert_eq!(chain.base_fee(), 1_000);
+        let mut fees = Vec::new();
+        for _ in 0..3 {
+            let b = chain.produce_block();
+            assert_eq!(b.transactions.len(), 1);
+            fees.push(chain.base_fee());
+        }
+        assert!(
+            fees.windows(2).all(|w| w[1] > w[0]),
+            "congested blocks push the fee up: {fees:?}"
+        );
+        let congested = chain.base_fee();
+        chain.produce_block(); // empty
+        assert!(chain.base_fee() < congested, "idle block decays the fee");
+        // Burned supply is positive and conservation holds with it.
+        assert!(chain.state.burned() > 0);
+    }
+
+    #[test]
+    fn fee_market_conserves_supply_plus_burn() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = Blockchain::new(
+            vec![KeyPair::from_seed(1000)],
+            &[(Address::of(&alice.public), 1_000_000_000_000)],
+            ContractRegistry::new(),
+            ChainConfig {
+                initial_base_fee: 5,
+                ..Default::default()
+            },
+        );
+        for nonce in 0..10 {
+            chain
+                .submit(fee_transfer(&alice, nonce, bob, 100, 50, 3))
+                .unwrap();
+        }
+        chain.produce_until_empty(10);
+        assert!(chain.state.burned() > 0, "base fee burned something");
+        assert_eq!(
+            chain.state.total_native_supply() + chain.state.burned(),
+            1_000_000_000_000,
+            "supply + burned is invariant"
+        );
+        // The proposer collected tips.
+        let coinbase = Address::of(&KeyPair::from_seed(1000).public);
+        assert!(chain.state.balance(&coinbase) > 0);
+    }
+
+    #[test]
+    fn mempool_eviction_frees_room_for_better_fees() {
+        let keys: Vec<KeyPair> = (1..=3).map(KeyPair::from_seed).collect();
+        let bob = Address::of(&KeyPair::from_seed(99).public);
+        let alloc: Vec<(Address, u128)> = keys
+            .iter()
+            .map(|k| (Address::of(&k.public), 1_000_000_000))
+            .collect();
+        let mut chain = Blockchain::new(
+            vec![KeyPair::from_seed(1000)],
+            &alloc,
+            ContractRegistry::new(),
+            ChainConfig {
+                mempool_capacity: 2,
+                ..Default::default()
+            },
+        );
+        let cheap = fee_transfer(&keys[0], 0, bob, 1, 1, 0);
+        let cheap_hash = cheap.hash();
+        chain.submit(cheap).unwrap();
+        chain
+            .submit(fee_transfer(&keys[1], 0, bob, 1, 50, 1))
+            .unwrap();
+        // Pool full; a better-paying arrival displaces the cheapest.
+        chain
+            .submit(fee_transfer(&keys[2], 0, bob, 1, 80, 2))
+            .unwrap();
+        assert_eq!(chain.mempool_len(), 2);
+        // The evicted tx can be resubmitted (repriced) — not a Duplicate.
+        let repriced = fee_transfer(&keys[0], 0, bob, 1, 90, 3);
+        assert_ne!(repriced.hash(), cheap_hash);
+        chain.submit(repriced).unwrap();
+    }
+
+    #[test]
+    fn pipelined_apply_matches_serial() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        // Produce a small chain on one node...
+        let mut producer = test_chain(&alice);
+        let mut blocks = Vec::new();
+        for nonce in 0..6u64 {
+            producer
+                .submit(signed_transfer(&alice, nonce, bob, 10))
+                .unwrap();
+            blocks.push(producer.produce_block());
+        }
+        // ...and replay it onto two fresh replicas, serially and pipelined.
+        let mut serial = test_chain(&alice);
+        for b in &blocks {
+            serial.apply_external_block(b).unwrap();
+        }
+        crate::sigcache::clear();
+        let mut pipelined = test_chain(&alice);
+        let n = pipelined.apply_external_blocks_pipelined(&blocks).unwrap();
+        assert_eq!(n, blocks.len());
+        assert_eq!(pipelined.height(), serial.height());
+        assert_eq!(pipelined.head_hash(), serial.head_hash());
+        assert_eq!(
+            pipelined.state.state_root(),
+            serial.state.state_root(),
+            "bit-identical state after pipelined apply"
+        );
+        assert_eq!(pipelined.base_fee(), serial.base_fee());
+    }
+
+    #[test]
+    fn reinstate_skips_included_and_readmits_the_rest() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = test_chain(&alice);
+        let t0 = signed_transfer(&alice, 0, bob, 1);
+        let t1 = signed_transfer(&alice, 1, bob, 1);
+        chain.submit(t0.clone()).unwrap();
+        chain.produce_block(); // includes t0
+        let reinstated = chain.reinstate_transactions(vec![t0, t1]);
+        assert_eq!(reinstated, 1, "t0 already included, t1 re-enters");
+        assert_eq!(chain.mempool_len(), 1);
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Gas metering.
+//! Gas metering and the dynamic base fee.
 //!
-//! Gas is not paid for in currency here (no fee market); it bounds work per
-//! transaction and per block, and `gas_used` is the cost metric experiment
-//! E3 reports per marketplace action.
+//! Gas bounds work per transaction and per block, and `gas_used` is the
+//! cost metric experiment E3 reports per marketplace action. On top of
+//! the meter sits an EIP-1559-style fee market: every block carries a
+//! base fee derived from its parent's gas usage by [`next_base_fee`], so
+//! heavy traffic degrades by price instead of by collapse. The arithmetic
+//! is pure integer math over `u128` intermediates — deterministic on
+//! every platform and pinned by golden values in this module's tests.
 
 /// Base cost of any transaction (Ethereum's 21 000 analogue).
 pub const TX_BASE: u64 = 21_000;
@@ -20,6 +24,53 @@ pub const CALL_BASE: u64 = 2_500;
 pub const EVENT: u64 = 375;
 /// Cost per 32-byte word a contract reads or writes to its state.
 pub const STORAGE_WORD: u64 = 200;
+
+/// Ratio between the block gas limit and the base-fee target
+/// (EIP-1559's elasticity multiplier): the base fee is stable when a
+/// block consumes `block_gas_limit / ELASTICITY` gas.
+pub const ELASTICITY: u64 = 2;
+/// Maximum per-block base-fee change is `1/BASE_FEE_MAX_CHANGE_DENOM`
+/// of the current base fee (12.5%, as on Ethereum).
+pub const BASE_FEE_MAX_CHANGE_DENOM: u64 = 8;
+
+/// The base fee of the block following a parent with base fee
+/// `parent_base_fee` that consumed `parent_gas_used` of a
+/// `block_gas_limit` budget.
+///
+/// EIP-1559 update rule in pure integer arithmetic:
+///
+/// ```text
+/// target = block_gas_limit / ELASTICITY
+/// used == target  ->  unchanged
+/// used >  target  ->  base + max(1, base * (used - target) / target / 8)
+/// used <  target  ->  base - base * (target - used) / target / 8
+/// ```
+///
+/// The increase is floored at 1 so a congested chain escapes a zero base
+/// fee; the decrease has no floor, so an idle chain decays back to zero
+/// (free transactions — the legacy behaviour — are the uncongested
+/// steady state).
+pub fn next_base_fee(parent_base_fee: u64, parent_gas_used: u64, block_gas_limit: u64) -> u64 {
+    let target = (block_gas_limit / ELASTICITY).max(1);
+    match parent_gas_used.cmp(&target) {
+        std::cmp::Ordering::Equal => parent_base_fee,
+        std::cmp::Ordering::Greater => {
+            let excess = (parent_gas_used - target) as u128;
+            let delta = (parent_base_fee as u128 * excess
+                / target as u128
+                / BASE_FEE_MAX_CHANGE_DENOM as u128)
+                .max(1);
+            parent_base_fee.saturating_add(delta.min(u64::MAX as u128) as u64)
+        }
+        std::cmp::Ordering::Less => {
+            let shortfall = (target - parent_gas_used) as u128;
+            let delta = parent_base_fee as u128 * shortfall
+                / target as u128
+                / BASE_FEE_MAX_CHANGE_DENOM as u128;
+            parent_base_fee - delta as u64
+        }
+    }
+}
 
 /// A per-transaction gas meter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +140,52 @@ mod tests {
         assert_eq!(m.charge(11), Err(OutOfGas));
         // Out-of-gas consumes the whole budget (as on Ethereum).
         assert_eq!(m.used(), 100);
+    }
+
+    /// Golden values for the base-fee trajectory: pinned integers so any
+    /// change to the update rule is a deliberate, visible diff.
+    #[test]
+    fn base_fee_golden_values() {
+        const LIMIT: u64 = 30_000_000; // target 15M
+                                       // At target: unchanged.
+        assert_eq!(next_base_fee(1_000, 15_000_000, LIMIT), 1_000);
+        // Full block: +12.5%.
+        assert_eq!(next_base_fee(1_000, 30_000_000, LIMIT), 1_125);
+        // Empty block: -12.5%.
+        assert_eq!(next_base_fee(1_000, 0, LIMIT), 875);
+        // Half-way between target and full: +6.25%.
+        assert_eq!(next_base_fee(1_000, 22_500_000, LIMIT), 1_062);
+        // Congestion escapes a zero base fee (increase floored at 1)...
+        assert_eq!(next_base_fee(0, 30_000_000, LIMIT), 1);
+        // ...and the idle chain decays back to exactly zero.
+        assert_eq!(next_base_fee(0, 0, LIMIT), 0);
+        assert_eq!(next_base_fee(7, 0, LIMIT), 7); // 7/8 rounds to 0 delta
+        assert_eq!(next_base_fee(8, 0, LIMIT), 7);
+        // Ten consecutive full blocks from 1 000 (compounding +12.5%).
+        let mut fee = 1_000;
+        let mut trajectory = Vec::new();
+        for _ in 0..10 {
+            fee = next_base_fee(fee, LIMIT, LIMIT);
+            trajectory.push(fee);
+        }
+        assert_eq!(
+            trajectory,
+            [1_125, 1_265, 1_423, 1_600, 1_800, 2_025, 2_278, 2_562, 2_882, 3_242]
+        );
+    }
+
+    #[test]
+    fn base_fee_extremes_do_not_overflow() {
+        // Huge base fee and gas values stay within u64 via u128 interm.
+        let f = next_base_fee(u64::MAX / 2, u64::MAX, u64::MAX);
+        assert!(f >= u64::MAX / 2);
+        assert_eq!(
+            next_base_fee(u64::MAX, 0, u64::MAX),
+            u64::MAX - u64::MAX / 8
+        );
+        // Degenerate 0/1-gas block limits do not divide by zero.
+        assert_eq!(next_base_fee(100, 0, 0), 100 - 100 / 8);
+        assert_eq!(next_base_fee(100, 5, 1), next_base_fee(100, 5, 2));
     }
 
     #[test]

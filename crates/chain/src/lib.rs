@@ -15,6 +15,8 @@
 //! - [`contract`] — the native-contract framework with atomic rollback;
 //! - [`state`] — the world state and the transaction execution function;
 //! - [`block`] — blocks, headers, Merkle transaction roots;
+//! - [`mempool`] — the fee-market transaction pool: per-account nonce
+//!   chains, priority selection, bounded admission with eviction;
 //! - [`chain`] — the ledger: mempool, PoA production, receipts, events;
 //! - [`sync`] — block sync over `pds2-net`: catch-up, fork choice on
 //!   rejoin, crash-stop recovery (the chaos-harness consumer);
@@ -31,6 +33,7 @@ pub mod erc20;
 pub mod erc721;
 pub mod event;
 pub mod gas;
+pub mod mempool;
 pub mod sigcache;
 pub mod state;
 pub mod sync;
@@ -43,6 +46,7 @@ pub use contract::{CallCtx, Contract, ContractError, ContractRegistry};
 pub use erc20::{Erc20Module, Erc20Op, TokenError, TokenId};
 pub use erc721::{AssetKind, Erc721Module, Erc721Op, NftError, NftId};
 pub use event::{Event, EventSink};
-pub use state::{TxReceipt, WorldState};
+pub use mempool::{Mempool, SubmitError};
+pub use state::{BlockEnv, TxReceipt, WorldState};
 pub use sync::{ChainReplica, GenesisFactory, SyncMsg};
 pub use tx::{SignedTransaction, Transaction, TxKind};

@@ -15,6 +15,30 @@ use pds2_crypto::codec::{Encode, Encoder};
 use pds2_crypto::sha256::{sha256, Digest};
 use std::collections::BTreeMap;
 
+/// Per-block execution environment: the consensus values every
+/// transaction in the block executes under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockEnv {
+    /// Height of the including block.
+    pub height: u64,
+    /// Base fee per gas (EIP-1559): burned on every unit of gas.
+    pub base_fee: u64,
+    /// Proposer address credited with priority fees.
+    pub coinbase: Address,
+}
+
+impl BlockEnv {
+    /// A zero-fee environment at `height` — the legacy execution model
+    /// (no base fee, no proposer payment).
+    pub fn free(height: u64) -> BlockEnv {
+        BlockEnv {
+            height,
+            base_fee: 0,
+            coinbase: Address(Digest::ZERO),
+        }
+    }
+}
+
 /// Outcome of executing one transaction.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TxReceipt {
@@ -24,6 +48,9 @@ pub struct TxReceipt {
     pub success: bool,
     /// Gas consumed.
     pub gas_used: u64,
+    /// Per-gas price actually paid (EIP-1559 effective price at the
+    /// block's base fee; 0 for free/legacy transactions).
+    pub effective_gas_price: u64,
     /// Contract return data (empty unless a successful call returned some).
     pub output: Vec<u8>,
     /// Error description on failure.
@@ -49,6 +76,10 @@ pub struct WorldState {
     /// NFT module.
     pub erc721: crate::erc721::Erc721Module,
     contracts: BTreeMap<Address, ContractInstance>,
+    /// Cumulative native tokens destroyed by base-fee burning. Part of
+    /// the state root: every node must agree on it, and the conservation
+    /// invariant becomes `circulating supply + burned = const`.
+    burned: u128,
 }
 
 impl WorldState {
@@ -75,6 +106,11 @@ impl WorldState {
     /// Sum of every native balance (for conservation checks).
     pub fn total_native_supply(&self) -> u128 {
         self.accounts.values().map(|a| a.balance).sum()
+    }
+
+    /// Total native tokens burned as base fees since genesis.
+    pub fn burned(&self) -> u128 {
+        self.burned
     }
 
     /// Whether a contract is deployed at `addr`.
@@ -109,6 +145,7 @@ impl WorldState {
             enc.put_str(&inst.code_id);
             enc.put_digest(&inst.contract.state_digest());
         }
+        enc.put_u128(self.burned);
         sha256(&enc.finish())
     }
 
@@ -150,6 +187,104 @@ impl WorldState {
         tx_index: u32,
         trace: pds2_obs::TraceCtx,
     ) -> TxReceipt {
+        self.apply_transaction_env(
+            registry,
+            signed,
+            &BlockEnv::free(block_height),
+            tx_index,
+            trace,
+        )
+    }
+
+    /// Executes one transaction under a block environment, charging
+    /// EIP-1559 fees around the state transition:
+    ///
+    /// 1. the effective gas price at `env.base_fee` is computed (a fee
+    ///    cap below the base fee fails the transaction without touching
+    ///    state — producers never select such transactions, so hitting
+    ///    this is a proposer fault);
+    /// 2. `gas_limit × price` is escrowed from the sender up front (so
+    ///    execution cannot spend money owed for gas);
+    /// 3. after execution the unused portion is refunded, the base-fee
+    ///    share of the consumed gas is burned (`burned` accumulator,
+    ///    part of the state root) and the tip share is credited to
+    ///    `env.coinbase`.
+    ///
+    /// A zero effective price (free/legacy transaction at zero base fee)
+    /// skips the fee machinery entirely and is byte-identical to the
+    /// historical execution path.
+    pub fn apply_transaction_env(
+        &mut self,
+        registry: &ContractRegistry,
+        signed: &SignedTransaction,
+        env: &BlockEnv,
+        tx_index: u32,
+        trace: pds2_obs::TraceCtx,
+    ) -> TxReceipt {
+        let Some(price) = signed.tx.effective_gas_price(env.base_fee) else {
+            return TxReceipt {
+                tx_hash: signed.hash(),
+                success: false,
+                gas_used: 0,
+                effective_gas_price: 0,
+                output: Vec::new(),
+                error: Some(format!(
+                    "fee cap {} below base fee {}",
+                    signed.tx.max_fee_per_gas, env.base_fee
+                )),
+                events: Vec::new(),
+                deployed: None,
+            };
+        };
+        if price == 0 {
+            return self.apply_inner(registry, signed, env.height, tx_index, trace);
+        }
+        let sender = signed.tx.sender();
+        // Let a bad signature or nonce produce its usual failure receipt
+        // before any money moves.
+        if !signed.verify_signature() || signed.tx.nonce != self.nonce(&sender) {
+            return self.apply_inner(registry, signed, env.height, tx_index, trace);
+        }
+        let upfront = signed.tx.gas_limit as u128 * price as u128;
+        if self.balance(&sender) < upfront {
+            return TxReceipt {
+                tx_hash: signed.hash(),
+                success: false,
+                gas_used: 0,
+                effective_gas_price: price,
+                output: Vec::new(),
+                error: Some(format!(
+                    "insufficient funds for gas: need {upfront}, have {}",
+                    self.balance(&sender)
+                )),
+                events: Vec::new(),
+                deployed: None,
+            };
+        }
+        self.accounts.entry(sender).or_default().balance -= upfront;
+        let mut receipt = self.apply_inner(registry, signed, env.height, tx_index, trace);
+        let gas_cost = receipt.gas_used as u128 * price as u128;
+        self.accounts.entry(sender).or_default().balance += upfront - gas_cost;
+        let burn = receipt.gas_used as u128 * env.base_fee as u128;
+        let tip = gas_cost - burn;
+        self.burned += burn;
+        if tip > 0 {
+            self.accounts.entry(env.coinbase).or_default().balance += tip;
+        }
+        receipt.effective_gas_price = price;
+        receipt
+    }
+
+    /// The fee-agnostic state transition (signature, nonce, gas metering,
+    /// payload execution, receipt assembly).
+    fn apply_inner(
+        &mut self,
+        registry: &ContractRegistry,
+        signed: &SignedTransaction,
+        block_height: u64,
+        tx_index: u32,
+        trace: pds2_obs::TraceCtx,
+    ) -> TxReceipt {
         let tx_hash = signed.hash();
         let sender = signed.tx.sender();
 
@@ -157,6 +292,7 @@ impl WorldState {
             tx_hash,
             success: false,
             gas_used,
+            effective_gas_price: 0,
             output: Vec::new(),
             error: Some(error),
             events: Vec::new(),
@@ -282,6 +418,7 @@ impl WorldState {
                     tx_hash,
                     success: true,
                     gas_used: meter.used(),
+                    effective_gas_price: 0,
                     output,
                     error: None,
                     events: evs,
@@ -440,6 +577,8 @@ mod tests {
             nonce,
             kind,
             gas_limit: 1_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(kp)
     }
@@ -686,6 +825,8 @@ mod tests {
             nonce: 0,
             kind: TxKind::Transfer { to: bob, amount: 1 },
             gas_limit: 100, // far below TX_BASE
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&alice);
         let r = st.apply_transaction(&reg, &tx, 1, 0);
@@ -710,6 +851,117 @@ mod tests {
         assert!(r.success);
         let token = crate::erc20::TokenId(u64::from_le_bytes(r.output[..8].try_into().unwrap()));
         assert_eq!(st.erc20.balance_of(token, &Address::of(&alice.public)), 500);
+    }
+
+    #[test]
+    fn base_fee_burns_and_tips_the_proposer() {
+        let alice = KeyPair::from_seed(1);
+        let alice_addr = Address::of(&alice.public);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let coinbase = Address::of(&KeyPair::from_seed(3).public);
+        let mut st = funded_state(&alice, 100_000_000);
+        let reg = registry();
+        let mut tx = Transaction {
+            from: alice.public.clone(),
+            nonce: 0,
+            kind: TxKind::Transfer { to: bob, amount: 7 },
+            gas_limit: 1_000_000,
+            max_fee_per_gas: 5,
+            priority_fee_per_gas: 1,
+        };
+        let signed = tx.clone().sign(&alice);
+        let env = BlockEnv {
+            height: 1,
+            base_fee: 2,
+            coinbase,
+        };
+        let root_before = st.state_root();
+        let r = st.apply_transaction_env(&reg, &signed, &env, 0, pds2_obs::TraceCtx::NONE);
+        assert!(r.success, "{:?}", r.error);
+        // price = min(max_fee, base + tip) = min(5, 3) = 3.
+        assert_eq!(r.effective_gas_price, 3);
+        let gas = r.gas_used as u128;
+        assert_eq!(st.burned(), gas * 2, "base-fee share burned");
+        assert_eq!(st.balance(&coinbase), gas, "1/gas tip to the proposer");
+        assert_eq!(st.balance(&bob), 7);
+        assert_eq!(st.balance(&alice_addr), 100_000_000 - 7 - gas * 3);
+        // Conservation now includes the burn.
+        assert_eq!(st.total_native_supply() + st.burned(), 100_000_000);
+        assert_ne!(st.state_root(), root_before);
+
+        // A fee cap below the base fee fails without touching state.
+        tx.nonce = 1;
+        tx.max_fee_per_gas = 1;
+        let signed = tx.sign(&alice);
+        let supply = st.total_native_supply();
+        let r = st.apply_transaction_env(&reg, &signed, &env, 1, pds2_obs::TraceCtx::NONE);
+        assert!(!r.success);
+        assert!(r.error.unwrap().contains("below base fee"));
+        assert_eq!(st.nonce(&alice_addr), 1, "nonce NOT consumed");
+        assert_eq!(st.total_native_supply(), supply);
+    }
+
+    #[test]
+    fn failed_execution_still_pays_gas() {
+        let alice = KeyPair::from_seed(1);
+        let alice_addr = Address::of(&alice.public);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        // Fund enough for gas but not the transfer.
+        let mut st = funded_state(&alice, 10_000_000);
+        let reg = registry();
+        let signed = Transaction {
+            from: alice.public.clone(),
+            nonce: 0,
+            kind: TxKind::Transfer {
+                to: bob,
+                amount: u128::MAX / 2,
+            },
+            gas_limit: 1_000_000,
+            max_fee_per_gas: 2,
+            priority_fee_per_gas: 0,
+        }
+        .sign(&alice);
+        let env = BlockEnv {
+            height: 1,
+            base_fee: 2,
+            coinbase: Address(pds2_crypto::sha256(b"cb")),
+        };
+        let r = st.apply_transaction_env(&reg, &signed, &env, 0, pds2_obs::TraceCtx::NONE);
+        assert!(!r.success);
+        assert_eq!(r.effective_gas_price, 2);
+        let gas = r.gas_used as u128;
+        assert!(gas > 0);
+        assert_eq!(st.balance(&alice_addr), 10_000_000 - gas * 2);
+        assert_eq!(st.burned(), gas * 2, "whole fee burned (tip is zero)");
+        assert_eq!(st.nonce(&alice_addr), 1, "nonce consumed");
+    }
+
+    #[test]
+    fn insufficient_funds_for_gas_fails_cleanly() {
+        let alice = KeyPair::from_seed(1);
+        let alice_addr = Address::of(&alice.public);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut st = funded_state(&alice, 100); // can't escrow 1M gas at 2/gas
+        let reg = registry();
+        let signed = Transaction {
+            from: alice.public.clone(),
+            nonce: 0,
+            kind: TxKind::Transfer { to: bob, amount: 1 },
+            gas_limit: 1_000_000,
+            max_fee_per_gas: 2,
+            priority_fee_per_gas: 0,
+        }
+        .sign(&alice);
+        let env = BlockEnv {
+            height: 1,
+            base_fee: 2,
+            coinbase: Address(pds2_crypto::sha256(b"cb")),
+        };
+        let r = st.apply_transaction_env(&reg, &signed, &env, 0, pds2_obs::TraceCtx::NONE);
+        assert!(!r.success);
+        assert!(r.error.unwrap().contains("insufficient funds for gas"));
+        assert_eq!(st.balance(&alice_addr), 100, "nothing charged");
+        assert_eq!(st.nonce(&alice_addr), 0, "nonce untouched");
     }
 
     #[test]

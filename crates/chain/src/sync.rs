@@ -135,6 +135,9 @@ pub struct ChainReplica {
     pub catchup_requests: u64,
     /// Times the fork-choice rule replaced the local chain wholesale.
     pub forks_adopted: u64,
+    /// Transactions from orphaned fork blocks (or the pre-fork mempool)
+    /// readmitted into the pool after a fork switch.
+    pub txs_reinstated: u64,
 }
 
 impl ChainReplica {
@@ -161,6 +164,7 @@ impl ChainReplica {
             blocks_rejected: 0,
             catchup_requests: 0,
             forks_adopted: 0,
+            txs_reinstated: 0,
         }
     }
 
@@ -193,35 +197,53 @@ impl ChainReplica {
     }
 
     /// Applies consecutive external blocks, skipping any already-known
-    /// prefix. Returns `Err` on the first validation failure.
+    /// prefix, with signature verification pipelined one block ahead of
+    /// state application. Returns `Err` on the first validation failure.
     fn apply_batch(&mut self, blocks: &[Block]) -> Result<(), ChainError> {
-        for block in blocks {
-            if block.header.height < self.chain.height() {
-                continue;
+        let start = blocks
+            .iter()
+            .position(|b| b.header.height >= self.chain.height())
+            .unwrap_or(blocks.len());
+        match self.chain.apply_external_blocks_pipelined(&blocks[start..]) {
+            Ok(n) => {
+                self.blocks_applied += n as u64;
+                Ok(())
             }
-            self.chain.apply_external_block(block)?;
-            self.blocks_applied += 1;
+            Err((applied, e)) => {
+                self.blocks_applied += applied as u64;
+                Err(e)
+            }
         }
-        Ok(())
     }
 
     /// Fork choice on rejoin: rebuild from genesis and re-validate the
     /// offered chain end to end; adopt it iff it is valid and strictly
     /// longer than the local one. Returns whether the switch happened.
+    ///
+    /// On a switch, every transaction the abandoned fork carried — in its
+    /// orphaned blocks or still pending in its mempool — is fed back
+    /// through admission on the adopted chain, so work the doomed fork
+    /// accepted is not silently lost: transactions the new chain already
+    /// includes (or whose nonce it consumed) drop out as duplicates, the
+    /// rest wait in the pool for the next block.
     fn adopt_if_longer(&mut self, blocks: &[Block]) -> bool {
         if blocks.len() as u64 <= self.chain.height() {
             return false;
         }
         let mut candidate = (self.genesis)();
-        for block in blocks {
-            if candidate.apply_external_block(block).is_err() {
-                self.blocks_rejected += 1;
-                return false;
-            }
+        if candidate.apply_external_blocks_pipelined(blocks).is_err() {
+            self.blocks_rejected += 1;
+            return false;
         }
         self.blocks_applied += blocks.len() as u64;
         self.forks_adopted += 1;
-        self.chain = candidate;
+        let orphaned = std::mem::replace(&mut self.chain, candidate);
+        let mut reinstated: Vec<crate::tx::SignedTransaction> = Vec::new();
+        for block in orphaned.blocks() {
+            reinstated.extend(block.transactions.iter().cloned());
+        }
+        reinstated.extend(orphaned.mempool_txs());
+        self.txs_reinstated += self.chain.reinstate_transactions(reinstated) as u64;
         true
     }
 }
@@ -475,6 +497,47 @@ mod tests {
         assert_eq!(replica.chain().height(), 4);
         assert_eq!(replica.chain().head_hash(), canonical.head_hash());
         assert_eq!(replica.forks_adopted, 1);
+    }
+
+    #[test]
+    fn fork_adoption_reinstates_orphaned_transactions() {
+        use crate::tx::{Transaction, TxKind};
+        let f = factory();
+        let mut canonical = f();
+        for _ in 0..4 {
+            canonical.produce_block();
+        }
+        let mut replica = ChainReplica::new(f, Some(0), 1_000, 5_000);
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let tx = Transaction {
+            from: alice.public.clone(),
+            nonce: 0,
+            kind: TxKind::Transfer {
+                to: bob,
+                amount: 42,
+            },
+            gas_limit: 100_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
+        }
+        .sign(&alice);
+        let h = replica.chain_mut().submit(tx).unwrap();
+        replica.chain_mut().produce_block(); // included on the doomed fork
+        assert!(replica.chain().receipt(&h).is_some());
+
+        // The longer canonical chain (no alice tx) replaces the fork; the
+        // orphaned transaction must re-enter the pool, not vanish.
+        assert!(replica.adopt_if_longer(canonical.blocks()));
+        assert_eq!(replica.txs_reinstated, 1);
+        assert_eq!(replica.chain().mempool_len(), 1);
+        assert!(replica.chain().receipt(&h).is_none(), "not yet re-included");
+
+        // The next block on the adopted chain re-includes it.
+        let b = replica.chain_mut().produce_block();
+        assert_eq!(b.transactions.len(), 1);
+        assert_eq!(b.transactions[0].hash(), h);
+        assert_eq!(replica.chain().state.balance(&bob), 42);
     }
 
     #[test]

@@ -105,6 +105,15 @@ impl Decode for TxKind {
 }
 
 /// An unsigned transaction body.
+///
+/// Fees follow the EIP-1559 two-dimensional model: the sender commits to
+/// an absolute ceiling (`max_fee_per_gas`) and a tip for the proposer
+/// (`priority_fee_per_gas`). At a block base fee `b` the transaction is
+/// includable iff `max_fee_per_gas >= b`, and then pays
+/// `min(max_fee_per_gas, b + priority_fee_per_gas)` per unit of gas: the
+/// `b` portion is burned, the remainder goes to the proposer. Both fields
+/// zero reproduces the legacy free-transaction behaviour as long as the
+/// base fee is zero (the default chain configuration).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transaction {
     /// Sender's public key (the address is derived from it).
@@ -115,12 +124,34 @@ pub struct Transaction {
     pub kind: TxKind,
     /// Gas budget for execution.
     pub gas_limit: u64,
+    /// Absolute ceiling on the per-gas price the sender will pay
+    /// (base fee + tip combined).
+    pub max_fee_per_gas: u64,
+    /// Per-gas tip offered to the block proposer on top of the base fee.
+    pub priority_fee_per_gas: u64,
 }
 
 impl Transaction {
     /// Sender address.
     pub fn sender(&self) -> Address {
         Address::of(&self.from)
+    }
+
+    /// The per-gas price this transaction pays at `base_fee`, or `None`
+    /// if its fee ceiling is below the base fee (not includable).
+    pub fn effective_gas_price(&self, base_fee: u64) -> Option<u64> {
+        if self.max_fee_per_gas < base_fee {
+            return None;
+        }
+        Some(
+            self.max_fee_per_gas
+                .min(base_fee.saturating_add(self.priority_fee_per_gas)),
+        )
+    }
+
+    /// The per-gas proposer tip at `base_fee` (`None` if not includable).
+    pub fn effective_tip(&self, base_fee: u64) -> Option<u64> {
+        self.effective_gas_price(base_fee).map(|p| p - base_fee)
     }
 
     /// Canonical hash of the unsigned body (what gets signed).
@@ -141,18 +172,20 @@ impl Transaction {
 
 impl Encode for Transaction {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_raw(b"pds2-tx-v1");
+        enc.put_raw(b"pds2-tx-v2");
         self.from.encode(enc);
         enc.put_u64(self.nonce);
         self.kind.encode(enc);
         enc.put_u64(self.gas_limit);
+        enc.put_u64(self.max_fee_per_gas);
+        enc.put_u64(self.priority_fee_per_gas);
     }
 }
 
 impl Decode for Transaction {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let magic = dec.get_raw(10)?;
-        if magic != b"pds2-tx-v1" {
+        if magic != b"pds2-tx-v2" {
             return Err(DecodeError::Invalid("bad tx magic"));
         }
         Ok(Transaction {
@@ -160,6 +193,8 @@ impl Decode for Transaction {
             nonce: dec.get_u64()?,
             kind: TxKind::decode(dec)?,
             gas_limit: dec.get_u64()?,
+            max_fee_per_gas: dec.get_u64()?,
+            priority_fee_per_gas: dec.get_u64()?,
         })
     }
 }
@@ -246,6 +281,8 @@ mod tests {
                 amount: 1000,
             },
             gas_limit: 50_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
     }
 
@@ -308,6 +345,8 @@ mod tests {
                 nonce: 1,
                 kind,
                 gas_limit: 10,
+                max_fee_per_gas: 7,
+                priority_fee_per_gas: 2,
             };
             let signed = tx.clone().sign(&kp);
             let bytes = signed.to_bytes();
@@ -321,6 +360,33 @@ mod tests {
     fn hash_distinguishes_transactions() {
         assert_ne!(sample_tx(1, 0).hash(), sample_tx(1, 1).hash());
         assert_ne!(sample_tx(1, 0).hash(), sample_tx(2, 0).hash());
+        // Fee fields are part of the signed body.
+        let mut bumped = sample_tx(1, 0);
+        bumped.max_fee_per_gas = 9;
+        assert_ne!(bumped.hash(), sample_tx(1, 0).hash());
+    }
+
+    #[test]
+    fn effective_gas_price_follows_eip1559() {
+        let mut tx = sample_tx(1, 0);
+        tx.max_fee_per_gas = 100;
+        tx.priority_fee_per_gas = 10;
+        // Below the cap: base + tip.
+        assert_eq!(tx.effective_gas_price(50), Some(60));
+        assert_eq!(tx.effective_tip(50), Some(10));
+        // Tip squeezed by the cap.
+        assert_eq!(tx.effective_gas_price(95), Some(100));
+        assert_eq!(tx.effective_tip(95), Some(5));
+        // At the cap exactly: tip fully squeezed out.
+        assert_eq!(tx.effective_gas_price(100), Some(100));
+        assert_eq!(tx.effective_tip(100), Some(0));
+        // Cap below the base fee: not includable.
+        assert_eq!(tx.effective_gas_price(101), None);
+        assert_eq!(tx.effective_tip(101), None);
+        // Legacy zero-fee transaction at zero base fee stays free.
+        let free = sample_tx(1, 0);
+        assert_eq!(free.effective_gas_price(0), Some(0));
+        assert_eq!(free.effective_gas_price(1), None);
     }
 
     #[test]

@@ -872,6 +872,8 @@ mod tests {
                 nonce: *nonce,
                 kind,
                 gas_limit: 5_000_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(from);
             *nonce += 1;
@@ -1196,6 +1198,8 @@ mod tests {
                 init,
             },
             gas_limit: 5_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&consumer);
         let h = chain.submit(deploy).unwrap();
@@ -1211,6 +1215,8 @@ mod tests {
                 value: 11_000,
             },
             gas_limit: 5_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&consumer);
         chain.submit(fund).unwrap();
@@ -1225,6 +1231,8 @@ mod tests {
                 value: 0,
             },
             gas_limit: 5_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&stranger);
         let h = chain.submit(early).unwrap();
@@ -1243,6 +1251,8 @@ mod tests {
                 value: 0,
             },
             gas_limit: 5_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&stranger);
         let h = chain.submit(late).unwrap();

@@ -1533,6 +1533,11 @@ impl Marketplace {
             nonce,
             kind,
             gas_limit: 10_000_000,
+            // High fee ceiling, zero tip: marketplace actors always clear
+            // the base fee, and at the idle-chain base fee of zero they
+            // pay nothing (legacy behaviour preserved).
+            max_fee_per_gas: u64::MAX / 2,
+            priority_fee_per_gas: 0,
         }
         .sign(keys);
         let hash = match self.chain.submit(tx) {
@@ -1542,6 +1547,7 @@ impl Marketplace {
                     tx_hash: Digest::ZERO,
                     success: false,
                     gas_used: 0,
+                    effective_gas_price: 0,
                     output: Vec::new(),
                     error: Some(e.to_string()),
                     events: Vec::new(),

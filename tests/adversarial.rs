@@ -110,6 +110,8 @@ fn forged_block_rejected() {
         sha256(b"fake-state"),
         pds2::crypto::Digest::ZERO,
         0,
+        0,
+        0,
     );
     let block = pds2_chain::block::Block {
         header,
@@ -139,6 +141,8 @@ fn transaction_replay_rejected() {
             amount: 600,
         },
         gas_limit: 100_000,
+        max_fee_per_gas: 0,
+        priority_fee_per_gas: 0,
     }
     .sign(&alice);
     chain.submit(tx.clone()).unwrap();
@@ -156,6 +160,8 @@ fn transaction_replay_rejected() {
             amount: 600,
         },
         gas_limit: 100_001, // different hash, same nonce
+        max_fee_per_gas: 0,
+        priority_fee_per_gas: 0,
     }
     .sign(&alice);
     assert!(matches!(

@@ -12,6 +12,7 @@ use pds2_chain::address::Address;
 use pds2_chain::chain::{Blockchain, ChainConfig};
 use pds2_chain::contract::ContractRegistry;
 use pds2_chain::sync::{kind, ChainReplica, GenesisFactory};
+use pds2_chain::tx::{Transaction, TxKind};
 use pds2_crypto::{Digest, KeyPair};
 use pds2_learning::gossip::{run_gossip_experiment_with_faults, GossipConfig};
 use pds2_ml::data::gaussian_blobs;
@@ -239,6 +240,161 @@ fn typed_block_censorship_is_repaired_by_catchup() {
     assert_replays_identically(41, plan, 12_000_000);
 }
 
+/// A fork/reorg run: everything in [`ChainRun`] plus the reorg-specific
+/// accounting (reinstated transactions and the contested balance).
+#[derive(Clone, Debug, PartialEq)]
+struct ReorgRun {
+    base: ChainRun,
+    reinstated: Vec<u64>,
+    bob_balances: Vec<u128>,
+}
+
+/// Forces a *genuine* fork in round-robin PoA. Partitions alone cannot:
+/// the island missing the scheduled proposer just stalls. Instead the
+/// plan makes proposer 1 sign height 1 twice with different contents:
+///
+/// 1. Replica 1 produces `B1` carrying the alice→bob transfer (seeded
+///    only into replica 1's mempool). Directed drops on links 1→2 and
+///    1→3 mean only replica 0 receives it.
+/// 2. Replica 1 crashes, forgetting `B1` and its mempool, and recovers
+///    by resyncing from replicas 2/3 — which never saw `B1`. Replica 0
+///    is mute (all its outbound traffic dropped) so it cannot leak the
+///    orphan branch back.
+/// 3. At its next turn replica 1 re-signs height 1 as an *empty* `B1'`.
+///    Replicas 2/3 extend that branch while replica 0 sits on the
+///    `B1` fork.
+/// 4. When replica 0 is unmuted it hears announcements for the longer
+///    branch, fails suffix catch-up (mismatched parent), falls back to
+///    a full-chain fetch, and adopts via fork choice — reinstating the
+///    orphaned transfer into its mempool. At replica 0's next proposal
+///    turn the transfer finally lands on the canonical chain.
+fn reorg_plan() -> FaultPlan {
+    let mute = LinkEffect::Drop { probability: 1.0 };
+    FaultPlan::new(0xF02C)
+        .byzantine(390_000, 600_000, LinkScope::link(1, 2), mute)
+        .byzantine(390_000, 600_000, LinkScope::link(1, 3), mute)
+        .byzantine(390_000, 1_600_000, LinkScope::from_node(0), mute)
+        .crash(1, 460_000, Some(800_000))
+}
+
+fn run_reorg(seed: u64, plan: FaultPlan, until_us: u64) -> ReorgRun {
+    let f = factory();
+    let replicas: Vec<ChainReplica> = (0..N_REPLICAS)
+        .map(|i| ChainReplica::new(f.clone(), Some(i), 200_000, 150_000))
+        .collect();
+    let mut sim = Simulator::new(replicas, fast_link(), seed);
+    // The contested transfer: only replica 1 ever hears about it, so it
+    // rides the block the fault plan orphans.
+    let alice = KeyPair::from_seed(1);
+    let bob = Address::of(&KeyPair::from_seed(2).public);
+    let tx = Transaction {
+        from: alice.public.clone(),
+        nonce: 0,
+        kind: TxKind::Transfer {
+            to: bob,
+            amount: 42,
+        },
+        gas_limit: 100_000,
+        max_fee_per_gas: 0,
+        priority_fee_per_gas: 0,
+    }
+    .sign(&alice);
+    sim.node_mut(1)
+        .chain_mut()
+        .submit(tx)
+        .expect("seed transfer");
+    sim.install_fault_plan(plan);
+    sim.enable_trace();
+    sim.run_until(until_us);
+    ReorgRun {
+        base: ChainRun {
+            trace: sim.trace_hash().expect("trace enabled"),
+            heads: sim.nodes().map(|r| r.chain().head_hash()).collect(),
+            roots: sim.nodes().map(|r| r.chain().state.state_root()).collect(),
+            heights: sim.nodes().map(|r| r.chain().height()).collect(),
+            applied: sim.nodes().map(|r| r.blocks_applied).collect(),
+            rejected: sim.nodes().map(|r| r.blocks_rejected).collect(),
+            forks: sim.nodes().map(|r| r.forks_adopted).collect(),
+            syncing: sim.nodes().map(|r| r.is_syncing()).collect(),
+            stats: sim.stats(),
+        },
+        reinstated: sim.nodes().map(|r| r.txs_reinstated).collect(),
+        bob_balances: sim.nodes().map(|r| r.chain().state.balance(&bob)).collect(),
+    }
+}
+
+#[test]
+fn fork_reorg_reinstates_orphaned_transactions() {
+    let _obs = obs::test_lock();
+    let run = run_reorg(0xF02C, reorg_plan(), 4_000_000);
+    assert_eq!(run.base.stats.crashes, 1, "{:?}", run.base.stats);
+    assert_eq!(run.base.stats.recoveries, 1);
+    assert!(
+        run.base.stats.dropped_fault > 0,
+        "the directed drops must sever traffic: {:?}",
+        run.base.stats
+    );
+    // The protocol property: the cluster converges on one chain, the
+    // orphaned branch's transfer was reinstated (not lost) somewhere,
+    // and it ultimately executed — bob's balance agrees everywhere.
+    assert_converged(&run.base);
+    assert!(
+        run.reinstated.iter().sum::<u64>() > 0,
+        "fork choice must reinstate the orphaned transfer: {run:?}"
+    );
+    assert!(
+        run.base.forks.iter().sum::<u64>() > 0,
+        "at least one replica must adopt a competing branch: {run:?}"
+    );
+    for (i, bal) in run.bob_balances.iter().enumerate() {
+        assert_eq!(
+            *bal, 42,
+            "replica {i}: the reinstated transfer must land on the \
+             canonical chain: {run:?}"
+        );
+    }
+    // The harness property: bit-identical replay, at any worker count.
+    let again = run_reorg(0xF02C, reorg_plan(), 4_000_000);
+    assert_eq!(again, run, "re-run of the same seed diverged");
+    for threads in THREAD_COUNTS {
+        let r = pds2_par::with_threads(threads, || run_reorg(0xF02C, reorg_plan(), 4_000_000));
+        assert_eq!(r, run, "run diverged at {threads} threads");
+    }
+    // Pinned trace + root (fixture line 2; line 1 is the golden run).
+    let (want_trace, want_root) = fixture_line(1);
+    assert_eq!(
+        run.base.trace.to_hex(),
+        want_trace,
+        "reorg trace changed; if this is an intended protocol change, \
+         update line 2 of tests/fixtures/chaos_golden.txt to:\n{} {}",
+        run.base.trace.to_hex(),
+        run.base.roots[0].to_hex()
+    );
+    assert_eq!(
+        run.base.roots[0].to_hex(),
+        want_root,
+        "reorg state root changed; if intended, update line 2 of \
+         tests/fixtures/chaos_golden.txt to:\n{} {}",
+        run.base.trace.to_hex(),
+        run.base.roots[0].to_hex()
+    );
+}
+
+/// One `"<trace> <state_root>"` pair per fixture line: line 0 pins the
+/// golden all-faults scenario, line 1 the fork/reorg scenario.
+fn fixture_line(n: usize) -> (&'static str, &'static str) {
+    let fixture = include_str!("fixtures/chaos_golden.txt");
+    let line = fixture
+        .lines()
+        .nth(n)
+        .unwrap_or_else(|| panic!("fixture line {} missing", n + 1));
+    let mut fields = line.split_whitespace();
+    (
+        fields.next().expect("fixture: trace hash"),
+        fields.next().expect("fixture: state root"),
+    )
+}
+
 /// The golden scenario exercises every fault type at once.
 fn golden_plan() -> FaultPlan {
     FaultPlan::new(0x601D)
@@ -258,22 +414,19 @@ fn golden_trace_regression() {
     let _obs = obs::test_lock();
     let run = run_chain_counted(0x601D, golden_plan(), 10_050_000);
     assert_converged(&run);
-    let fixture = include_str!("fixtures/chaos_golden.txt");
-    let mut fields = fixture.split_whitespace();
-    let want_trace = fields.next().expect("fixture: trace hash");
-    let want_root = fields.next().expect("fixture: state root");
+    let (want_trace, want_root) = fixture_line(0);
     assert_eq!(
         run.trace.to_hex(),
         want_trace,
         "delivered-message trace changed; if this is an intended protocol \
-         change, update tests/fixtures/chaos_golden.txt to:\n{} {}",
+         change, update line 1 of tests/fixtures/chaos_golden.txt to:\n{} {}",
         run.trace.to_hex(),
         run.roots[0].to_hex()
     );
     assert_eq!(
         run.roots[0].to_hex(),
         want_root,
-        "final state root changed; if intended, update \
+        "final state root changed; if intended, update line 1 of \
          tests/fixtures/chaos_golden.txt to:\n{} {}",
         run.trace.to_hex(),
         run.roots[0].to_hex()

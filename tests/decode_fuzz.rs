@@ -67,6 +67,8 @@ proptest! {
                 amount: 77,
             },
             gas_limit: 55_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&kp);
         let mut bytes = tx.to_bytes();
@@ -113,6 +115,8 @@ mod corrupted_in_flight {
                 amount: 1_234,
             },
             gas_limit: 90_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&kp)
     }
@@ -134,6 +138,8 @@ mod corrupted_in_flight {
                         amount: 5,
                     },
                     gas_limit: 100_000,
+                    max_fee_per_gas: 0,
+                    priority_fee_per_gas: 0,
                 }
                 .sign(&alice),
             )

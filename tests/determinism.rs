@@ -43,6 +43,8 @@ fn make_block() -> pds2_chain::block::Block {
                 amount: 1 + nonce as u128,
             },
             gas_limit: 50_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(&alice);
         producer.submit(tx).expect("admission");
@@ -155,6 +157,89 @@ fn verification_fast_path_is_thread_and_cache_invariant() {
             pair, &results[0],
             "state root / head hash changed with thread count"
         );
+    }
+}
+
+/// The fee market (DESIGN.md §5f) is deterministic integer arithmetic:
+/// drive the base fee up through congested blocks and back down through
+/// idle ones, and require the whole trajectory — per-block base fee, gas
+/// used, transaction order, and the final state root (which commits to
+/// the burned total) — to be bit-identical at every worker count.
+#[test]
+fn base_fee_trajectory_is_thread_count_invariant() {
+    let run = || {
+        pds2_chain::sigcache::clear();
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = Blockchain::new(
+            vec![KeyPair::from_seed(9000)],
+            &[(Address::of(&alice.public), 1_000_000_000)],
+            ContractRegistry::new(),
+            ChainConfig {
+                // Two 30k-gas transfers fill a block to twice the
+                // elastic target, so every full block raises the fee.
+                block_gas_limit: 60_000,
+                initial_base_fee: 100,
+                max_txs_per_block: usize::MAX,
+                ..Default::default()
+            },
+        );
+        for nonce in 0..40u64 {
+            let tx = Transaction {
+                from: alice.public.clone(),
+                nonce,
+                kind: TxKind::Transfer {
+                    to: bob,
+                    amount: 1 + nonce as u128,
+                },
+                gas_limit: 30_000,
+                max_fee_per_gas: 1_000_000,
+                priority_fee_per_gas: nonce % 7,
+            }
+            .sign(&alice);
+            chain.submit(tx).expect("admission");
+        }
+        // 20 congested blocks drain the pool, then 6 idle blocks decay
+        // the fee back down.
+        let mut fees = Vec::new();
+        let mut gas = Vec::new();
+        let mut order: Vec<Digest> = Vec::new();
+        for _ in 0..26 {
+            let block = chain.produce_block();
+            fees.push(block.header.base_fee);
+            gas.push(block.header.gas_used);
+            order.extend(block.transactions.iter().map(|t| t.hash()));
+        }
+        (
+            fees,
+            gas,
+            order,
+            chain.state.state_root(),
+            chain.head_hash(),
+        )
+    };
+    let base = run();
+    let (fees, gas, order, ..) = &base;
+    assert_eq!(order.len(), 40, "every transfer must land");
+    // Blocks pack two transfers by gas *limit*; what they actually meter
+    // is the intrinsic cost, which must still exceed the elastic target
+    // (30 000) for the fee to climb.
+    assert!(
+        gas[..20].iter().all(|&g| g == gas[0] && g > 30_000),
+        "congested blocks must run above target: {gas:?}"
+    );
+    assert!(
+        fees[19] > fees[0],
+        "congestion must raise the base fee: {fees:?}"
+    );
+    assert!(
+        fees[25] < fees[19],
+        "idle blocks must decay the base fee: {fees:?}"
+    );
+    assert_eq!(run(), base, "rerun diverged");
+    for threads in THREAD_COUNTS {
+        let r = pds2_par::with_threads(threads, run);
+        assert_eq!(r, base, "fee trajectory diverged at {threads} threads");
     }
 }
 

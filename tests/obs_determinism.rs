@@ -16,7 +16,8 @@ use pds2_chain::address::Address;
 use pds2_chain::chain::{Blockchain, ChainConfig};
 use pds2_chain::contract::ContractRegistry;
 use pds2_chain::sync::{ChainReplica, GenesisFactory};
-use pds2_crypto::KeyPair;
+use pds2_chain::tx::{Transaction, TxKind};
+use pds2_crypto::{Digest, KeyPair};
 use pds2_learning::gossip::{run_gossip_experiment_with_faults, GossipConfig};
 use pds2_ml::data::gaussian_blobs;
 use pds2_ml::model::LogisticRegression;
@@ -98,6 +99,90 @@ fn chain_chaos_trace_digest_is_thread_and_sink_invariant() {
     for threads in THREAD_COUNTS {
         let d = digest_with(obs::SinkKind::Null, threads);
         assert_eq!(d, ring, "trace digest diverged at {threads} threads");
+    }
+}
+
+/// The fee market (DESIGN.md §5f) under observation: a congestion ramp
+/// that drives the base fee up and back down must produce the same
+/// per-block base-fee trajectory, the same selection order, the same
+/// state root *and* the same trace digest across ring/JSONL/null sinks
+/// and `PDS2_THREADS` ∈ {1, 4, 8}.
+#[test]
+fn fee_market_trajectory_is_thread_and_sink_invariant() {
+    let _g = obs::test_lock();
+    let scenario = || {
+        pds2_chain::sigcache::clear();
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut chain = Blockchain::new(
+            vec![KeyPair::from_seed(9000)],
+            &[(Address::of(&alice.public), 1_000_000_000)],
+            ContractRegistry::new(),
+            ChainConfig {
+                block_gas_limit: 60_000,
+                initial_base_fee: 100,
+                max_txs_per_block: usize::MAX,
+                ..Default::default()
+            },
+        );
+        for nonce in 0..24u64 {
+            let tx = Transaction {
+                from: alice.public.clone(),
+                nonce,
+                kind: TxKind::Transfer {
+                    to: bob,
+                    amount: 1 + nonce as u128,
+                },
+                gas_limit: 30_000,
+                max_fee_per_gas: 1_000_000,
+                priority_fee_per_gas: nonce % 5,
+            }
+            .sign(&alice);
+            chain.submit(tx).expect("admission");
+        }
+        let mut fees = Vec::new();
+        let mut order: Vec<Digest> = Vec::new();
+        for _ in 0..16 {
+            let block = chain.produce_block();
+            fees.push(block.header.base_fee);
+            order.extend(block.transactions.iter().map(|t| t.hash()));
+        }
+        (fees, order, chain.state.state_root())
+    };
+    let run_with = |kind: obs::SinkKind, threads: usize| {
+        let cap = obs::capture(kind);
+        let out = pds2_par::with_threads(threads, scenario);
+        (cap.finish(), out)
+    };
+
+    let (ring, base) = run_with(obs::SinkKind::Ring(usize::MAX), 1);
+    assert!(ring.events > 0, "block production must emit trace events");
+    let fees = &base.0;
+    assert!(
+        fees[11] > fees[0],
+        "congestion must raise the fee: {fees:?}"
+    );
+    assert!(
+        fees[15] < fees[11],
+        "idle blocks must decay the fee: {fees:?}"
+    );
+    assert_eq!(base.1.len(), 24, "every transfer must land");
+
+    let path = std::env::temp_dir().join("pds2_obs_fee_market.jsonl");
+    let (jsonl, jsonl_out) = run_with(obs::SinkKind::Jsonl(path.clone()), 1);
+    let body = std::fs::read_to_string(&path).expect("jsonl trace written");
+    std::fs::remove_file(&path).ok();
+    assert!(!body.is_empty(), "jsonl sink must record events");
+    assert_eq!(ring.digest, jsonl.digest, "ring vs JSONL digest");
+    assert_eq!(jsonl_out, base, "ring vs JSONL fee trajectory");
+
+    for threads in THREAD_COUNTS {
+        let (cap, out) = run_with(obs::SinkKind::Null, threads);
+        assert_eq!(
+            cap.digest, ring.digest,
+            "fee-market trace diverged at {threads} threads"
+        );
+        assert_eq!(out, base, "fee trajectory diverged at {threads} threads");
     }
 }
 

@@ -189,12 +189,353 @@ proptest! {
                 nonce: nonce as u64,
                 kind: TxKind::Transfer { to: bob, amount },
                 gas_limit: 100_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(&alice);
             chain.submit(tx).unwrap();
         }
         chain.produce_until_empty(100);
         prop_assert_eq!(chain.state.total_native_supply(), initial);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-based state machine for the fee-market mempool.
+//
+// Random op sequences (insert / remove / prune / select) run against the
+// real pool with a small capacity (so eviction actually fires) while a
+// shadow mirror tracks what must be pending. The invariants under test:
+//   * the pool's secondary indexes stay consistent (`check_invariants`)
+//     and the size bound holds after every op;
+//   * eviction only ever removes an account's *tail* nonce (so it can
+//     never orphan a cheaper transaction that later nonces depend on)
+//     and never the submitting account's own chain;
+//   * selections are per-account gapless runs starting exactly at the
+//     account's state nonce, within the gas and count budgets;
+//   * the same insert sequence drains in the same order on every rerun
+//     and at every worker count (the programmatic `PDS2_THREADS`).
+// ---------------------------------------------------------------------------
+
+mod mempool_props {
+    use super::*;
+    use pds2_chain::mempool::{InsertOutcome, Mempool, SelectionStats, SubmitError};
+    use pds2_chain::tx::{SignedTransaction, Transaction, TxKind};
+    use pds2_crypto::{Digest, Signature};
+    use proptest::prop_oneof;
+    use std::collections::BTreeMap;
+
+    const N_ACCOUNTS: usize = 4;
+    const CAPACITY: usize = 8;
+    const TX_GAS: u64 = 50_000;
+    const BLOCK_GAS: u64 = 1_000_000;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        /// Insert at `state_nonce + offset` (the chain never hands the
+        /// pool a stale nonce, so neither does the generator).
+        Insert {
+            account: usize,
+            offset: u64,
+            max_fee: u64,
+            prio: u64,
+        },
+        /// Remove the i-th pending hash (mod population), as block
+        /// inclusion does.
+        RemoveNth(usize),
+        /// An external block consumed `advance` nonces the pool never
+        /// saw: prune below the new state nonce.
+        Prune { account: usize, advance: u64 },
+        /// Build a block: select under a gas/count budget.
+        Select {
+            base_fee: u64,
+            max_txs: usize,
+            gas_blocks: u64,
+        },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Inserts listed twice: admission (and thus eviction) should
+        // dominate the mix.
+        prop_oneof![
+            (0usize..N_ACCOUNTS, 0u64..4, 1u64..60, 0u64..60).prop_map(
+                |(account, offset, max_fee, prio)| Op::Insert {
+                    account,
+                    offset,
+                    max_fee,
+                    prio,
+                }
+            ),
+            (0usize..N_ACCOUNTS, 0u64..2, 30u64..90, 0u64..90).prop_map(
+                |(account, offset, max_fee, prio)| Op::Insert {
+                    account,
+                    offset,
+                    max_fee,
+                    prio,
+                }
+            ),
+            (0usize..16).prop_map(Op::RemoveNth),
+            (0usize..N_ACCOUNTS, 1u64..3)
+                .prop_map(|(account, advance)| Op::Prune { account, advance }),
+            (0u64..20, 1usize..5, 1u64..5).prop_map(|(base_fee, max_txs, gas_blocks)| {
+                Op::Select {
+                    base_fee,
+                    max_txs,
+                    gas_blocks,
+                }
+            }),
+        ]
+    }
+
+    /// A transaction the mempool will accept. The signature is a shared
+    /// donor: admission never verifies signatures (the chain does, before
+    /// the pool ever sees the transaction), and skipping per-tx signing
+    /// keeps the generators cheap.
+    fn ptx(
+        keys: &[KeyPair],
+        donor: &Signature,
+        account: usize,
+        nonce: u64,
+        max_fee: u64,
+        prio: u64,
+    ) -> SignedTransaction {
+        SignedTransaction::new(
+            Transaction {
+                from: keys[account].public.clone(),
+                nonce,
+                kind: TxKind::Transfer {
+                    to: Address::of(&KeyPair::from_seed(999).public),
+                    amount: 1,
+                },
+                gas_limit: TX_GAS,
+                max_fee_per_gas: max_fee,
+                priority_fee_per_gas: prio,
+            },
+            donor.clone(),
+        )
+    }
+
+    fn test_keys() -> (Vec<KeyPair>, Signature) {
+        let keys: Vec<KeyPair> = (0..N_ACCOUNTS as u64)
+            .map(|i| KeyPair::from_seed(3_000 + i))
+            .collect();
+        let donor = KeyPair::from_seed(2_999).sign(b"mempool-proptest-donor");
+        (keys, donor)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mempool_state_machine(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let (keys, donor) = test_keys();
+            let addrs: Vec<Address> =
+                keys.iter().map(|k| Address::of(&k.public)).collect();
+            let mut pool = Mempool::new(CAPACITY);
+            // Shadow mirror: address → nonce → pending hash, plus each
+            // account's state nonce.
+            let mut mirror: BTreeMap<Address, BTreeMap<u64, Digest>> = BTreeMap::new();
+            let mut nonces: BTreeMap<Address, u64> =
+                addrs.iter().map(|a| (*a, 0)).collect();
+
+            for op in &ops {
+                match *op {
+                    Op::Insert { account, offset, max_fee, prio } => {
+                        let sender = addrs[account];
+                        let nonce = nonces[&sender] + offset;
+                        let t = ptx(&keys, &donor, account, nonce, max_fee, prio);
+                        let hash = t.hash();
+                        let was_full = pool.len() == CAPACITY;
+                        let mut evicted = Vec::new();
+                        match pool.insert(t, nonces[&sender], BLOCK_GAS, &mut evicted) {
+                            Ok(outcome) => {
+                                // Evictions (applied before the insert)
+                                // may only take other accounts' tails.
+                                for h in &evicted {
+                                    let victim = mirror
+                                        .iter_mut()
+                                        .find(|(_, chain)| chain.values().any(|v| v == h))
+                                        .map(|(a, chain)| (*a, chain));
+                                    let (addr, chain) =
+                                        victim.expect("evicted hash must be mirrored");
+                                    prop_assert_ne!(addr, sender, "evicted the submitter");
+                                    let (&tail, _) = chain.iter().next_back().unwrap();
+                                    prop_assert_eq!(
+                                        chain.get(&tail), Some(h),
+                                        "eviction took a non-tail nonce"
+                                    );
+                                    chain.remove(&tail);
+                                    if chain.is_empty() {
+                                        mirror.remove(&addr);
+                                    }
+                                }
+                                if let InsertOutcome::Replaced(old) = outcome {
+                                    let slot = mirror
+                                        .get_mut(&sender)
+                                        .and_then(|c| c.remove(&nonce));
+                                    prop_assert_eq!(slot, Some(old), "replaced wrong slot");
+                                }
+                                mirror.entry(sender).or_default().insert(nonce, hash);
+                                prop_assert!(pool.contains(&hash));
+                            }
+                            Err(SubmitError::ReplacementUnderpriced { .. }) => {
+                                prop_assert!(
+                                    mirror.get(&sender).is_some_and(|c| c.contains_key(&nonce)),
+                                    "replacement error without a pending slot"
+                                );
+                                prop_assert!(evicted.is_empty());
+                            }
+                            Err(SubmitError::Underpriced { .. } | SubmitError::PoolFull { .. }) => {
+                                prop_assert!(was_full, "refusal from a non-full pool");
+                                prop_assert!(evicted.is_empty());
+                            }
+                            Err(e @ SubmitError::GasLimitTooHigh { .. }) => {
+                                prop_assert!(false, "unexpected {}", e);
+                            }
+                        }
+                    }
+                    Op::RemoveNth(i) => {
+                        let pending: Vec<(Address, u64, Digest)> = mirror
+                            .iter()
+                            .flat_map(|(a, c)| c.iter().map(|(n, h)| (*a, *n, *h)))
+                            .collect();
+                        if pending.is_empty() {
+                            prop_assert!(!pool.remove_by_hash(&pds2_crypto::sha256(b"absent")));
+                        } else {
+                            let (addr, nonce, hash) = pending[i % pending.len()];
+                            prop_assert!(pool.remove_by_hash(&hash));
+                            prop_assert!(!pool.remove_by_hash(&hash), "double remove");
+                            let chain = mirror.get_mut(&addr).unwrap();
+                            chain.remove(&nonce);
+                            if chain.is_empty() {
+                                mirror.remove(&addr);
+                            }
+                        }
+                    }
+                    Op::Prune { account, advance } => {
+                        let sender = addrs[account];
+                        let new_nonce = nonces[&sender] + advance;
+                        let expect = mirror
+                            .get(&sender)
+                            .map_or(0, |c| c.range(..new_nonce).count());
+                        prop_assert_eq!(pool.prune_stale(sender, new_nonce), expect);
+                        if let Some(chain) = mirror.get_mut(&sender) {
+                            *chain = chain.split_off(&new_nonce);
+                            if chain.is_empty() {
+                                mirror.remove(&sender);
+                            }
+                        }
+                        nonces.insert(sender, new_nonce);
+                    }
+                    Op::Select { base_fee, max_txs, gas_blocks } => {
+                        let gas_limit = gas_blocks * TX_GAS;
+                        let mut stats = SelectionStats::default();
+                        let sel = {
+                            let lookup = &nonces;
+                            pool.select(base_fee, gas_limit, max_txs, |a| lookup[a], &mut stats)
+                        };
+                        prop_assert!(sel.len() <= max_txs);
+                        let gas: u64 = sel.iter().map(|t| t.tx.gas_limit).sum();
+                        prop_assert!(gas <= gas_limit, "selection blew the gas budget");
+                        prop_assert_eq!(stats.stale_dropped, 0, "mirror never goes stale");
+                        let mut per: BTreeMap<Address, Vec<u64>> = BTreeMap::new();
+                        for t in &sel {
+                            prop_assert!(
+                                t.tx.effective_tip(base_fee).is_some(),
+                                "selected an unaffordable transaction"
+                            );
+                            prop_assert!(!pool.contains(&t.hash()), "selected but still pending");
+                            per.entry(t.tx.sender()).or_default().push(t.tx.nonce);
+                        }
+                        for (addr, got) in per {
+                            let start = nonces[&addr];
+                            let want: Vec<u64> =
+                                (start..start + got.len() as u64).collect();
+                            prop_assert_eq!(
+                                &got, &want,
+                                "selection for {} is not a gapless run from its state nonce",
+                                addr
+                            );
+                            let chain = mirror.get_mut(&addr).unwrap();
+                            for n in &want {
+                                prop_assert!(chain.remove(n).is_some(), "selected unmirrored tx");
+                            }
+                            if chain.is_empty() {
+                                mirror.remove(&addr);
+                            }
+                            nonces.insert(addr, start + want.len() as u64);
+                        }
+                    }
+                }
+                // After every op: indexes consistent, bound held, mirror agreed.
+                pool.check_invariants();
+                prop_assert!(pool.len() <= CAPACITY);
+                let mirrored: usize = mirror.values().map(|c| c.len()).sum();
+                prop_assert_eq!(pool.len(), mirrored, "pool and mirror disagree on size");
+            }
+            // Final census: the pool holds exactly the mirrored transactions.
+            let left: Vec<(Address, u64)> = pool
+                .all()
+                .iter()
+                .map(|t| (t.tx.sender(), t.tx.nonce))
+                .collect();
+            let want: Vec<(Address, u64)> = mirror
+                .iter()
+                .flat_map(|(a, c)| c.keys().map(|n| (*a, *n)))
+                .collect();
+            prop_assert_eq!(left, want);
+        }
+
+        /// Draining the same insert sequence selects the same transactions
+        /// in the same order on a rerun and at every worker count.
+        #[test]
+        fn mempool_selection_is_deterministic(
+            txs in proptest::collection::vec(
+                (0usize..N_ACCOUNTS, 0u64..6, 1u64..60, 0u64..60),
+                1..40,
+            ),
+            base_fee in 0u64..20,
+        ) {
+            let (keys, donor) = test_keys();
+            let drain = || {
+                let mut pool = Mempool::new(64);
+                let mut evicted = Vec::new();
+                for &(account, nonce, max_fee, prio) in &txs {
+                    let _ = pool.insert(
+                        ptx(&keys, &donor, account, nonce, max_fee, prio),
+                        0,
+                        BLOCK_GAS,
+                        &mut evicted,
+                    );
+                }
+                let mut nonces: BTreeMap<Address, u64> = keys
+                    .iter()
+                    .map(|k| (Address::of(&k.public), 0))
+                    .collect();
+                let mut order = Vec::new();
+                loop {
+                    let mut stats = SelectionStats::default();
+                    let sel = {
+                        let lookup = &nonces;
+                        pool.select(base_fee, 3 * TX_GAS, 2, |a| lookup[a], &mut stats)
+                    };
+                    if sel.is_empty() {
+                        break; // drained, or only gap/fee-blocked txs remain
+                    }
+                    for t in sel {
+                        nonces.insert(t.tx.sender(), t.tx.nonce + 1);
+                        order.push(t.hash());
+                    }
+                }
+                (order, pool.len())
+            };
+            let base = drain();
+            prop_assert_eq!(&drain(), &base, "rerun diverged");
+            for threads in [1usize, 4, 8] {
+                let r = pds2_par::with_threads(threads, drain);
+                prop_assert_eq!(&r, &base, "selection diverged at {} threads", threads);
+            }
+        }
     }
 }
 
@@ -365,6 +706,8 @@ mod workload_lifecycle {
                 value,
             },
             gas_limit: 1_000_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
         }
         .sign(kp)
     }
@@ -420,6 +763,8 @@ mod workload_lifecycle {
                     ),
                 },
                 gas_limit: 1_000_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(&consumer);
             let deploy_hash = deploy.hash();

@@ -34,6 +34,8 @@ fn transfer(
         nonce,
         kind: TxKind::Transfer { to, amount },
         gas_limit: 100_000,
+        max_fee_per_gas: 0,
+        priority_fee_per_gas: 0,
     }
     .sign(kp)
 }
@@ -67,6 +69,8 @@ fn replica_converges_with_producer() {
                     ),
                 },
                 gas_limit: 1_000_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(&alice),
         )
@@ -88,6 +92,8 @@ fn replica_converges_with_producer() {
                     value: 2_000,
                 },
                 gas_limit: 1_000_000,
+                max_fee_per_gas: 0,
+                priority_fee_per_gas: 0,
             }
             .sign(&alice),
         )
@@ -150,6 +156,8 @@ fn replica_rejects_lying_state_root() {
         sha256(b"i-lied-about-the-state"),
         good.header.tx_root,
         good.header.timestamp,
+        good.header.base_fee,
+        good.header.gas_used,
     );
     let forged = pds2_chain::block::Block {
         header: forged_header,
