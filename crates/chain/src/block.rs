@@ -175,6 +175,23 @@ impl Block {
     }
 }
 
+/// Canonical digest over a block's receipts (outcome, gas and price per
+/// transaction). Stored in each persisted block frame so crash recovery
+/// can verify that replaying the log reproduced the pre-crash execution
+/// outcomes, not just the state root.
+pub fn receipts_digest<'a>(
+    receipts: impl IntoIterator<Item = &'a crate::state::TxReceipt>,
+) -> Digest {
+    let mut enc = Encoder::new();
+    for r in receipts {
+        enc.put_digest(&r.tx_hash);
+        enc.put_u8(r.success as u8);
+        enc.put_u64(r.gas_used);
+        enc.put_u64(r.effective_gas_price);
+    }
+    pds2_crypto::sha256(&enc.finish())
+}
+
 impl Encode for Block {
     fn encode(&self, enc: &mut Encoder) {
         self.header.encode(enc);

@@ -9,18 +9,24 @@
 //! (proposer turn, parent hash, header signature, tx root, tx signatures)
 //! before being appended, so the tests can demonstrate tamper rejection.
 
-use crate::block::{Block, BlockHeader};
+use crate::address::Account;
+use crate::backend::LeafKey;
+use crate::block::{receipts_digest, Block, BlockHeader};
 use crate::contract::ContractRegistry;
 use crate::event::Event;
 use crate::gas;
 use crate::mempool::{InsertOutcome, Mempool, SelectionStats, SubmitError};
+use crate::smt::SmtProof;
 use crate::state::{BlockEnv, TxReceipt, WorldState};
 use crate::tx::SignedTransaction;
 use parking_lot::Mutex;
+use pds2_crypto::codec::{Decode, Decoder, Encode, Encoder};
 use pds2_crypto::schnorr::{KeyPair, PublicKey};
 use pds2_crypto::sha256::Digest;
 use pds2_obs::TraceCtx;
+use pds2_storage::chainlog::{ChainLog, FRAME_BLOCK, FRAME_TX};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// First eight bytes of a digest as a trace-field-sized fingerprint.
 fn digest_tag(d: &Digest) -> u64 {
@@ -140,6 +146,12 @@ pub struct Blockchain {
     /// transaction; consumed (and emitted as `tx.included`) when the tx
     /// enters a block. Populated only while a capture is active.
     tx_traces: HashMap<Digest, (TraceCtx, u64)>,
+    /// Durable store: appended blocks (plus receipt digests) and
+    /// journaled pending transactions, with periodic state snapshots.
+    /// `None` (the default) runs fully in memory.
+    store: Option<Arc<Mutex<ChainLog>>>,
+    /// Snapshot cadence in blocks (0 = never snapshot).
+    snapshot_every: u64,
 }
 
 impl Blockchain {
@@ -168,6 +180,8 @@ impl Blockchain {
             seen: std::collections::HashSet::new(),
             trace_ctx: TraceCtx::NONE,
             tx_traces: HashMap::new(),
+            store: None,
+            snapshot_every: 0,
         }
     }
 
@@ -305,6 +319,7 @@ impl Blockchain {
         // pending transactions (pool at capacity) or replace a same-nonce
         // one (replace-by-fee).
         let tx_nonce = tx.tx.nonce;
+        let tx_bytes = self.store.as_ref().map(|_| tx.to_bytes());
         let mut evicted = Vec::new();
         let (outcome, pool_len) = {
             let mut pool = self.mempool.lock();
@@ -363,6 +378,11 @@ impl Blockchain {
             }
         }
         self.seen.insert(hash);
+        // Journal the admitted transaction so a crashed node can
+        // reinstate its pending pool on recovery.
+        if let (Some(store), Some(bytes)) = (&self.store, tx_bytes) {
+            store.lock().append(FRAME_TX, self.height(), &bytes);
+        }
         Self::publish_mempool_gauge(pool_len);
         Ok(hash)
     }
@@ -485,6 +505,8 @@ impl Blockchain {
             );
         }
         self.blocks.push(block.clone());
+        self.persist_block(&block);
+        self.maybe_snapshot();
         block
     }
 
@@ -680,6 +702,8 @@ impl Blockchain {
             }
         }
         self.blocks.push(block.clone());
+        self.persist_block(block);
+        self.maybe_snapshot();
         pds2_obs::counter!("chain.blocks_applied").inc();
         pds2_obs::trace_event!(
             "chain",
@@ -757,6 +781,259 @@ impl Blockchain {
             pds2_obs::counter!("chain.txs_reinstated").add(reinstated as u64);
         }
         reinstated
+    }
+
+    // ------------------------------------------------------------------
+    // Durable store: journaling, snapshots and crash recovery
+    // ------------------------------------------------------------------
+
+    /// Attaches a durable store. Blocks the log does not yet hold are
+    /// backfilled, then every produced/applied block (and admitted
+    /// transaction) is appended as it happens, with a full state
+    /// snapshot every `snapshot_every` blocks.
+    pub fn attach_store(&mut self, store: Arc<Mutex<ChainLog>>, snapshot_every: u64) {
+        {
+            let mut log = store.lock();
+            let persisted = log
+                .scan()
+                .frames
+                .iter()
+                .filter(|f| f.kind == FRAME_BLOCK)
+                .count();
+            for block in self.blocks.iter().skip(persisted) {
+                let digest = Self::stored_receipts_digest(&self.receipts, block);
+                log.append(
+                    FRAME_BLOCK,
+                    block.header.height,
+                    &Self::block_frame(block, &digest),
+                );
+            }
+        }
+        self.store = Some(store);
+        self.snapshot_every = snapshot_every;
+        self.maybe_snapshot();
+    }
+
+    /// Whether a durable store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Block-frame payload: block bytes + receipts digest.
+    fn block_frame(block: &Block, receipts: &Digest) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&block.to_bytes());
+        enc.put_digest(receipts);
+        enc.finish()
+    }
+
+    fn decode_block_frame(payload: &[u8]) -> Option<(Block, Digest)> {
+        let mut dec = Decoder::new(payload);
+        let block = Block::from_bytes(&dec.get_bytes().ok()?).ok()?;
+        let digest = dec.get_digest().ok()?;
+        dec.expect_end().ok()?;
+        Some((block, digest))
+    }
+
+    /// Receipts digest of a block from the chain's receipt map.
+    fn stored_receipts_digest(receipts: &HashMap<Digest, TxReceipt>, block: &Block) -> Digest {
+        receipts_digest(
+            block
+                .transactions
+                .iter()
+                .filter_map(|tx| receipts.get(&tx.hash())),
+        )
+    }
+
+    fn persist_block(&self, block: &Block) {
+        let Some(store) = &self.store else { return };
+        let digest = Self::stored_receipts_digest(&self.receipts, block);
+        store.lock().append(
+            FRAME_BLOCK,
+            block.header.height,
+            &Self::block_frame(block, &digest),
+        );
+    }
+
+    fn maybe_snapshot(&mut self) {
+        if self.snapshot_every == 0
+            || self.height() == 0
+            || !self.height().is_multiple_of(self.snapshot_every)
+        {
+            return;
+        }
+        let Some(store) = &self.store else { return };
+        let height = self.height();
+        let bytes = self.snapshot_bytes();
+        store.lock().write_snapshot(height, bytes);
+        pds2_obs::counter!("chain.snapshots_written").inc();
+    }
+
+    /// Serializes the chain tip for a recovery snapshot: height, fee
+    /// state and the complete world state.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u64(self.height());
+        enc.put_u64(self.next_base_fee);
+        self.state.encode_snapshot(&mut enc);
+        enc.finish()
+    }
+
+    /// Restores the tip state (fee + world state) from snapshot bytes.
+    /// Blocks, receipts and events are NOT in the snapshot — the caller
+    /// loads the block prefix from the log.
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<u64, String> {
+        let mut dec = Decoder::new(bytes);
+        let height = dec.get_u64().map_err(|e| format!("snapshot: {e:?}"))?;
+        let next_base_fee = dec.get_u64().map_err(|e| format!("snapshot: {e:?}"))?;
+        let state = WorldState::decode_snapshot(&mut dec, &self.registry)?;
+        dec.expect_end().map_err(|e| format!("snapshot: {e:?}"))?;
+        self.state = state;
+        self.next_base_fee = next_base_fee;
+        Ok(height)
+    }
+
+    /// Rebuilds a crashed node from its durable store: restore the
+    /// latest snapshot (falling back to genesis replay if it is missing
+    /// or corrupt), replay the block log from there — re-validating
+    /// every block and checking each frame's receipts digest against the
+    /// re-derived receipts — then reinstate journaled transactions the
+    /// chain does not already include. The log's torn tail, if any, is
+    /// truncated first.
+    ///
+    /// `genesis` must be the same construction the crashed node started
+    /// from (validators, allocations, registry, config);
+    /// `snapshot_every` re-arms the snapshot cadence going forward.
+    pub fn recover_from_store(
+        genesis: Blockchain,
+        store: Arc<Mutex<ChainLog>>,
+        snapshot_every: u64,
+    ) -> Blockchain {
+        let mut chain = genesis;
+        chain.store = None; // no re-journaling while replaying
+        let (snapshot, frames) = {
+            let mut log = store.lock();
+            let scan = log.repair();
+            (log.snapshot().map(|(h, b)| (h, b.to_vec())), scan.frames)
+        };
+        // Snapshot fast path: restore the tip state and load the block
+        // prefix raw (no re-execution; pre-snapshot receipts and events
+        // are not retained).
+        let mut replay_from = 0u64;
+        if let Some((_, bytes)) = snapshot {
+            match chain.restore_snapshot(&bytes) {
+                Ok(height) => {
+                    replay_from = height;
+                    for frame in &frames {
+                        if frame.kind != FRAME_BLOCK || frame.height >= height {
+                            continue;
+                        }
+                        let Some((block, _)) = Self::decode_block_frame(&frame.payload) else {
+                            continue;
+                        };
+                        for tx in &block.transactions {
+                            chain.seen.insert(tx.hash());
+                        }
+                        chain.blocks.push(block);
+                    }
+                }
+                Err(_) => {
+                    pds2_obs::counter!("chain.snapshot_restore_failed").inc();
+                    replay_from = 0;
+                }
+            }
+        }
+        // Replay the tail through full validation + execution.
+        for frame in &frames {
+            if frame.kind != FRAME_BLOCK || frame.height < replay_from {
+                continue;
+            }
+            let Some((block, expected_receipts)) = Self::decode_block_frame(&frame.payload) else {
+                break;
+            };
+            if chain.apply_external_block(&block).is_err() {
+                break;
+            }
+            if Self::stored_receipts_digest(&chain.receipts, &block) != expected_receipts {
+                // Replay diverged from the pre-crash execution — the log
+                // is not trustworthy past this point.
+                break;
+            }
+        }
+        // Reinstate journaled transactions; `submit` dedups everything
+        // the replayed chain already included (via `seen`).
+        let mut reinstated = 0usize;
+        for frame in &frames {
+            if frame.kind != FRAME_TX {
+                continue;
+            }
+            let Ok(tx) = SignedTransaction::from_bytes(&frame.payload) else {
+                continue;
+            };
+            if chain.submit(tx).is_ok() {
+                reinstated += 1;
+            }
+        }
+        if reinstated > 0 {
+            pds2_obs::counter!("chain.txs_reinstated").add(reinstated as u64);
+        }
+        pds2_obs::counter!("chain.recoveries").inc();
+        // Only now re-arm persistence (attaching earlier would duplicate
+        // every replayed frame).
+        chain.attach_store(store, snapshot_every);
+        chain
+    }
+
+    // ------------------------------------------------------------------
+    // Authenticated light-client reads
+    // ------------------------------------------------------------------
+
+    /// Produces an authenticated account read: the account (if any) plus
+    /// a Merkle (non-)inclusion proof against the current state root.
+    /// Light clients verify with [`verify_account_proof`] holding only a
+    /// validated block header.
+    pub fn prove_account(&self, addr: &crate::address::Address) -> AccountProof {
+        let (value, proof) = self.state.prove_leaf(&LeafKey::Account(*addr));
+        let account = value.map(|b| Account::from_bytes(&b).expect("canonical account encoding"));
+        AccountProof { account, proof }
+    }
+
+    /// Produces an authenticated NFT read (ownership of datasets and
+    /// workload code, §III-A): metadata plus (non-)inclusion proof.
+    pub fn prove_nft(
+        &self,
+        id: crate::erc721::NftId,
+    ) -> (Option<crate::erc721::NftInfo>, SmtProof) {
+        let (value, proof) = self.state.prove_leaf(&LeafKey::Erc721Token(id));
+        let info =
+            value.map(|b| crate::erc721::NftInfo::from_bytes(&b).expect("canonical NFT encoding"));
+        (info, proof)
+    }
+}
+
+/// An authenticated account read (see [`Blockchain::prove_account`]).
+#[derive(Clone, Debug)]
+pub struct AccountProof {
+    /// The account, or `None` with a proof of absence.
+    pub account: Option<Account>,
+    /// Merkle (non-)inclusion proof against the state root.
+    pub proof: SmtProof,
+}
+
+/// Verifies an [`AccountProof`] against a trusted state root (from a
+/// validated block header). Checks inclusion of the account's canonical
+/// encoding, or absence when the proof carries no account.
+pub fn verify_account_proof(
+    state_root: &Digest,
+    addr: &crate::address::Address,
+    proof: &AccountProof,
+) -> bool {
+    let key = LeafKey::Account(*addr).digest();
+    match &proof.account {
+        Some(acct) => {
+            crate::smt::verify_proof(state_root, &key, Some(&acct.to_bytes()), &proof.proof)
+        }
+        None => crate::smt::verify_proof(state_root, &key, None, &proof.proof),
     }
 }
 

@@ -409,6 +409,69 @@ impl Erc20Module {
         self.tokens.get(&token).map(|t| t.symbol.as_str())
     }
 
+    /// Next token id to be assigned (0 when no token was ever created).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Token metadata leaf value: `(symbol, minter, total_supply)`,
+    /// present iff the token exists.
+    pub(crate) fn meta_entry(&self, token: TokenId) -> Option<(&str, Option<Address>, u128)> {
+        self.tokens
+            .get(&token)
+            .map(|t| (t.symbol.as_str(), t.minter, t.total_supply))
+    }
+
+    /// Balance map entry — `Some(0)` when an explicit zero entry exists,
+    /// `None` when the holder has no entry at all. The state root leafs
+    /// exactly the entries present (failed transfers can leave zero
+    /// entries behind, and those must hash identically on every node).
+    pub(crate) fn bal_entry(&self, token: TokenId, owner: &Address) -> Option<u128> {
+        self.tokens
+            .get(&token)
+            .and_then(|t| t.balances.get(owner).copied())
+    }
+
+    /// Allowance map entry, distinguishing absent from explicit zero
+    /// (approvals of 0 are stored).
+    pub(crate) fn allowance_entry(
+        &self,
+        token: TokenId,
+        owner: &Address,
+        spender: &Address,
+    ) -> Option<u128> {
+        self.tokens
+            .get(&token)
+            .and_then(|t| t.allowances.get(&(*owner, *spender)).copied())
+    }
+
+    /// All live token ids.
+    pub(crate) fn token_ids(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.tokens.keys().copied()
+    }
+
+    /// All balance entries of one token (including explicit zeros).
+    pub(crate) fn balance_entries(
+        &self,
+        token: TokenId,
+    ) -> impl Iterator<Item = (Address, u128)> + '_ {
+        self.tokens
+            .get(&token)
+            .into_iter()
+            .flat_map(|t| t.balances.iter().map(|(a, b)| (*a, *b)))
+    }
+
+    /// All allowance entries of one token.
+    pub(crate) fn allowance_entries(
+        &self,
+        token: TokenId,
+    ) -> impl Iterator<Item = (Address, Address, u128)> + '_ {
+        self.tokens
+            .get(&token)
+            .into_iter()
+            .flat_map(|t| t.allowances.iter().map(|((o, s), a)| (*o, *s, *a)))
+    }
+
     /// Canonical digest of the whole module state (for state roots).
     pub fn state_digest(&self) -> pds2_crypto::Digest {
         let mut enc = Encoder::new();
@@ -432,6 +495,68 @@ impl Erc20Module {
             }
         }
         pds2_crypto::sha256(&enc.finish())
+    }
+}
+
+// Snapshot codec (crash recovery): same canonical layout as
+// `state_digest`, so restoring a snapshot reproduces the digest exactly.
+impl Encode for Erc20Module {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.next_id);
+        enc.put_u64(self.tokens.len() as u64);
+        for (id, t) in &self.tokens {
+            id.encode(enc);
+            enc.put_str(&t.symbol);
+            enc.put_option(&t.minter);
+            enc.put_u128(t.total_supply);
+            enc.put_u64(t.balances.len() as u64);
+            for (addr, bal) in &t.balances {
+                addr.encode(enc);
+                enc.put_u128(*bal);
+            }
+            enc.put_u64(t.allowances.len() as u64);
+            for ((o, s), a) in &t.allowances {
+                o.encode(enc);
+                s.encode(enc);
+                enc.put_u128(*a);
+            }
+        }
+    }
+}
+
+impl Decode for Erc20Module {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let next_id = dec.get_u64()?;
+        let n_tokens = dec.get_u64()? as usize;
+        let mut tokens = BTreeMap::new();
+        for _ in 0..n_tokens {
+            let id = TokenId::decode(dec)?;
+            let symbol = dec.get_str()?;
+            let minter = dec.get_option()?;
+            let total_supply = dec.get_u128()?;
+            let mut balances = BTreeMap::new();
+            for _ in 0..dec.get_u64()? {
+                let addr = Address::decode(dec)?;
+                balances.insert(addr, dec.get_u128()?);
+            }
+            let mut allowances = BTreeMap::new();
+            for _ in 0..dec.get_u64()? {
+                let o = Address::decode(dec)?;
+                let s = Address::decode(dec)?;
+                allowances.insert((o, s), dec.get_u128()?);
+            }
+            tokens.insert(
+                id,
+                TokenState {
+                    symbol,
+                    minter,
+                    total_supply,
+                    balances,
+                    allowances,
+                },
+            );
+        }
+        Ok(Erc20Module { tokens, next_id })
     }
 }
 

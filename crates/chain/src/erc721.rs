@@ -330,6 +330,16 @@ impl Erc721Module {
         self.tokens.len()
     }
 
+    /// Next NFT id to be assigned (0 when nothing was ever minted).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// All live tokens with metadata.
+    pub(crate) fn token_entries(&self) -> impl Iterator<Item = (NftId, &NftInfo)> + '_ {
+        self.tokens.iter().map(|(id, t)| (*id, t))
+    }
+
     /// Canonical digest of module state (for state roots).
     pub fn state_digest(&self) -> Digest {
         let mut enc = Encoder::new();
@@ -344,6 +354,61 @@ impl Erc721Module {
             enc.put_option(&t.approved);
         }
         pds2_crypto::sha256(&enc.finish())
+    }
+}
+
+impl Encode for NftInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        self.owner.encode(enc);
+        self.kind.encode(enc);
+        enc.put_digest(&self.content);
+        enc.put_str(&self.label);
+        enc.put_option(&self.approved);
+    }
+}
+
+impl Decode for NftInfo {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(NftInfo {
+            owner: Address::decode(dec)?,
+            kind: AssetKind::decode(dec)?,
+            content: dec.get_digest()?,
+            label: dec.get_str()?,
+            approved: dec.get_option()?,
+        })
+    }
+}
+
+// Snapshot codec (crash recovery). The `by_content` index is derived
+// from the tokens on decode rather than serialized.
+impl Encode for Erc721Module {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.next_id);
+        enc.put_u64(self.tokens.len() as u64);
+        for (id, t) in &self.tokens {
+            id.encode(enc);
+            t.encode(enc);
+        }
+    }
+}
+
+impl Decode for Erc721Module {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let next_id = dec.get_u64()?;
+        let n = dec.get_u64()? as usize;
+        let mut tokens = BTreeMap::new();
+        let mut by_content = BTreeMap::new();
+        for _ in 0..n {
+            let id = NftId::decode(dec)?;
+            let info = NftInfo::decode(dec)?;
+            by_content.insert((kind_tag(info.kind), info.content), id);
+            tokens.insert(id, info);
+        }
+        Ok(Erc721Module {
+            tokens,
+            by_content,
+            next_id,
+        })
     }
 }
 

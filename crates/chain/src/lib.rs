@@ -14,6 +14,10 @@
 //! - [`erc721`] — NFTs committing to datasets and workload code;
 //! - [`contract`] — the native-contract framework with atomic rollback;
 //! - [`state`] — the world state and the transaction execution function;
+//! - [`smt`] — the copy-on-write sparse Merkle tree authenticating the
+//!   state, with (non-)inclusion proofs for light clients;
+//! - [`backend`] — pluggable state-commitment backends: the incremental
+//!   SMT and the full-rehash reference oracle (DESIGN.md §5g);
 //! - [`block`] — blocks, headers, Merkle transaction roots;
 //! - [`mempool`] — the fee-market transaction pool: per-account nonce
 //!   chains, priority selection, bounded admission with eviction;
@@ -26,6 +30,7 @@
 //! - [`event`] — the audit-trail event log.
 
 pub mod address;
+pub mod backend;
 pub mod block;
 pub mod chain;
 pub mod contract;
@@ -35,18 +40,21 @@ pub mod event;
 pub mod gas;
 pub mod mempool;
 pub mod sigcache;
+pub mod smt;
 pub mod state;
 pub mod sync;
 pub mod tx;
 
 pub use address::{Account, Address};
+pub use backend::{BackendKind, LeafKey, StateBackend};
 pub use block::{Block, BlockHeader};
-pub use chain::{Blockchain, ChainConfig, ChainError};
+pub use chain::{verify_account_proof, AccountProof, Blockchain, ChainConfig, ChainError};
 pub use contract::{CallCtx, Contract, ContractError, ContractRegistry};
 pub use erc20::{Erc20Module, Erc20Op, TokenError, TokenId};
 pub use erc721::{AssetKind, Erc721Module, Erc721Op, NftError, NftId};
 pub use event::{Event, EventSink};
 pub use mempool::{Mempool, SubmitError};
+pub use smt::{verify_proof, SmtProof, SmtTree};
 pub use state::{BlockEnv, TxReceipt, WorldState};
 pub use sync::{ChainReplica, GenesisFactory, SyncMsg};
 pub use tx::{SignedTransaction, Transaction, TxKind};

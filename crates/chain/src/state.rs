@@ -7,13 +7,18 @@
 //! beyond the nonce bump) and produces a [`TxReceipt`].
 
 use crate::address::{Account, Address};
+use crate::backend::{BackendKind, LeafKey, StateBackend};
 use crate::contract::{CallCtx, ContractError, ContractRegistry};
+use crate::erc20::Erc20Op;
+use crate::erc721::Erc721Op;
 use crate::event::{Event, EventSink};
 use crate::gas::{self, GasMeter};
+use crate::smt::SmtProof;
 use crate::tx::{SignedTransaction, TxKind};
-use pds2_crypto::codec::{Encode, Encoder};
+use pds2_crypto::codec::{Decode, Decoder, Encode, Encoder};
 use pds2_crypto::sha256::{sha256, Digest};
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-block execution environment: the consensus values every
 /// transaction in the block executes under.
@@ -61,14 +66,26 @@ pub struct TxReceipt {
     pub deployed: Option<Address>,
 }
 
-/// A deployed contract instance.
+/// A deployed contract instance. `deployer` and `init` are retained so
+/// snapshot restore can revive the instance through the registry's
+/// constructor before restoring its canonical snapshot; they are NOT
+/// part of the state root (which commits only `code_id` + state digest).
 struct ContractInstance {
     code_id: String,
+    deployer: Address,
+    init: Vec<u8>,
     contract: Box<dyn crate::contract::Contract>,
 }
 
+/// Root-commitment bookkeeping: the pluggable backend plus the set of
+/// leaves mutated since the last commit. Behind a [`RefCell`] so
+/// `state_root(&self)` can commit lazily.
+struct Committer {
+    backend: Box<dyn StateBackend>,
+    dirty: BTreeSet<LeafKey>,
+}
+
 /// The full chain state.
-#[derive(Default)]
 pub struct WorldState {
     accounts: BTreeMap<Address, Account>,
     /// Fungible-token module.
@@ -80,17 +97,106 @@ pub struct WorldState {
     /// the state root: every node must agree on it, and the conservation
     /// invariant becomes `circulating supply + burned = const`.
     burned: u128,
+    /// Maintained sum of every native balance, so conservation checks
+    /// are O(1) instead of an account-map walk. Every credit/debit nets
+    /// to zero except genesis minting (+) and base-fee burning (−).
+    native_supply: u128,
+    committer: RefCell<Committer>,
+}
+
+impl Default for WorldState {
+    fn default() -> Self {
+        WorldState {
+            accounts: BTreeMap::new(),
+            erc20: Default::default(),
+            erc721: Default::default(),
+            contracts: BTreeMap::new(),
+            burned: 0,
+            native_supply: 0,
+            committer: RefCell::new(Committer {
+                backend: BackendKind::from_env().make(),
+                dirty: BTreeSet::new(),
+            }),
+        }
+    }
 }
 
 impl WorldState {
-    /// Creates an empty state.
+    /// Creates an empty state with the backend selected by
+    /// `PDS2_STATE_BACKEND` (SMT unless overridden).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty state with an explicit commitment backend.
+    pub fn with_backend(kind: BackendKind) -> Self {
+        let mut st = Self::default();
+        st.set_backend(kind);
+        st
+    }
+
+    /// Swaps the commitment backend in place. The entire current leaf
+    /// set is marked dirty so the next `state_root()` rebuilds the new
+    /// backend's tree from scratch.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        {
+            let mut c = self.committer.borrow_mut();
+            c.backend = kind.make();
+            c.dirty.clear();
+        }
+        self.mark_all_dirty();
+    }
+
+    /// Name of the active commitment backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.committer.borrow().backend.name()
+    }
+
+    /// Marks one leaf for recommit. Conservative over-marking is always
+    /// safe: the committed value is recomputed from the live maps, and
+    /// an absent entry becomes a (possibly no-op) delete.
+    fn mark(&self, key: LeafKey) {
+        self.committer.borrow_mut().dirty.insert(key);
+    }
+
+    /// Marks every leaf currently present (backend swap / snapshot
+    /// restore).
+    pub(crate) fn mark_all_dirty(&self) {
+        let mut c = self.committer.borrow_mut();
+        for addr in self.accounts.keys() {
+            c.dirty.insert(LeafKey::Account(*addr));
+        }
+        if self.erc20.next_id() != 0 {
+            c.dirty.insert(LeafKey::Erc20Next);
+        }
+        for token in self.erc20.token_ids() {
+            c.dirty.insert(LeafKey::Erc20Meta(token));
+            for (addr, _) in self.erc20.balance_entries(token) {
+                c.dirty.insert(LeafKey::Erc20Bal(token, addr));
+            }
+            for (owner, spender, _) in self.erc20.allowance_entries(token) {
+                c.dirty.insert(LeafKey::Erc20Allow(token, owner, spender));
+            }
+        }
+        if self.erc721.next_id() != 0 {
+            c.dirty.insert(LeafKey::Erc721Next);
+        }
+        for (id, _) in self.erc721.token_entries() {
+            c.dirty.insert(LeafKey::Erc721Token(id));
+        }
+        for addr in self.contracts.keys() {
+            c.dirty.insert(LeafKey::Contract(*addr));
+        }
+        if self.burned != 0 {
+            c.dirty.insert(LeafKey::Burned);
+        }
     }
 
     /// Credits an address at genesis.
     pub fn genesis_credit(&mut self, addr: Address, amount: u128) {
         self.accounts.entry(addr).or_default().balance += amount;
+        self.native_supply += amount;
+        self.mark(LeafKey::Account(addr));
     }
 
     /// Account balance query.
@@ -103,8 +209,17 @@ impl WorldState {
         self.accounts.get(addr).map_or(0, |a| a.nonce)
     }
 
-    /// Sum of every native balance (for conservation checks).
+    /// Sum of every native balance (for conservation checks). O(1):
+    /// returns the maintained counter rather than walking the account
+    /// map — `recompute_native_supply` is the slow cross-check.
     pub fn total_native_supply(&self) -> u128 {
+        self.native_supply
+    }
+
+    /// Recomputes the native supply by walking every account. O(total
+    /// accounts); exists so tests can assert the maintained counter
+    /// never drifts from the ground truth.
+    pub fn recompute_native_supply(&self) -> u128 {
         self.accounts.values().map(|a| a.balance).sum()
     }
 
@@ -129,24 +244,206 @@ impl WorldState {
         self.contracts.get(addr).map(|c| c.contract.snapshot())
     }
 
-    /// Canonical root hash of the entire state.
+    /// Canonical root hash of the entire state: the sparse-Merkle root
+    /// over the [`LeafKey`] → value-bytes map (see DESIGN.md §5g).
+    ///
+    /// Commits lazily: leaves touched since the last call are
+    /// recomputed from the live maps and folded into the backend's
+    /// tree, costing O(touched keys · depth) on the incremental
+    /// backend. With nothing dirty this is a cached-root read.
     pub fn state_root(&self) -> Digest {
-        let mut enc = Encoder::new();
+        let mut committer = self.committer.borrow_mut();
+        if committer.dirty.is_empty() {
+            if let Some(root) = committer.backend.root() {
+                return root;
+            }
+        }
+        let updates: Vec<(Digest, Option<Digest>)> = committer
+            .dirty
+            .iter()
+            .map(|k| (k.digest(), self.leaf_value(k).map(|b| sha256(&b))))
+            .collect();
+        let span = pds2_obs::span("state", "commit", pds2_obs::Stamp::None);
+        let mut full = || self.full_leaves();
+        let (root, hashed) = committer.backend.commit(&updates, &mut full);
+        committer.dirty.clear();
+        pds2_obs::counter!("state.smt.nodes_hashed").add(hashed);
+        span.finish(
+            pds2_obs::Stamp::None,
+            vec![
+                ("touched", pds2_obs::Value::from(updates.len() as u64)),
+                ("nodes_hashed", pds2_obs::Value::from(hashed)),
+            ],
+        );
+        root
+    }
+
+    /// Canonical value bytes of one leaf, `None` when the leaf is
+    /// absent. This is the byte string a light client feeds to
+    /// [`crate::smt::verify_proof`]; the tree stores its sha256.
+    pub fn leaf_value(&self, key: &LeafKey) -> Option<Vec<u8>> {
+        match key {
+            LeafKey::Account(a) => self.accounts.get(a).map(|acct| acct.to_bytes()),
+            LeafKey::Erc20Meta(t) => self.erc20.meta_entry(*t).map(|(sym, minter, supply)| {
+                let mut enc = Encoder::new();
+                enc.put_str(sym);
+                enc.put_option(&minter);
+                enc.put_u128(supply);
+                enc.finish()
+            }),
+            LeafKey::Erc20Bal(t, a) => self.erc20.bal_entry(*t, a).map(|b| {
+                let mut enc = Encoder::new();
+                enc.put_u128(b);
+                enc.finish()
+            }),
+            LeafKey::Erc20Allow(t, o, s) => self.erc20.allowance_entry(*t, o, s).map(|a| {
+                let mut enc = Encoder::new();
+                enc.put_u128(a);
+                enc.finish()
+            }),
+            LeafKey::Erc20Next => (self.erc20.next_id() != 0).then(|| {
+                let mut enc = Encoder::new();
+                enc.put_u64(self.erc20.next_id());
+                enc.finish()
+            }),
+            LeafKey::Erc721Token(id) => self.erc721.info(*id).map(|info| info.to_bytes()),
+            LeafKey::Erc721Next => (self.erc721.next_id() != 0).then(|| {
+                let mut enc = Encoder::new();
+                enc.put_u64(self.erc721.next_id());
+                enc.finish()
+            }),
+            LeafKey::Contract(a) => self.contracts.get(a).map(|inst| {
+                let mut enc = Encoder::new();
+                enc.put_str(&inst.code_id);
+                enc.put_digest(&inst.contract.state_digest());
+                enc.finish()
+            }),
+            LeafKey::Burned => (self.burned != 0).then(|| {
+                let mut enc = Encoder::new();
+                enc.put_u128(self.burned);
+                enc.finish()
+            }),
+        }
+    }
+
+    /// Enumerates the complete canonical leaf set `(tree key, value
+    /// digest)` from the live maps — the full-rehash oracle's input.
+    /// Deliberately independent of the dirty set, so an incremental
+    /// marking bug cannot hide here.
+    pub(crate) fn full_leaves(&self) -> Vec<(Digest, Digest)> {
+        let mut keys: Vec<LeafKey> = Vec::with_capacity(self.accounts.len() + 8);
+        keys.extend(self.accounts.keys().map(|a| LeafKey::Account(*a)));
+        if self.erc20.next_id() != 0 {
+            keys.push(LeafKey::Erc20Next);
+        }
+        for token in self.erc20.token_ids() {
+            keys.push(LeafKey::Erc20Meta(token));
+            keys.extend(
+                self.erc20
+                    .balance_entries(token)
+                    .map(|(a, _)| LeafKey::Erc20Bal(token, a)),
+            );
+            keys.extend(
+                self.erc20
+                    .allowance_entries(token)
+                    .map(|(o, s, _)| LeafKey::Erc20Allow(token, o, s)),
+            );
+        }
+        if self.erc721.next_id() != 0 {
+            keys.push(LeafKey::Erc721Next);
+        }
+        keys.extend(
+            self.erc721
+                .token_entries()
+                .map(|(id, _)| LeafKey::Erc721Token(id)),
+        );
+        keys.extend(self.contracts.keys().map(|a| LeafKey::Contract(*a)));
+        if self.burned != 0 {
+            keys.push(LeafKey::Burned);
+        }
+        keys.iter()
+            .map(|k| {
+                let bytes = self.leaf_value(k).expect("enumerated leaves are present");
+                (k.digest(), sha256(&bytes))
+            })
+            .collect()
+    }
+
+    /// Produces the leaf's current value and a Merkle (non-)inclusion
+    /// proof against the current state root (committing first if
+    /// needed). Verify with [`crate::smt::verify_proof`] against the
+    /// root from a validated block header.
+    pub fn prove_leaf(&self, key: &LeafKey) -> (Option<Vec<u8>>, SmtProof) {
+        let _ = self.state_root(); // flush pending changes
+        let proof = self.committer.borrow().backend.prove(&key.digest());
+        (self.leaf_value(key), proof)
+    }
+
+    /// Serializes the complete state for a recovery snapshot. Contracts
+    /// are stored as `(code_id, deployer, init, snapshot)` so restore
+    /// can revive each instance through the registry constructor — the
+    /// construction that succeeded at deploy time succeeds again.
+    pub(crate) fn encode_snapshot(&self, enc: &mut Encoder) {
         enc.put_u64(self.accounts.len() as u64);
         for (addr, acct) in &self.accounts {
-            addr.encode(&mut enc);
-            acct.encode(&mut enc);
+            addr.encode(enc);
+            acct.encode(enc);
         }
-        enc.put_digest(&self.erc20.state_digest());
-        enc.put_digest(&self.erc721.state_digest());
+        self.erc20.encode(enc);
+        self.erc721.encode(enc);
         enc.put_u64(self.contracts.len() as u64);
         for (addr, inst) in &self.contracts {
-            addr.encode(&mut enc);
+            addr.encode(enc);
             enc.put_str(&inst.code_id);
-            enc.put_digest(&inst.contract.state_digest());
+            inst.deployer.encode(enc);
+            enc.put_bytes(&inst.init);
+            enc.put_bytes(&inst.contract.snapshot());
         }
         enc.put_u128(self.burned);
-        sha256(&enc.finish())
+        enc.put_u128(self.native_supply);
+    }
+
+    /// Rebuilds a state from a snapshot. The whole leaf set is marked
+    /// dirty, so the first `state_root()` repopulates the backend.
+    pub(crate) fn decode_snapshot(
+        dec: &mut Decoder<'_>,
+        registry: &ContractRegistry,
+    ) -> Result<WorldState, String> {
+        let fail = |e: pds2_crypto::DecodeError| format!("snapshot decode: {e:?}");
+        let mut st = WorldState::new();
+        for _ in 0..dec.get_u64().map_err(fail)? {
+            let addr = Address::decode(dec).map_err(fail)?;
+            let acct = Account::decode(dec).map_err(fail)?;
+            st.accounts.insert(addr, acct);
+        }
+        st.erc20 = crate::erc20::Erc20Module::decode(dec).map_err(fail)?;
+        st.erc721 = crate::erc721::Erc721Module::decode(dec).map_err(fail)?;
+        for _ in 0..dec.get_u64().map_err(fail)? {
+            let addr = Address::decode(dec).map_err(fail)?;
+            let code_id = dec.get_str().map_err(fail)?;
+            let deployer = Address::decode(dec).map_err(fail)?;
+            let init = dec.get_bytes().map_err(fail)?;
+            let snap = dec.get_bytes().map_err(fail)?;
+            let mut contract = registry
+                .instantiate(&code_id, deployer, &init)
+                .map_err(|e| format!("snapshot revive {code_id}: {e}"))?;
+            contract
+                .restore(&snap)
+                .map_err(|e| format!("snapshot restore {code_id}: {e}"))?;
+            st.contracts.insert(
+                addr,
+                ContractInstance {
+                    code_id,
+                    deployer,
+                    init,
+                    contract,
+                },
+            );
+        }
+        st.burned = dec.get_u128().map_err(fail)?;
+        st.native_supply = dec.get_u128().map_err(fail)?;
+        st.mark_all_dirty();
+        Ok(st)
     }
 
     /// Executes one signed transaction against the state.
@@ -262,14 +559,22 @@ impl WorldState {
             };
         }
         self.accounts.entry(sender).or_default().balance -= upfront;
+        self.mark(LeafKey::Account(sender));
         let mut receipt = self.apply_inner(registry, signed, env.height, tx_index, trace);
         let gas_cost = receipt.gas_used as u128 * price as u128;
         self.accounts.entry(sender).or_default().balance += upfront - gas_cost;
         let burn = receipt.gas_used as u128 * env.base_fee as u128;
         let tip = gas_cost - burn;
         self.burned += burn;
+        // Escrow−refund−tip nets the circulating supply down by exactly
+        // the burn.
+        self.native_supply -= burn;
+        if burn > 0 {
+            self.mark(LeafKey::Burned);
+        }
         if tip > 0 {
             self.accounts.entry(env.coinbase).or_default().balance += tip;
+            self.mark(LeafKey::Account(env.coinbase));
         }
         receipt.effective_gas_price = price;
         receipt
@@ -315,6 +620,7 @@ impl WorldState {
 
         // From here on the nonce is consumed, success or not.
         self.accounts.entry(sender).or_default().nonce += 1;
+        self.mark(LeafKey::Account(sender));
         let sender_nonce_used = signed.tx.nonce;
 
         let mut meter = GasMeter::new(signed.tx.gas_limit);
@@ -337,29 +643,37 @@ impl WorldState {
             }
             TxKind::Erc20(op) => match meter.charge(gas::ERC20_OP) {
                 Err(_) => Err("out of gas".into()),
-                Ok(()) => self
-                    .erc20
-                    .apply(sender, op, &mut events)
-                    .map(|created| {
-                        let out = created
-                            .map(|id| id.0.to_le_bytes().to_vec())
-                            .unwrap_or_default();
-                        (out, None)
-                    })
-                    .map_err(|e| e.to_string()),
+                Ok(()) => {
+                    let result = self.erc20.apply(sender, op, &mut events);
+                    // Mark regardless of outcome: a failed Transfer/Burn
+                    // still creates a zero balance entry for the sender
+                    // (`entry().or_default()` precedes the check), and
+                    // that entry is part of the canonical leaf set.
+                    self.mark_erc20(sender, op, *result.as_ref().unwrap_or(&None));
+                    result
+                        .map(|created| {
+                            let out = created
+                                .map(|id| id.0.to_le_bytes().to_vec())
+                                .unwrap_or_default();
+                            (out, None)
+                        })
+                        .map_err(|e| e.to_string())
+                }
             },
             TxKind::Erc721(op) => match meter.charge(gas::ERC721_OP) {
                 Err(_) => Err("out of gas".into()),
-                Ok(()) => self
-                    .erc721
-                    .apply(sender, op, &mut events)
-                    .map(|created| {
-                        let out = created
-                            .map(|id| id.0.to_le_bytes().to_vec())
-                            .unwrap_or_default();
-                        (out, None)
-                    })
-                    .map_err(|e| e.to_string()),
+                Ok(()) => {
+                    let result = self.erc721.apply(sender, op, &mut events);
+                    self.mark_erc721(op, *result.as_ref().unwrap_or(&None));
+                    result
+                        .map(|created| {
+                            let out = created
+                                .map(|id| id.0.to_le_bytes().to_vec())
+                                .unwrap_or_default();
+                            (out, None)
+                        })
+                        .map_err(|e| e.to_string())
+                }
             },
             TxKind::Deploy { code_id, init } => match meter.charge(gas::DEPLOY) {
                 Err(_) => Err("out of gas".into()),
@@ -372,9 +686,13 @@ impl WorldState {
                             Ok(contract) => {
                                 e.insert(ContractInstance {
                                     code_id: code_id.clone(),
+                                    deployer: sender,
+                                    init: init.clone(),
                                     contract,
                                 });
                                 self.accounts.entry(addr).or_default();
+                                self.mark(LeafKey::Contract(addr));
+                                self.mark(LeafKey::Account(addr));
                                 events.emit(Event::new(
                                     "contract.deploy",
                                     format!("code={code_id} addr={addr} by={sender}"),
@@ -438,7 +756,65 @@ impl WorldState {
         }
         self.accounts.entry(from).or_default().balance -= amount;
         self.accounts.entry(to).or_default().balance += amount;
+        self.mark(LeafKey::Account(from));
+        self.mark(LeafKey::Account(to));
         Ok(())
+    }
+
+    /// Dirty-marks the leaves an ERC-20 op can touch. Called on success
+    /// AND failure: every marked leaf is recomputed from the live maps,
+    /// so over-marking is harmless, while under-marking a failed op that
+    /// left a zero entry behind would silently fork the root.
+    fn mark_erc20(&self, sender: Address, op: &Erc20Op, created: Option<crate::erc20::TokenId>) {
+        match op {
+            Erc20Op::Create { .. } => {
+                if let Some(id) = created {
+                    self.mark(LeafKey::Erc20Next);
+                    self.mark(LeafKey::Erc20Meta(id));
+                    self.mark(LeafKey::Erc20Bal(id, sender));
+                }
+            }
+            Erc20Op::Mint { token, to, .. } => {
+                self.mark(LeafKey::Erc20Meta(*token));
+                self.mark(LeafKey::Erc20Bal(*token, *to));
+            }
+            Erc20Op::Transfer { token, to, .. } => {
+                self.mark(LeafKey::Erc20Bal(*token, sender));
+                self.mark(LeafKey::Erc20Bal(*token, *to));
+            }
+            Erc20Op::Approve { token, spender, .. } => {
+                self.mark(LeafKey::Erc20Allow(*token, sender, *spender));
+            }
+            Erc20Op::TransferFrom {
+                token, owner, to, ..
+            } => {
+                self.mark(LeafKey::Erc20Allow(*token, *owner, sender));
+                self.mark(LeafKey::Erc20Bal(*token, *owner));
+                self.mark(LeafKey::Erc20Bal(*token, *to));
+            }
+            Erc20Op::Burn { token, .. } => {
+                self.mark(LeafKey::Erc20Meta(*token));
+                self.mark(LeafKey::Erc20Bal(*token, sender));
+            }
+        }
+    }
+
+    /// Dirty-marks the leaves an ERC-721 op can touch (failed NFT ops
+    /// are verified non-mutating, but marking is still unconditional —
+    /// recomputing an untouched leaf is a no-op).
+    fn mark_erc721(&self, op: &Erc721Op, created: Option<crate::erc721::NftId>) {
+        match op {
+            Erc721Op::Mint { .. } => {
+                if let Some(id) = created {
+                    self.mark(LeafKey::Erc721Next);
+                    self.mark(LeafKey::Erc721Token(id));
+                }
+            }
+            Erc721Op::Transfer { id, .. }
+            | Erc721Op::Approve { id, .. }
+            | Erc721Op::TransferFrom { id, .. }
+            | Erc721Op::Burn { id } => self.mark(LeafKey::Erc721Token(*id)),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -490,6 +866,9 @@ impl WorldState {
                 std::mem::take(&mut ctx.pending_token_transfers),
             )
         };
+        // The call may have mutated the contract's internal state (and a
+        // failed call restores it); recompute its leaf either way.
+        self.mark(LeafKey::Contract(contract_addr));
 
         let rollback = |state: &mut WorldState, events: &mut EventSink| {
             let inst = state
@@ -540,6 +919,8 @@ impl WorldState {
                     self.erc20
                         .module_transfer(token, contract_addr, to, amount)
                         .expect("totals checked above");
+                    self.mark(LeafKey::Erc20Bal(token, contract_addr));
+                    self.mark(LeafKey::Erc20Bal(token, to));
                     events.emit(Event::new(
                         "erc20.contract_payout",
                         format!(

@@ -23,12 +23,16 @@
 //! * a crashed replica loses everything but its keys and config
 //!   ([`crate::chain::Blockchain`] is rebuilt from the genesis factory)
 //!   and resynchronises on recovery before it is allowed to propose
-//!   again.
+//!   again — unless it was built with [`ChainReplica::new_persistent`],
+//!   in which case it first restores snapshot + log from its durable
+//!   [`ChainLog`] and only fetches the missing suffix from peers.
 
 use crate::block::Block;
 use crate::chain::{Blockchain, ChainError};
+use parking_lot::Mutex;
 use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use pds2_net::{Ctx, Node, NodeId};
+use pds2_storage::chainlog::ChainLog;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -125,6 +129,12 @@ pub struct ChainReplica {
     /// While `true` the replica is catching up and must not propose
     /// (a stale proposer would re-sign an already-decided height).
     syncing: bool,
+    /// Durable store surviving crash-stop faults (`None` = volatile
+    /// replica that rebuilds from genesis on crash, the pre-§5g
+    /// behaviour).
+    store: Option<Arc<Mutex<ChainLog>>>,
+    /// Snapshot cadence handed to the chain alongside the store.
+    snapshot_every: u64,
     /// Blocks produced by this replica.
     pub blocks_produced: u64,
     /// External blocks applied (NewBlock + catch-up batches).
@@ -159,6 +169,8 @@ impl ChainReplica {
             produce_interval_us,
             announce_interval_us,
             syncing: false,
+            store: None,
+            snapshot_every: 0,
             blocks_produced: 0,
             blocks_applied: 0,
             blocks_rejected: 0,
@@ -166,6 +178,31 @@ impl ChainReplica {
             forks_adopted: 0,
             txs_reinstated: 0,
         }
+    }
+
+    /// Creates a replica whose chain journals blocks and admitted
+    /// transactions into `store` (snapshotting every `snapshot_every`
+    /// blocks). A crash-stop fault then recovers from snapshot + log
+    /// replay instead of wiping to genesis — see
+    /// [`Blockchain::recover_from_store`].
+    pub fn new_persistent(
+        genesis: GenesisFactory,
+        validator_index: Option<usize>,
+        produce_interval_us: u64,
+        announce_interval_us: u64,
+        store: Arc<Mutex<ChainLog>>,
+        snapshot_every: u64,
+    ) -> ChainReplica {
+        let mut replica = ChainReplica::new(
+            genesis,
+            validator_index,
+            produce_interval_us,
+            announce_interval_us,
+        );
+        replica.chain.attach_store(store.clone(), snapshot_every);
+        replica.store = Some(store);
+        replica.snapshot_every = snapshot_every;
+        replica
     }
 
     /// The wrapped chain.
@@ -390,10 +427,18 @@ impl Node for ChainReplica {
         SyncMsg::from_bytes(&bytes).ok()
     }
 
-    /// Crash-stop: everything volatile is lost; only keys and genesis
-    /// config survive (encoded in the factory).
+    /// Crash-stop: everything volatile is lost. A persistent replica
+    /// recovers from its snapshot + log (journaled but unincluded
+    /// transactions re-enter the mempool); a volatile one only keeps its
+    /// keys and genesis config (encoded in the factory). Either way the
+    /// replica resyncs from peers before proposing again.
     fn on_crash(&mut self) {
-        self.chain = (self.genesis)();
+        self.chain = match &self.store {
+            Some(store) => {
+                Blockchain::recover_from_store((self.genesis)(), store.clone(), self.snapshot_every)
+            }
+            None => (self.genesis)(),
+        };
         self.syncing = true;
     }
 
@@ -549,5 +594,43 @@ mod tests {
         replica.on_crash();
         assert_eq!(replica.chain().height(), 0);
         assert!(replica.is_syncing());
+    }
+
+    #[test]
+    fn persistent_crash_recovers_from_store() {
+        use crate::tx::{Transaction, TxKind};
+        let f = factory();
+        let store = Arc::new(Mutex::new(ChainLog::new()));
+        let mut replica = ChainReplica::new_persistent(f, Some(0), 1_000, 5_000, store, 2);
+        for _ in 0..3 {
+            replica.chain_mut().produce_block();
+        }
+        // A journaled-but-unincluded transaction must survive the crash.
+        let alice = KeyPair::from_seed(1);
+        let tx = Transaction {
+            from: alice.public.clone(),
+            nonce: 0,
+            kind: TxKind::Transfer {
+                to: Address::of(&KeyPair::from_seed(2).public),
+                amount: 7,
+            },
+            gas_limit: 100_000,
+            max_fee_per_gas: 0,
+            priority_fee_per_gas: 0,
+        }
+        .sign(&alice);
+        replica.chain_mut().submit(tx).unwrap();
+        let head = replica.chain().head_hash();
+        let root = replica.chain().state.state_root();
+
+        replica.on_crash();
+        assert_eq!(replica.chain().height(), 3, "blocks replayed from the log");
+        assert_eq!(replica.chain().head_hash(), head);
+        assert_eq!(replica.chain().state.state_root(), root);
+        assert_eq!(replica.chain().mempool_len(), 1, "pending tx reinstated");
+        assert!(replica.is_syncing(), "still resyncs before proposing");
+        // The recovered chain keeps journaling: the next block persists.
+        replica.chain_mut().produce_block();
+        assert!(replica.chain().has_store());
     }
 }

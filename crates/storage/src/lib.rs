@@ -10,11 +10,16 @@
 //!   provider-owned plaintext storage and outsourced sealed storage
 //!   (Fig. 3's hardware configurations), workload matching over published
 //!   metadata only, and provider-signed access grants gating payload
-//!   release to executors.
+//!   release to executors;
+//! - [`chainlog`] — the append-only, checksummed block/receipt log with
+//!   a snapshot slot that makes chain state crash-recoverable
+//!   (DESIGN.md §5g).
 
+pub mod chainlog;
 pub mod semantic;
 pub mod store;
 
+pub use chainlog::{ChainLog, Frame, ScanResult, FRAME_BLOCK, FRAME_TX};
 pub use semantic::{MetaValue, Metadata, Ontology, Requirement};
 pub use store::{
     AccessGrant, LocalStore, Record, RecordId, StorageBackend, StorageError, ThirdPartyStore,

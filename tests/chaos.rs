@@ -380,8 +380,133 @@ fn fork_reorg_reinstates_orphaned_transactions() {
     );
 }
 
+/// A persistent-crash run: everything in [`ChainRun`] plus each
+/// replica's final mempool population (the journal must preserve
+/// pending transactions across the crash).
+#[derive(Clone, Debug, PartialEq)]
+struct PersistRun {
+    base: ChainRun,
+    pools: Vec<usize>,
+}
+
+/// Like [`run_chain`], but replica 2 (the one the fault plans crash)
+/// optionally journals into a durable [`ChainLog`] that survives the
+/// crash, snapshotting every 4 blocks.
+fn run_persistent_crash(seed: u64, plan: FaultPlan, until_us: u64, persistent: bool) -> PersistRun {
+    use pds2_storage::chainlog::ChainLog;
+    let f = factory();
+    let store = Arc::new(parking_lot::Mutex::new(ChainLog::new()));
+    let replicas: Vec<ChainReplica> = (0..N_REPLICAS)
+        .map(|i| {
+            if persistent && i == 2 {
+                ChainReplica::new_persistent(f.clone(), Some(i), 200_000, 150_000, store.clone(), 4)
+            } else {
+                ChainReplica::new(f.clone(), Some(i), 200_000, 150_000)
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(replicas, fast_link(), seed);
+    // A nonce-gapped transfer seeded only into replica 2's mempool: the
+    // gap (nonce 1 with state nonce 0) keeps it pending forever, so
+    // whether it survives the crash depends entirely on the journal.
+    let alice = KeyPair::from_seed(1);
+    let tx = Transaction {
+        from: alice.public.clone(),
+        nonce: 1,
+        kind: TxKind::Transfer {
+            to: Address::of(&KeyPair::from_seed(2).public),
+            amount: 5,
+        },
+        gas_limit: 100_000,
+        max_fee_per_gas: 0,
+        priority_fee_per_gas: 0,
+    }
+    .sign(&alice);
+    sim.node_mut(2)
+        .chain_mut()
+        .submit(tx)
+        .expect("seed pending tx");
+    sim.install_fault_plan(plan);
+    sim.enable_trace();
+    sim.run_until(until_us);
+    PersistRun {
+        base: ChainRun {
+            trace: sim.trace_hash().expect("trace enabled"),
+            heads: sim.nodes().map(|r| r.chain().head_hash()).collect(),
+            roots: sim.nodes().map(|r| r.chain().state.state_root()).collect(),
+            heights: sim.nodes().map(|r| r.chain().height()).collect(),
+            applied: sim.nodes().map(|r| r.blocks_applied).collect(),
+            rejected: sim.nodes().map(|r| r.blocks_rejected).collect(),
+            forks: sim.nodes().map(|r| r.forks_adopted).collect(),
+            syncing: sim.nodes().map(|r| r.is_syncing()).collect(),
+            stats: sim.stats(),
+        },
+        pools: sim.nodes().map(|r| r.chain().mempool_len()).collect(),
+    }
+}
+
+#[test]
+fn persistent_crash_recovers_from_snapshot_and_log() {
+    let _obs = obs::test_lock();
+    let plan = || FaultPlan::new(0x5707).crash(2, 3_000_000, Some(6_000_000));
+    let before = obs::snapshot();
+    let run = run_persistent_crash(29, plan(), 15_000_000, true);
+    let d = obs::snapshot().counter_deltas(&before);
+    let delta = |name: &str| d.get(name).copied().unwrap_or(0);
+    assert_eq!(run.base.stats.crashes, 1);
+    assert_eq!(run.base.stats.recoveries, 1);
+    assert_eq!(delta("chain.recoveries"), 1, "{d:?}");
+    assert!(delta("chain.snapshots_written") > 0, "{d:?}");
+    assert!(delta("chain.txs_reinstated") > 0, "{d:?}");
+    // The recovered replica rejoins the canonical chain bit-for-bit:
+    // same head, same state root as the replicas that never crashed.
+    assert_converged(&run.base);
+    assert!(!run.base.syncing[2], "recovered replica still syncing");
+    assert_eq!(
+        run.pools[2], 1,
+        "the journaled pending transaction must survive the crash: {run:?}"
+    );
+    // Volatile baseline under the same plan: the crash wipes the
+    // mempool, so the pending transaction is gone — the journal is
+    // what preserved it above.
+    let volatile = run_persistent_crash(29, plan(), 15_000_000, false);
+    assert_converged(&volatile.base);
+    assert_eq!(
+        volatile.pools[2], 0,
+        "a volatile replica must forget the pending transaction: {volatile:?}"
+    );
+    // Harness property: bit-identical replay, at any worker count.
+    let again = run_persistent_crash(29, plan(), 15_000_000, true);
+    assert_eq!(again, run, "re-run of the same seed diverged");
+    for threads in THREAD_COUNTS {
+        let r = pds2_par::with_threads(threads, || {
+            run_persistent_crash(29, plan(), 15_000_000, true)
+        });
+        assert_eq!(r, run, "run diverged at {threads} threads");
+    }
+    // Pinned trace + recovered root (fixture line 3).
+    let (want_trace, want_root) = fixture_line(2);
+    assert_eq!(
+        run.base.trace.to_hex(),
+        want_trace,
+        "persistent-recovery trace changed; if this is an intended \
+         protocol change, update line 3 of tests/fixtures/chaos_golden.txt to:\n{} {}",
+        run.base.trace.to_hex(),
+        run.base.roots[2].to_hex()
+    );
+    assert_eq!(
+        run.base.roots[2].to_hex(),
+        want_root,
+        "recovered state root changed; if intended, update line 3 of \
+         tests/fixtures/chaos_golden.txt to:\n{} {}",
+        run.base.trace.to_hex(),
+        run.base.roots[2].to_hex()
+    );
+}
+
 /// One `"<trace> <state_root>"` pair per fixture line: line 0 pins the
-/// golden all-faults scenario, line 1 the fork/reorg scenario.
+/// golden all-faults scenario, line 1 the fork/reorg scenario, line 2
+/// the persistent crash-recovery scenario.
 fn fixture_line(n: usize) -> (&'static str, &'static str) {
     let fixture = include_str!("fixtures/chaos_golden.txt");
     let line = fixture

@@ -41,6 +41,7 @@ fuzz_decode!(workload_spec_never_panics, WorkloadSpec);
 fuzz_decode!(signed_reading_never_panics, SignedReading);
 fuzz_decode!(certificate_never_panics, ParticipationCertificate);
 fuzz_decode!(requirement_never_panics, Requirement);
+fuzz_decode!(smt_proof_never_panics, pds2_chain::SmtProof);
 
 proptest! {
     #[test]
@@ -82,6 +83,138 @@ proptest! {
                     !decoded.verify_signature() || decoded == tx,
                     "bit flip must invalidate the signature"
                 );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-Merkle-proof mutations: a light client accepts state only
+// through `verify_proof` against a header root, so every mutation of a
+// serialized proof — truncation at every prefix length, a bit flip at
+// every position, swapping any two sibling hashes — must either fail to
+// decode or fail verification. Exercised for both inclusion and
+// non-inclusion proofs from a seeded 64-leaf tree.
+// ---------------------------------------------------------------------------
+
+mod smt_proof_mutations {
+    use pds2_chain::smt::{verify_proof, SmtProof, SmtTree};
+    use pds2_crypto::codec::{Decode, Encode};
+    use pds2_crypto::{sha256, Digest};
+
+    fn key(i: u64) -> Digest {
+        sha256(&i.to_le_bytes())
+    }
+
+    fn value_bytes(i: u64) -> Vec<u8> {
+        format!("leaf-value-{i}").into_bytes()
+    }
+
+    /// A 64-leaf tree; keys 0..64 are present, everything else absent.
+    fn fixture() -> (SmtTree, Digest) {
+        let leaves: Vec<(Digest, Digest)> =
+            (0..64).map(|i| (key(i), sha256(&value_bytes(i)))).collect();
+        let (tree, _) = SmtTree::from_leaves(leaves);
+        let root = tree.root_hash();
+        (tree, root)
+    }
+
+    /// The value a verifier would check for probe key `i`, honoring the
+    /// fixture's present/absent split.
+    fn expected_value(i: u64) -> Option<Vec<u8>> {
+        (i < 64).then(|| value_bytes(i))
+    }
+
+    /// Probe keys: a present one (inclusion) and an absent one whose
+    /// path ends at a mismatched witness leaf or an empty subtree
+    /// (non-inclusion).
+    const PROBES: [u64; 4] = [3, 41, 130, 9_999];
+
+    #[test]
+    fn smt_proof_roundtrip_covers_inclusion_and_absence() {
+        let (tree, root) = fixture();
+        for i in (0..64).chain(100..164) {
+            let proof = tree.prove(&key(i));
+            let back = SmtProof::from_bytes(&proof.to_bytes()).expect("roundtrip decodes");
+            assert_eq!(back, proof);
+            let value = expected_value(i);
+            assert!(
+                verify_proof(&root, &key(i), value.as_deref(), &back),
+                "round-tripped proof must verify for key {i}"
+            );
+            // The same proof must not prove the opposite claim.
+            let opposite = match value {
+                Some(_) => None,
+                None => Some(value_bytes(i)),
+            };
+            assert!(
+                !verify_proof(&root, &key(i), opposite.as_deref(), &back),
+                "proof proved the opposite claim for key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_smt_proof_never_verifies() {
+        let (tree, root) = fixture();
+        for i in PROBES {
+            let wire = tree.prove(&key(i)).to_bytes();
+            let value = expected_value(i);
+            for len in 0..wire.len() {
+                if let Ok(p) = SmtProof::from_bytes(&wire[..len]) {
+                    assert!(
+                        !verify_proof(&root, &key(i), value.as_deref(), &p),
+                        "key {i}: truncation to {len}/{} bytes still verifies",
+                        wire.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitflipped_smt_proof_never_verifies() {
+        let (tree, root) = fixture();
+        for i in PROBES {
+            let wire = tree.prove(&key(i)).to_bytes();
+            let value = expected_value(i);
+            for idx in 0..wire.len() {
+                for bit in 0..8 {
+                    let mut bytes = wire.clone();
+                    bytes[idx] ^= 1 << bit;
+                    if let Ok(p) = SmtProof::from_bytes(&bytes) {
+                        assert!(
+                            !verify_proof(&root, &key(i), value.as_deref(), &p),
+                            "key {i}: flip at byte {idx} bit {bit} still verifies"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_swapped_smt_proof_never_verifies() {
+        let (tree, root) = fixture();
+        for i in PROBES {
+            let proof = tree.prove(&key(i));
+            let value = expected_value(i);
+            let n = proof.siblings.len();
+            assert!(n > 1, "key {i}: proof too shallow to swap");
+            for a in 0..n {
+                for b in a + 1..n {
+                    if proof.siblings[a] == proof.siblings[b] {
+                        // Swapping identical digests (e.g. two empty
+                        // subtrees) is byte-identical — not a mutation.
+                        continue;
+                    }
+                    let mut mutated = proof.clone();
+                    mutated.siblings.swap(a, b);
+                    assert!(
+                        !verify_proof(&root, &key(i), value.as_deref(), &mutated),
+                        "key {i}: swapping siblings {a}<->{b} still verifies"
+                    );
+                }
             }
         }
     }

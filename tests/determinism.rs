@@ -243,6 +243,43 @@ fn base_fee_trajectory_is_thread_count_invariant() {
     }
 }
 
+/// Both state-commitment backends — the incremental SMT and the
+/// full-rehash oracle — must produce bit-identical roots to each other
+/// and to themselves at every worker count, including the
+/// `state.smt.nodes_hashed` obs counter (large commits fan node hashing
+/// out through `pds2-par`, which must not change what gets hashed).
+#[test]
+fn state_backends_agree_at_every_thread_count() {
+    use pds2_chain::backend::BackendKind;
+    let block = make_block();
+    let run = |kind: BackendKind| {
+        let before = pds2_obs::snapshot();
+        let mut verifier = make_chain();
+        verifier.state.set_backend(kind);
+        verifier
+            .apply_external_block(&cold_copy(&block))
+            .expect("valid block");
+        let root = verifier.state.state_root();
+        let d = pds2_obs::snapshot().counter_deltas(&before);
+        let hashed = d.get("state.smt.nodes_hashed").copied().unwrap_or(0);
+        (root, verifier.head_hash(), hashed)
+    };
+    let _obs = pds2_obs::test_lock();
+    let base_smt = run(BackendKind::Smt);
+    let base_oracle = run(BackendKind::FullRehash);
+    assert_eq!(base_smt.0, base_oracle.0, "backends disagree on the root");
+    assert_eq!(base_smt.1, base_oracle.1, "backends disagree on the head");
+    for threads in THREAD_COUNTS {
+        let smt = pds2_par::with_threads(threads, || run(BackendKind::Smt));
+        let oracle = pds2_par::with_threads(threads, || run(BackendKind::FullRehash));
+        assert_eq!(smt, base_smt, "SMT backend diverged at {threads} threads");
+        assert_eq!(
+            oracle, base_oracle,
+            "full-rehash backend diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn merkle_root_is_thread_count_invariant() {
     // Enough leaves to cross the parallel-level threshold in
