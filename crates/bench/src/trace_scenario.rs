@@ -145,6 +145,7 @@ fn chaos_chain_sync(seed: u64, until_us: u64) {
         bandwidth_bytes_per_sec: 12_500_000,
         drop_probability: 0.0,
         node_slowdown: Vec::new(),
+        topology: None,
     };
     let mut sim = Simulator::new(replicas, link, seed);
     sim.install_fault_plan(plan);

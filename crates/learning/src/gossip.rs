@@ -472,6 +472,123 @@ where
     }
 }
 
+/// Options for a fleet-scale gossip run ([`run_gossip_experiment_at_scale`]).
+#[derive(Clone, Debug)]
+pub struct ScaleGossipOpts {
+    /// Total fleet size (most nodes hold no data and only relay/merge).
+    pub n_nodes: usize,
+    /// How many nodes receive a shard of the training data, spread
+    /// evenly across the id space.
+    pub data_holders: usize,
+    /// Evaluation samples at most this many online nodes per round
+    /// (stride-sampled; evaluating 100k nodes would dominate the run).
+    pub eval_sample: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Evaluation instants (µs).
+    pub eval_at_us: Vec<u64>,
+    /// Protocol parameters.
+    pub cfg: GossipConfig,
+    /// Link model — typically [`pds2_net::LinkModel::regional`] over a
+    /// generator-backed topology at this scale.
+    pub link: pds2_net::LinkModel,
+    /// Optional generated churn trace compiled into a fault plan.
+    pub churn: Option<pds2_net::ChurnModel>,
+    /// Scheduler override (`None` = `PDS2_NET_SCHED` / wheel default).
+    pub scheduler: Option<pds2_net::SchedulerKind>,
+}
+
+/// Gossip learning at fleet scale: `n_nodes` participants of which only
+/// `data_holders` hold training shards, the rest merging and relaying —
+/// the paper-vision shape where most user devices contribute connectivity
+/// and only some contribute data. Per-node state stays small (empty
+/// datasets skip local SGD), so 100k+-node fleets are practical; the
+/// E19 `bench_scale` bin drives this to find the scaling knee.
+pub fn run_gossip_experiment_at_scale<M, F>(
+    train: &Dataset,
+    test: &Dataset,
+    opts: &ScaleGossipOpts,
+    make_model: F,
+) -> GossipOutcome
+where
+    M: Model + Sync,
+    F: Fn() -> M,
+{
+    let holders = opts.data_holders.clamp(1, opts.n_nodes);
+    let shards = train.partition_iid(holders, opts.seed);
+    let stride = (opts.n_nodes / holders).max(1);
+    let mut shard_iter = shards.into_iter();
+    let nodes: Vec<GossipNode<M>> = (0..opts.n_nodes)
+        .map(|id| {
+            let empty = || Dataset::new(Vec::new(), Vec::new());
+            let data = if id % stride == 0 && id / stride < holders {
+                shard_iter.next().unwrap_or_else(empty)
+            } else {
+                empty()
+            };
+            GossipNode::new(make_model(), data, opts.cfg.clone())
+        })
+        .collect();
+    let scheduler = opts
+        .scheduler
+        .unwrap_or_else(pds2_net::SchedulerKind::from_env);
+    let mut sim =
+        pds2_net::Simulator::with_scheduler(nodes, opts.link.clone(), opts.seed, scheduler);
+    if let Some(churn) = opts.churn {
+        let trace = churn.trace(opts.seed, opts.n_nodes);
+        sim.install_fault_plan(FaultPlan::new(opts.seed).crashes_from(trace));
+    }
+    sim.enable_trace();
+    let root = pds2_obs::new_trace(
+        "learning",
+        "gossip.scale",
+        pds2_obs::Stamp::Sim(0),
+        vec![
+            ("nodes", pds2_obs::Value::from(opts.n_nodes as u64)),
+            ("holders", pds2_obs::Value::from(holders as u64)),
+        ],
+    );
+    if root.id() != 0 {
+        sim.set_root_ctx(root.ctx());
+    }
+    let mut accuracy_curve = Vec::with_capacity(opts.eval_at_us.len());
+    for &t in &opts.eval_at_us {
+        sim.run_until(t);
+        let online: Vec<usize> = (0..sim.len()).filter(|&id| sim.is_online(id)).collect();
+        let step = (online.len() / opts.eval_sample.max(1)).max(1);
+        let sampled: Vec<usize> = online.iter().copied().step_by(step).collect();
+        let accs = pds2_par::par_map_indexed(&sampled, |_, &id| {
+            let model = &sim.node(id).model;
+            let preds: Vec<f64> = test
+                .x
+                .iter()
+                .map(|x| if model.predict(x) >= 0.5 { 1.0 } else { 0.0 })
+                .collect();
+            pds2_ml::metrics::accuracy(&preds, &test.y)
+        });
+        let mean = if accs.is_empty() {
+            0.0
+        } else {
+            accs.iter().sum::<f64>() / accs.len() as f64
+        };
+        pds2_obs::counter!("learning.gossip_evals").inc();
+        accuracy_curve.push(mean);
+    }
+    let stats = sim.stats();
+    root.finish(
+        pds2_obs::Stamp::Sim(sim.now()),
+        vec![("delivered", pds2_obs::Value::from(stats.delivered))],
+    );
+    GossipOutcome {
+        accuracy_curve,
+        models_transferred: stats.delivered,
+        bytes_transferred: stats.bytes_delivered,
+        online_nodes: sim.online_count(),
+        corrupted_dropped: sim.nodes().map(|n| n.corrupted_dropped).sum(),
+        trace_hash: sim.trace_hash(),
+    }
+}
+
 /// Result of a gossip-learning run.
 #[derive(Clone, Debug)]
 pub struct GossipOutcome {
@@ -750,6 +867,47 @@ mod tests {
                 <GossipNode<LogisticRegression> as Node>::corrupt_msg(&msg, &mut rng).unwrap();
             assert!(!mangled.verify(), "stale digest must not verify");
         }
+    }
+
+    #[test]
+    fn scale_run_learns_on_a_sparse_fleet_and_is_scheduler_invariant() {
+        // A 600-node fleet where only 12 nodes hold data: relays still
+        // spread the model, the sampled eval converges, and the
+        // delivered-message trace is identical under both schedulers.
+        let data = gaussian_blobs(600, 3, 0.7, 1);
+        let (train, test) = data.split(0.25, 2);
+        let run = |scheduler| {
+            let opts = ScaleGossipOpts {
+                n_nodes: 600,
+                data_holders: 12,
+                eval_sample: 40,
+                seed: 11,
+                eval_at_us: vec![4_000_000],
+                cfg: GossipConfig {
+                    period_us: 400_000,
+                    ..Default::default()
+                },
+                link: pds2_net::LinkModel::regional(pds2_net::Topology::five_continents(11)),
+                churn: Some(pds2_net::ChurnModel {
+                    horizon_us: 4_000_000,
+                    mean_uptime_us: 2_000_000,
+                    mean_downtime_us: 500_000,
+                    churn_fraction_x1024: 100, // ~10% of nodes churn
+                }),
+                scheduler: Some(scheduler),
+            };
+            run_gossip_experiment_at_scale(&train, &test, &opts, || LogisticRegression::new(3))
+        };
+        let wheel = run(pds2_net::SchedulerKind::Wheel);
+        let heap = run(pds2_net::SchedulerKind::Heap);
+        assert_eq!(wheel.trace_hash, heap.trace_hash, "schedulers must agree");
+        assert_eq!(wheel.models_transferred, heap.models_transferred);
+        assert!(wheel.online_nodes > 500);
+        assert!(
+            wheel.accuracy_curve[0] > 0.8,
+            "sparse fleet accuracy {:?}",
+            wheel.accuracy_curve
+        );
     }
 
     #[test]

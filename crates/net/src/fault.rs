@@ -170,7 +170,7 @@ impl PartitionSpec {
 }
 
 /// A crash-stop (and optional crash-recovery) of one node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashSpec {
     /// The crashing node.
     pub node: NodeId,
@@ -234,6 +234,13 @@ impl FaultPlan {
             at,
             recover_at,
         });
+        self
+    }
+
+    /// Appends a pre-compiled crash schedule — typically a generated
+    /// churn trace from [`crate::topology::ChurnModel::trace`].
+    pub fn crashes_from(mut self, specs: Vec<CrashSpec>) -> Self {
+        self.crashes.extend(specs);
         self
     }
 

@@ -1,11 +1,16 @@
 //! Link models: latency, bandwidth, jitter, loss and node heterogeneity.
 
+use crate::topology::Topology;
 use rand::Rng;
+
+/// Fixed-point scale for slowdown multipliers: 1024 = no slowdown.
+pub const SLOWDOWN_ONE_X1024: u64 = 1024;
 
 /// Parameters describing the network links between simulated nodes.
 #[derive(Clone, Debug)]
 pub struct LinkModel {
-    /// Base one-way latency in microseconds.
+    /// Base one-way latency in microseconds (overridden per node pair
+    /// when a [`Topology`] is attached).
     pub base_latency_us: u64,
     /// Uniform jitter added on top, in microseconds.
     pub jitter_us: u64,
@@ -15,8 +20,14 @@ pub struct LinkModel {
     pub drop_probability: f64,
     /// Optional per-node speed multipliers (>1 = slower node). Models the
     /// "highly heterogeneous environments" of the gossip-learning papers
-    /// the PDS² paper cites.
+    /// the PDS² paper cites. Quantized to 1/1024ths before use so delay
+    /// arithmetic is pure-integer; superseded by the topology's
+    /// hash-derived slowdown when one is attached.
     pub node_slowdown: Vec<f64>,
+    /// Optional generator-backed topology: per-pair base latency from a
+    /// regional matrix and hash-derived per-node slowdown, no per-node
+    /// storage. `None` keeps the flat single-latency model.
+    pub topology: Option<Topology>,
 }
 
 impl Default for LinkModel {
@@ -27,6 +38,7 @@ impl Default for LinkModel {
             bandwidth_bytes_per_sec: 1_250_000, // 10 Mbit/s
             drop_probability: 0.0,
             node_slowdown: Vec::new(),
+            topology: None,
         }
     }
 }
@@ -40,11 +52,28 @@ impl LinkModel {
             bandwidth_bytes_per_sec: u64::MAX,
             drop_probability: 0.0,
             node_slowdown: Vec::new(),
+            topology: None,
+        }
+    }
+
+    /// A WAN link model driven by a generator-backed [`Topology`]:
+    /// per-pair base latency from the regional matrix, modest jitter,
+    /// 10 Mbit/s links.
+    pub fn regional(topology: Topology) -> Self {
+        LinkModel {
+            base_latency_us: 0, // unused: the topology supplies it
+            jitter_us: 2_000,
+            bandwidth_bytes_per_sec: 1_250_000,
+            drop_probability: 0.0,
+            node_slowdown: Vec::new(),
+            topology: Some(topology),
         }
     }
 
     /// Samples the delivery delay for a message of `size_bytes` from
-    /// `from` to `to`.
+    /// `from` to `to`. All arithmetic is integer (slowdowns are applied
+    /// in 1/1024th fixed point), so delays are platform-independent by
+    /// construction.
     pub fn delay_us<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -62,9 +91,13 @@ impl LinkModel {
         } else {
             size_bytes.saturating_mul(1_000_000) / self.bandwidth_bytes_per_sec.max(1)
         };
-        let slowdown = self.slowdown(from).max(self.slowdown(to));
-        let raw = self.base_latency_us + jitter + serialization;
-        (raw as f64 * slowdown) as u64
+        let base = match &self.topology {
+            Some(t) => t.base_latency_us(from, to),
+            None => self.base_latency_us,
+        };
+        let slowdown = self.slowdown_x1024(from).max(self.slowdown_x1024(to));
+        let raw = base + jitter + serialization;
+        apply_slowdown(raw, slowdown)
     }
 
     /// Whether a message is dropped in transit.
@@ -72,13 +105,32 @@ impl LinkModel {
         self.drop_probability > 0.0 && rng.random::<f64>() < self.drop_probability
     }
 
-    fn slowdown(&self, node: usize) -> f64 {
-        self.node_slowdown
+    /// `node`'s slowdown in 1/1024ths (≥ 1024): the topology's
+    /// hash-derived value when attached, otherwise the quantized
+    /// `node_slowdown` entry.
+    pub fn slowdown_x1024(&self, node: usize) -> u64 {
+        if let Some(t) = &self.topology {
+            return t.slowdown_x1024(node);
+        }
+        let s = self
+            .node_slowdown
             .get(node)
             .copied()
             .unwrap_or(1.0)
-            .max(1.0)
+            .max(1.0);
+        quantize_slowdown(s)
     }
+}
+
+/// Quantizes an f64 slowdown multiplier to 1/1024ths (≥ 1024).
+pub fn quantize_slowdown(s: f64) -> u64 {
+    ((s.max(1.0) * SLOWDOWN_ONE_X1024 as f64) as u64).max(SLOWDOWN_ONE_X1024)
+}
+
+/// Applies a 1/1024th fixed-point slowdown to a raw delay.
+#[inline]
+pub fn apply_slowdown(raw_us: u64, slowdown_x1024: u64) -> u64 {
+    raw_us.saturating_mul(slowdown_x1024) >> 10
 }
 
 #[cfg(test)]
@@ -103,6 +155,7 @@ mod tests {
             bandwidth_bytes_per_sec: 1_000_000, // 1 MB/s
             drop_probability: 0.0,
             node_slowdown: Vec::new(),
+            topology: None,
         };
         let mut rng = StdRng::seed_from_u64(1);
         // 1 MB at 1 MB/s = 1 second = 1e6 us.
@@ -118,12 +171,45 @@ mod tests {
             bandwidth_bytes_per_sec: u64::MAX,
             drop_probability: 0.0,
             node_slowdown: vec![1.0, 3.0],
+            topology: None,
         };
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(m.delay_us(&mut rng, 0, 1, 0), 300);
         assert_eq!(m.delay_us(&mut rng, 1, 0, 0), 300);
         // Unlisted nodes default to 1.0.
         assert_eq!(m.delay_us(&mut rng, 0, 7, 0), 100);
+    }
+
+    #[test]
+    fn fixed_point_matches_f64_for_exact_multipliers() {
+        // Every multiplier expressible in 1/1024ths reproduces the old
+        // f64 formula exactly; the proptest in `tests/proptests.rs`
+        // covers arbitrary multipliers to within 1 tick.
+        for s in [1.0, 1.5, 2.0, 3.0, 10.0, 50.0, 1000.0] {
+            let q = quantize_slowdown(s);
+            for raw in [0u64, 1, 99, 100_000, 1_000_000_000] {
+                assert_eq!(
+                    apply_slowdown(raw, q),
+                    (raw as f64 * s) as u64,
+                    "s={s} raw={raw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_supplies_per_pair_latency() {
+        use crate::topology::Topology;
+        let m = LinkModel {
+            jitter_us: 0,
+            bandwidth_bytes_per_sec: u64::MAX,
+            ..LinkModel::regional(Topology::five_continents(7))
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = m.topology.as_ref().unwrap();
+        for (a, b) in [(0usize, 1usize), (2, 9), (17, 3)] {
+            assert_eq!(m.delay_us(&mut rng, a, b, 0), t.base_latency_us(a, b));
+        }
     }
 
     #[test]
@@ -145,6 +231,7 @@ mod tests {
             bandwidth_bytes_per_sec: u64::MAX,
             drop_probability: 0.0,
             node_slowdown: Vec::new(),
+            topology: None,
         };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..100 {

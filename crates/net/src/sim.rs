@@ -7,12 +7,11 @@
 
 use crate::fault::{FaultPlan, FaultState, SendVerdict};
 use crate::link::LinkModel;
+use crate::sched::{EventQueue, SchedulerKind};
 use pds2_crypto::{Digest, Sha256};
 use pds2_obs::TraceCtx;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Index of a node in the simulation.
 pub type NodeId = usize;
@@ -170,26 +169,48 @@ enum EventKind<M> {
     },
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+/// Per-node online flags packed into a bitset, with the population
+/// count maintained incrementally so [`Simulator::online_count`] is
+/// O(1) at any fleet size.
+struct OnlineSet {
+    words: Vec<u64>,
+    online: usize,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl OnlineSet {
+    fn all_online(n: usize) -> OnlineSet {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        OnlineSet { words, online: n }
     }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
     }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    fn set(&mut self, i: usize, v: bool) {
+        let (w, bit) = (i >> 6, 1u64 << (i & 63));
+        let was = self.words[w] & bit != 0;
+        if was == v {
+            return;
+        }
+        if v {
+            self.words[w] |= bit;
+            self.online += 1;
+        } else {
+            self.words[w] &= !bit;
+            self.online -= 1;
+        }
+    }
+
+    #[inline]
+    fn count(&self) -> usize {
+        self.online
     }
 }
 
@@ -228,8 +249,8 @@ pub struct NetStats {
 /// The discrete-event simulator.
 pub struct Simulator<N: Node> {
     nodes: Vec<N>,
-    online: Vec<bool>,
-    queue: BinaryHeap<Reverse<Event<N::Msg>>>,
+    online: OnlineSet,
+    queue: EventQueue<EventKind<N::Msg>>,
     now: SimTime,
     seq: u64,
     link: LinkModel,
@@ -242,13 +263,26 @@ pub struct Simulator<N: Node> {
 }
 
 impl<N: Node> Simulator<N> {
-    /// Creates a simulator over `nodes` with the given link model and seed.
+    /// Creates a simulator over `nodes` with the given link model and
+    /// seed, using the scheduler selected by `PDS2_NET_SCHED` (timing
+    /// wheel unless `heap` is requested).
     pub fn new(nodes: Vec<N>, link: LinkModel, seed: u64) -> Self {
+        Simulator::with_scheduler(nodes, link, seed, SchedulerKind::from_env())
+    }
+
+    /// Creates a simulator with an explicit scheduler — the differential
+    /// tests and `bench_scale` drive both kinds side by side.
+    pub fn with_scheduler(
+        nodes: Vec<N>,
+        link: LinkModel,
+        seed: u64,
+        scheduler: SchedulerKind,
+    ) -> Self {
         let n = nodes.len();
         Simulator {
             nodes,
-            online: vec![true; n],
-            queue: BinaryHeap::new(),
+            online: OnlineSet::all_online(n),
+            queue: EventQueue::new(scheduler),
             now: 0,
             seq: 0,
             link,
@@ -259,6 +293,17 @@ impl<N: Node> Simulator<N> {
             trace: None,
             root_ctx: TraceCtx::NONE,
         }
+    }
+
+    /// Which event scheduler backs this simulator.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Lifetime overflow-cascade count of the backing timing wheel
+    /// (0 under the heap oracle).
+    pub fn sched_cascades(&self) -> u64 {
+        self.queue.cascades()
     }
 
     /// Sets the causal root context: spontaneous node activity
@@ -306,12 +351,13 @@ impl<N: Node> Simulator<N> {
 
     /// Whether a node is currently online.
     pub fn is_online(&self, id: NodeId) -> bool {
-        self.online[id]
+        self.online.get(id)
     }
 
-    /// Number of currently online nodes.
+    /// Number of currently online nodes (O(1): the count is maintained
+    /// on every `SetOnline`/`Crash`/`Recover` transition).
     pub fn online_count(&self) -> usize {
-        self.online.iter().filter(|&&o| o).count()
+        self.online.count()
     }
 
     /// Schedules a node to go offline at `at` and return at `until`
@@ -396,7 +442,7 @@ impl<N: Node> Simulator<N> {
     fn push(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, kind }));
+        self.queue.push(time, seq, kind);
     }
 
     fn dispatch_actions(&mut self, origin: NodeId, actions: Vec<Action<N::Msg>>) {
@@ -579,21 +625,23 @@ impl<N: Node> Simulator<N> {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline_us: SimTime) -> u64 {
         self.start();
+        let span = pds2_obs::span("net", "run", pds2_obs::Stamp::Sim(self.now));
+        let cascades_before = self.queue.cascades();
         let mut processed = 0;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > deadline_us {
+        while let Some(time) = self.queue.peek_time() {
+            if time > deadline_us {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().unwrap();
-            self.now = ev.time;
+            let (time, _seq, kind) = self.queue.pop().unwrap();
+            self.now = time;
             processed += 1;
-            match ev.kind {
+            match kind {
                 EventKind::SetOnline { node, online } => {
-                    self.online[node] = online;
+                    self.online.set(node, online);
                 }
                 EventKind::Timer { node, tag } => {
                     pds2_obs::counter!("net.timers_fired").inc();
-                    if self.online[node] {
+                    if self.online.get(node) {
                         self.stats.timers_fired += 1;
                         let root = self.root_ctx;
                         self.call_node(node, root, |n, ctx| n.on_timer(ctx, tag));
@@ -627,7 +675,7 @@ impl<N: Node> Simulator<N> {
                             ctx,
                             "from" => from, "to" => to,
                         );
-                    } else if self.online[to] {
+                    } else if self.online.get(to) {
                         self.stats.delivered += 1;
                         self.stats.bytes_delivered += size;
                         pds2_obs::counter!("net.delivered").inc();
@@ -680,7 +728,7 @@ impl<N: Node> Simulator<N> {
                         pds2_obs::Stamp::Sim(self.now),
                         "node" => node,
                     );
-                    self.online[node] = false;
+                    self.online.set(node, false);
                     self.nodes[node].on_crash();
                 }
                 EventKind::Recover { node } => {
@@ -692,13 +740,22 @@ impl<N: Node> Simulator<N> {
                         pds2_obs::Stamp::Sim(self.now),
                         "node" => node,
                     );
-                    self.online[node] = true;
+                    self.online.set(node, true);
                     let root = self.root_ctx;
                     self.call_node(node, root, |n, ctx| n.on_recover(ctx));
                 }
             }
         }
-        self.now = self.now.max(deadline_us.min(self.now).max(self.now));
+        pds2_obs::counter!("net.sched.events_processed").add(processed);
+        let cascades = self.queue.cascades() - cascades_before;
+        pds2_obs::counter!("net.sched.wheel_cascades").add(cascades);
+        span.finish(
+            pds2_obs::Stamp::Sim(self.now),
+            vec![
+                ("events", pds2_obs::Value::from(processed)),
+                ("pending", pds2_obs::Value::from(self.queue.len() as u64)),
+            ],
+        );
         processed
     }
 

@@ -44,6 +44,7 @@ fn fast_link() -> LinkModel {
         bandwidth_bytes_per_sec: 12_500_000,
         drop_probability: 0.0,
         node_slowdown: Vec::new(),
+        topology: None,
     }
 }
 

@@ -384,3 +384,63 @@ proptest! {
         prop_assert_eq!(fast_bits, slow_bits);
     }
 }
+
+/// The event scheduler (timing wheel vs retained heap oracle) is an
+/// implementation detail: a gossip-learning run over a generator-backed
+/// topology with churn must produce bit-identical delivered-message
+/// traces for every (scheduler, thread count) combination.
+#[test]
+fn scheduler_and_thread_count_never_change_gossip_results() {
+    use pds2::learning::gossip::{run_gossip_experiment_at_scale, GossipConfig, ScaleGossipOpts};
+    use pds2::ml::model::LogisticRegression;
+    use pds2::net::{ChurnModel, LinkModel, SchedulerKind, Topology};
+
+    let data = pds2::ml::data::gaussian_blobs(400, 3, 0.7, 1);
+    let (train, test) = data.split(0.25, 2);
+    let run = |scheduler, threads| {
+        pds2::par::with_threads(threads, || {
+            let opts = ScaleGossipOpts {
+                n_nodes: 300,
+                data_holders: 10,
+                eval_sample: 25,
+                seed: 21,
+                eval_at_us: vec![1_500_000, 3_000_000],
+                cfg: GossipConfig {
+                    period_us: 300_000,
+                    ..Default::default()
+                },
+                link: LinkModel::regional(
+                    Topology::five_continents(21).with_slowdown_spread(1024, 4096),
+                ),
+                churn: Some(ChurnModel {
+                    horizon_us: 3_000_000,
+                    mean_uptime_us: 1_500_000,
+                    mean_downtime_us: 400_000,
+                    churn_fraction_x1024: 128,
+                }),
+                scheduler: Some(scheduler),
+            };
+            let out =
+                run_gossip_experiment_at_scale(&train, &test, &opts, || LogisticRegression::new(3));
+            (
+                out.trace_hash.expect("trace enabled"),
+                out.models_transferred,
+                out.online_nodes,
+                out.accuracy_curve
+                    .iter()
+                    .map(|a| a.to_bits())
+                    .collect::<Vec<u64>>(),
+            )
+        })
+    };
+    let baseline = run(SchedulerKind::Wheel, 1);
+    for scheduler in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                run(scheduler, threads),
+                baseline,
+                "{scheduler:?} at {threads} threads diverged"
+            );
+        }
+    }
+}

@@ -27,6 +27,7 @@ fn gossip_converges_on_heterogeneous_lossy_network() {
         bandwidth_bytes_per_sec: 50_000,
         drop_probability: 0.1,
         node_slowdown: slowdown,
+        topology: None,
     };
     let out = run_gossip_experiment(
         shards,
@@ -77,6 +78,7 @@ fn slow_nodes_do_not_block_fast_nodes() {
         bandwidth_bytes_per_sec: u64::MAX,
         drop_probability: 0.0,
         node_slowdown: vec![1.0, 50.0],
+        topology: None,
     };
     let mut sim = Simulator::new(vec![Counter { sent: 0 }, Counter { sent: 0 }], link, 1);
     sim.run_until(1_000_000);
@@ -110,6 +112,7 @@ fn bandwidth_constrains_large_models() {
         bandwidth_bytes_per_sec: 10_000, // 10 kB/s
         drop_probability: 0.0,
         node_slowdown: Vec::new(),
+        topology: None,
     };
     let out = run_gossip_experiment(
         shards,

@@ -62,6 +62,7 @@ fn chaos_chain_run(seed: u64, until_us: u64) -> pds2_net::NetStats {
         bandwidth_bytes_per_sec: 12_500_000,
         drop_probability: 0.0,
         node_slowdown: Vec::new(),
+        topology: None,
     };
     let mut sim = Simulator::new(replicas, link, seed);
     sim.install_fault_plan(plan);

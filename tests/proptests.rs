@@ -1267,3 +1267,36 @@ mod workload_lifecycle {
         }
     }
 }
+
+/// The link model's fixed-point slowdown (1/1024ths) against the old
+/// f64 formula: for any multiplier, the integer delay matches the f64
+/// delay computed from the *quantized* multiplier to within 1 tick
+/// (the quantization itself is the intended platform-independence fix,
+/// so the comparison holds it fixed).
+mod link_fixed_point {
+    use pds2::net::link::{apply_slowdown, quantize_slowdown};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn fixed_point_slowdown_matches_f64_within_one_tick(
+            raw_us in 0u64..100_000_000,
+            slowdown in 0.5f64..1_000.0,
+        ) {
+            let q = quantize_slowdown(slowdown);
+            let fixed = apply_slowdown(raw_us, q);
+            let float = (raw_us as f64 * (q as f64 / 1024.0)) as u64;
+            prop_assert!(
+                fixed.abs_diff(float) <= 1,
+                "raw={raw_us} s={slowdown} q={q}: fixed={fixed} float={float}"
+            );
+            // Exact multiples of 1/1024 reproduce the f64 product exactly.
+            let exact = (q as f64) / 1024.0;
+            let q2 = quantize_slowdown(exact);
+            prop_assert_eq!(q2, q);
+            prop_assert_eq!(apply_slowdown(raw_us, q2), (raw_us as f64 * exact) as u64);
+        }
+    }
+}
