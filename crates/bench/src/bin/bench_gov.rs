@@ -1,0 +1,247 @@
+//! Threshold-governance cost model (DESIGN.md §5i): what the (t,n)
+//! committee pays for DKG, partial signing, aggregation and — the number
+//! the chain actually lives on — aggregate verification, against the
+//! single-key Schnorr baseline that `PDS2_SIG_MODE=single` still runs.
+//!
+//! Before any timing is reported the two sealing modes are checked for
+//! *agreement*: a single-sealed and a threshold-sealed chain fed the same
+//! transactions must produce bit-identical state roots block-for-block,
+//! at `PDS2_THREADS ∈ {1, 4, 8}`, and every aggregate must verify under
+//! the group key via the unmodified Schnorr verifier (fast *and*
+//! schoolbook reference paths). A disagreement aborts the run.
+//!
+//! The acceptance bound — aggregate verification within 3× a single-key
+//! verification — is asserted, not just recorded: the aggregate *is* a
+//! plain Schnorr signature, so the ratio should sit near 1×.
+//!
+//! Writes `BENCH_gov.json` in the working directory.
+//!
+//! `cargo run --release -p pds2-bench --bin bench_gov`
+//! `cargo run --release -p pds2-bench --bin bench_gov -- --smoke`
+
+use pds2_chain::address::Address;
+use pds2_chain::chain::{Blockchain, ChainConfig};
+use pds2_chain::contract::ContractRegistry;
+use pds2_chain::threshold::SigMode;
+use pds2_chain::tx::{Transaction, TxKind};
+use pds2_crypto::KeyPair;
+use pds2_gov::dkg::{run_dkg_quiet, ThresholdParams};
+use pds2_gov::sign::{nonce_commitment, partial_sign};
+use pds2_gov::{sign_with_quorum, SigningSession};
+use std::time::Instant;
+
+const N_VALIDATORS: usize = 7;
+
+/// Best-of-`reps` wall-clock milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Row {
+    name: String,
+    note: &'static str,
+    ms: f64,
+}
+
+/// Single- and threshold-sealed chains fed identical transactions must
+/// agree on every state root, at every thread count. Returns blocks
+/// compared per thread count.
+fn assert_modes_agree(n_blocks: usize) -> usize {
+    let alice = KeyPair::from_seed(1);
+    let bob = Address::of(&KeyPair::from_seed(2).public);
+    let chain_with = |mode: SigMode| {
+        Blockchain::new(
+            (0..4u64).map(|i| KeyPair::from_seed(6_200 + i)).collect(),
+            &[(Address::of(&alice.public), 1_000_000)],
+            ContractRegistry::new(),
+            ChainConfig {
+                sig_mode: mode,
+                ..ChainConfig::default()
+            },
+        )
+    };
+    let mut compared = 0;
+    for threads in [1usize, 4, 8] {
+        pds2_par::with_threads(threads, || {
+            let mut single = chain_with(SigMode::Single);
+            let mut threshold = chain_with(SigMode::Threshold);
+            for height in 0..n_blocks as u64 {
+                let tx = Transaction {
+                    from: alice.public.clone(),
+                    nonce: height,
+                    kind: TxKind::Transfer { to: bob, amount: 5 },
+                    gas_limit: 50_000,
+                    max_fee_per_gas: 0,
+                    priority_fee_per_gas: 0,
+                }
+                .sign(&alice);
+                single.submit(tx.clone()).expect("admission");
+                threshold.submit(tx).expect("admission");
+                let b_single = single.produce_block();
+                let b_threshold = threshold.produce_block();
+                assert_eq!(
+                    b_single.header.state_root,
+                    b_threshold.header.state_root,
+                    "modes diverged at height {} ({threads} threads)",
+                    height + 1
+                );
+                assert_eq!(b_single.header.proposer, b_threshold.header.proposer);
+                assert_ne!(
+                    b_single.header.signature, b_threshold.header.signature,
+                    "threshold mode must not reuse the proposer signature"
+                );
+                compared += 1;
+            }
+        });
+    }
+    compared
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, n_msgs, agree_blocks) = if smoke { (1, 8, 2) } else { (3, 32, 5) };
+    let cores = pds2_par::hardware_cores();
+
+    println!("threshold governance: mode agreement ...");
+    let compared = assert_modes_agree(agree_blocks);
+    println!("  {compared} blocks, single == threshold state roots at threads [1, 4, 8]\n");
+
+    let params = ThresholdParams::majority(N_VALIDATORS);
+    let (committee, shares) = run_dkg_quiet(0xBE9C, params).expect("valid params");
+    let quorum: Vec<&pds2_gov::ValidatorShare> = shares.iter().take(params.t).collect();
+    let msgs: Vec<Vec<u8>> = (0..n_msgs as u64)
+        .map(|i| i.to_le_bytes().to_vec())
+        .collect();
+
+    // Every aggregate must be a plain Schnorr signature under the group
+    // key — fast path AND schoolbook reference agree before timing.
+    for msg in &msgs {
+        let sig = sign_with_quorum(&committee, &quorum, msg).expect("quorum signs");
+        assert!(committee.group_public().verify(msg, &sig));
+        assert!(committee.group_public().verify_reference(msg, &sig));
+    }
+
+    // Single-key baseline: one Schnorr keypair over the same messages.
+    let kp = KeyPair::from_seed(77);
+    let single_sigs: Vec<_> = msgs.iter().map(|m| kp.sign(m)).collect();
+    assert!(kp.public.verify(&msgs[0], &single_sigs[0])); // warm key table
+    let verify_single_ms = time_ms(reps, || {
+        for (m, s) in msgs.iter().zip(&single_sigs) {
+            assert!(kp.public.verify(m, s));
+        }
+    }) / n_msgs as f64;
+
+    let agg_sigs: Vec<_> = msgs
+        .iter()
+        .map(|m| sign_with_quorum(&committee, &quorum, m).expect("quorum signs"))
+        .collect();
+    assert!(committee.group_public().verify(&msgs[0], &agg_sigs[0])); // warm
+    let verify_aggregate_ms = time_ms(reps, || {
+        for (m, s) in msgs.iter().zip(&agg_sigs) {
+            assert!(committee.group_public().verify(m, s));
+        }
+    }) / n_msgs as f64;
+
+    let ratio = verify_aggregate_ms / verify_single_ms;
+    assert!(
+        ratio <= 3.0,
+        "aggregate verify {verify_aggregate_ms:.3} ms exceeds 3x single-key \
+         verify {verify_single_ms:.3} ms"
+    );
+
+    let dkg_ms = time_ms(reps, || {
+        run_dkg_quiet(0xD6, params).expect("valid params");
+    });
+
+    let msg = b"bench partial";
+    let nonces: Vec<_> = quorum
+        .iter()
+        .map(|s| (s.index, nonce_commitment(s, msg, 0)))
+        .collect();
+    let partial_sign_ms = time_ms(reps, || {
+        partial_sign(quorum[0], &committee, msg, 0, &nonces).expect("member signs");
+    });
+
+    let partials: Vec<_> = quorum
+        .iter()
+        .map(|s| partial_sign(s, &committee, msg, 0, &nonces).expect("member signs"))
+        .collect();
+    let aggregate_ms = time_ms(reps, || {
+        let mut session =
+            SigningSession::new(&committee, msg, 0, nonces.clone()).expect("quorum set");
+        for p in &partials {
+            session.offer(&committee, p).expect("honest partial");
+        }
+        let sig = session.aggregate(&committee).expect("aggregates");
+        assert!(committee.group_public().verify(msg, &sig));
+    });
+
+    let rows = [
+        Row {
+            name: format!("dkg_{}of{}", params.t, params.n),
+            note: "full Feldman DKG: n dealers, n^2 dealt-share checks",
+            ms: dkg_ms,
+        },
+        Row {
+            name: "partial_sign".into(),
+            note: "one member: nonce check + response share",
+            ms: partial_sign_ms,
+        },
+        Row {
+            name: format!("aggregate_{}of{}", params.t, params.n),
+            note: "t byzantine-checked offers + Lagrange aggregation + final verify",
+            ms: aggregate_ms,
+        },
+        Row {
+            name: "verify_single".into(),
+            note: "baseline: one Schnorr verification (per message)",
+            ms: verify_single_ms,
+        },
+        Row {
+            name: "verify_aggregate".into(),
+            note: "aggregate under the group key (per message)",
+            ms: verify_aggregate_ms,
+        },
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"committee\": {{\"t\": {}, \"n\": {}}},\n",
+        params.t, params.n
+    ));
+    json.push_str(
+        "  \"note\": \"best-of-N wall clock; the aggregate is a plain Schnorr signature \
+         under the group key, so verification reuses the single-key fast path; mode \
+         agreement (single vs threshold state roots, threads 1/4/8) is asserted before \
+         timing\",\n",
+    );
+    json.push_str(&format!(
+        "  \"determinism\": {{\"blocks_compared\": {compared}, \"agreement\": true, \
+         \"threads_checked\": [1, 4, 8]}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"verify_ratio\": {{\"aggregate_over_single\": {ratio:.3}, \"bound\": 3.0}},\n"
+    ));
+    json.push_str("  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        println!("{:<20} {:>9.3} ms   ({})", row.name, row.ms, row.note);
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ms\": {:.3}, \"note\": \"{}\"}}{}\n",
+            row.name,
+            row.ms,
+            row.note,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_gov.json", &json).expect("write BENCH_gov.json");
+    println!("\naggregate/single verify ratio {ratio:.2}x (bound 3x)\nwrote BENCH_gov.json");
+}

@@ -34,7 +34,7 @@ pub struct BlockHeader {
 
 impl BlockHeader {
     #[allow(clippy::too_many_arguments)]
-    fn signing_bytes(
+    pub(crate) fn signing_bytes(
         height: u64,
         parent: &Digest,
         state_root: &Digest,
@@ -110,6 +110,24 @@ impl BlockHeader {
             &self.proposer,
         );
         crate::sigcache::verify_cached(&payload, &self.proposer, &self.signature)
+    }
+
+    /// Verifies the header signature against an explicit key instead of
+    /// the embedded proposer — threshold mode checks the committee's
+    /// group key while the header keeps naming its round-robin proposer
+    /// (which still drives the coinbase and `WrongProposer` checks).
+    pub fn verify_signature_with(&self, key: &PublicKey) -> bool {
+        let payload = Self::signing_bytes(
+            self.height,
+            &self.parent,
+            &self.state_root,
+            &self.tx_root,
+            self.timestamp,
+            self.base_fee,
+            self.gas_used,
+            &self.proposer,
+        );
+        crate::sigcache::verify_cached(&payload, key, &self.signature)
     }
 
     /// The header hash (block identifier).

@@ -18,6 +18,7 @@ use crate::gas;
 use crate::mempool::{InsertOutcome, Mempool, SelectionStats, SubmitError};
 use crate::smt::SmtProof;
 use crate::state::{BlockEnv, TxReceipt, WorldState};
+use crate::threshold::{SigMode, ThresholdCtx};
 use crate::tx::SignedTransaction;
 use parking_lot::Mutex;
 use pds2_crypto::codec::{Decode, Decoder, Encode, Encoder};
@@ -49,6 +50,11 @@ pub struct ChainConfig {
     /// legacy zero-fee transactions includable until congestion pushes
     /// the fee up (see [`gas::next_base_fee`]).
     pub initial_base_fee: u64,
+    /// Header signing scheme (see [`crate::threshold`]). Defaults to
+    /// [`SigMode::from_env`], so `PDS2_SIG_MODE=threshold` flips every
+    /// default-configured chain — including replica genesis factories —
+    /// to t-of-n committee sealing; tests override it programmatically.
+    pub sig_mode: SigMode,
 }
 
 impl Default for ChainConfig {
@@ -59,6 +65,7 @@ impl Default for ChainConfig {
             max_txs_per_block: 1024,
             mempool_capacity: 1 << 20,
             initial_base_fee: 0,
+            sig_mode: SigMode::from_env(),
         }
     }
 }
@@ -152,6 +159,10 @@ pub struct Blockchain {
     store: Option<Arc<Mutex<ChainLog>>>,
     /// Snapshot cadence in blocks (0 = never snapshot).
     snapshot_every: u64,
+    /// Threshold sealing context (`Some` iff `config.sig_mode` is
+    /// [`SigMode::Threshold`]); shared process-globally per validator
+    /// set via [`crate::threshold::committee_for`].
+    threshold: Option<Arc<ThresholdCtx>>,
 }
 
 impl Blockchain {
@@ -167,6 +178,13 @@ impl Blockchain {
         for (addr, amount) in genesis_alloc {
             state.genesis_credit(*addr, *amount);
         }
+        let threshold = match config.sig_mode {
+            SigMode::Single => None,
+            SigMode::Threshold => {
+                let pubs: Vec<PublicKey> = validators.iter().map(|v| v.public.clone()).collect();
+                Some(crate::threshold::committee_for(&pubs))
+            }
+        };
         Blockchain {
             state,
             registry,
@@ -182,6 +200,7 @@ impl Blockchain {
             tx_traces: HashMap::new(),
             store: None,
             snapshot_every: 0,
+            threshold,
         }
     }
 
@@ -476,9 +495,36 @@ impl Blockchain {
         let gas_used: u64 = receipts.iter().map(|r| r.gas_used).sum();
         let tx_root = Block::compute_tx_root(&selected);
         let state_root = self.state.state_root();
-        let header = BlockHeader::new_signed(
-            &proposer, height, parent, state_root, tx_root, timestamp, base_fee, gas_used,
-        );
+        let header = match &self.threshold {
+            None => BlockHeader::new_signed(
+                &proposer, height, parent, state_root, tx_root, timestamp, base_fee, gas_used,
+            ),
+            Some(ctx) => {
+                // Same header body and proposer as single mode — only the
+                // signature differs, produced by the t-of-n committee.
+                let payload = BlockHeader::signing_bytes(
+                    height,
+                    &parent,
+                    &state_root,
+                    &tx_root,
+                    timestamp,
+                    base_fee,
+                    gas_used,
+                    &proposer.public,
+                );
+                BlockHeader {
+                    height,
+                    parent,
+                    state_root,
+                    tx_root,
+                    timestamp,
+                    base_fee,
+                    gas_used,
+                    proposer: proposer.public.clone(),
+                    signature: ctx.seal(height, &payload),
+                }
+            }
+        };
         let block = Block {
             header,
             transactions: selected,
@@ -583,7 +629,11 @@ impl Blockchain {
         if &block.header.proposer != expected_proposer {
             return Err(ChainError::WrongProposer);
         }
-        if !block.header.verify_signature() {
+        let sig_ok = match &self.threshold {
+            None => block.header.verify_signature(),
+            Some(ctx) => block.header.verify_signature_with(ctx.group_public()),
+        };
+        if !sig_ok {
             return Err(ChainError::InvalidBlock("bad header signature"));
         }
         if !block.tx_root_matches() {
@@ -738,14 +788,20 @@ impl Blockchain {
             }
             return Ok(blocks.len());
         }
+        let group_key = self.threshold.as_ref().map(|c| c.group_public().clone());
         std::thread::scope(|scope| {
             let mut warm: Option<std::thread::ScopedJoinHandle<'_, ()>> = None;
             for (i, b) in blocks.iter().enumerate() {
                 if let Some(next) = blocks.get(i + 1) {
+                    let group_key = group_key.as_ref();
                     warm = Some(scope.spawn(move || {
                         // Results are irrelevant here: either outcome
-                        // leaves the sigcache warmed for the real check.
-                        let _ = next.header.verify_signature();
+                        // leaves the sigcache warmed for the real check
+                        // (against whichever key this mode verifies).
+                        let _ = match group_key {
+                            Some(k) => next.header.verify_signature_with(k),
+                            None => next.header.verify_signature(),
+                        };
                         for tx in &next.transactions {
                             let _ = tx.verify_signature();
                         }
@@ -1169,6 +1225,68 @@ mod tests {
             let b = chain.produce_block();
             assert_eq!(b.header.proposer, pubs[expected]);
         }
+    }
+
+    fn mode_chain(sig_mode: SigMode, alice: &KeyPair) -> Blockchain {
+        let validators: Vec<KeyPair> = (0..4).map(|i| KeyPair::from_seed(2100 + i)).collect();
+        Blockchain::new(
+            validators,
+            &[(Address::of(&alice.public), 1_000_000)],
+            ContractRegistry::new(),
+            ChainConfig {
+                sig_mode,
+                ..ChainConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn threshold_mode_agrees_with_single_mode_block_for_block() {
+        let alice = KeyPair::from_seed(1);
+        let bob = Address::of(&KeyPair::from_seed(2).public);
+        let mut single = mode_chain(SigMode::Single, &alice);
+        let mut threshold = mode_chain(SigMode::Threshold, &alice);
+        for h in 0..5u64 {
+            for c in [&mut single, &mut threshold] {
+                c.submit(signed_transfer(&alice, h, bob, 10 + h as u128))
+                    .unwrap();
+            }
+            let bs = single.produce_block();
+            let bt = threshold.produce_block();
+            // The differential oracle: everything but the signature is
+            // bit-identical — proposer (and thus coinbase), roots, fees.
+            assert_eq!(bs.header.state_root, bt.header.state_root, "h={h}");
+            assert_eq!(bs.header.tx_root, bt.header.tx_root);
+            assert_eq!(bs.header.proposer, bt.header.proposer);
+            assert_eq!(bs.header.base_fee, bt.header.base_fee);
+            assert_ne!(bs.header.signature, bt.header.signature);
+            // The threshold seal verifies only against the group key.
+            assert!(!bt.header.verify_signature(), "not the proposer's sig");
+            let ctx = crate::threshold::committee_for(&threshold.validator_set());
+            assert!(bt.header.verify_signature_with(ctx.group_public()));
+        }
+        assert_eq!(single.state.state_root(), threshold.state.state_root());
+    }
+
+    #[test]
+    fn threshold_validator_rejects_single_key_seal() {
+        let alice = KeyPair::from_seed(1);
+        let mut threshold = mode_chain(SigMode::Threshold, &alice);
+        // A proposer gone rogue seals with its own key instead of
+        // gathering a quorum: every honest threshold validator rejects.
+        let single = mode_chain(SigMode::Single, &alice);
+        let mut shadow = mode_chain(SigMode::Single, &alice);
+        let forged = shadow.produce_block();
+        drop(single);
+        assert_eq!(
+            threshold.validate_external_block(&forged),
+            Err(ChainError::InvalidBlock("bad header signature"))
+        );
+        // And the genuine threshold seal is accepted.
+        let mut shadow_t = mode_chain(SigMode::Threshold, &alice);
+        let good = shadow_t.produce_block();
+        threshold.validate_external_block(&good).unwrap();
+        threshold.apply_external_block(&good).unwrap();
     }
 
     #[test]

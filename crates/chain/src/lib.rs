@@ -43,6 +43,7 @@ pub mod sigcache;
 pub mod smt;
 pub mod state;
 pub mod sync;
+pub mod threshold;
 pub mod tx;
 
 pub use address::{Account, Address};
@@ -57,4 +58,5 @@ pub use mempool::{Mempool, SubmitError};
 pub use smt::{verify_proof, SmtProof, SmtTree};
 pub use state::{BlockEnv, TxReceipt, WorldState};
 pub use sync::{ChainReplica, GenesisFactory, SyncMsg};
+pub use threshold::{committee_for, SigMode, ThresholdCtx};
 pub use tx::{SignedTransaction, Transaction, TxKind};

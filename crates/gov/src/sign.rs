@@ -1,0 +1,460 @@
+//! Two-round t-of-n threshold Schnorr signing.
+//!
+//! Round 1 — every quorum member `i` derives a deterministic nonce
+//! `k_i = HMAC(s_i, attempt ‖ m) mod q` (RFC 6979 in spirit, like
+//! single-key signing) and publishes the commitment `R_i = g^{k_i}`.
+//!
+//! Round 2 — once the signer set `S` (|S| = t) and its commitments are
+//! fixed, everyone computes `R = Π_{i∈S} R_i`, the ordinary Schnorr
+//! challenge `e = H(R ‖ Y ‖ m)`, the Lagrange weight `λ_i = λ_i^S(0)`,
+//! and the partial response `s_i^part = k_i + e·λ_i·s_i mod q`.
+//!
+//! The aggregate `s = Σ_{i∈S} s_i^part` satisfies `s = k + e·x` with
+//! `k = Σ k_i` and `x = Σ λ_i s_i` the interpolated group secret — so
+//! `(e, s)` **is a plain Schnorr signature** under the group key `Y`,
+//! verified by the unmodified [`pds2_crypto::schnorr::PublicKey::verify`] on the Montgomery
+//! fast path. Verifiers never learn (or care) that the key was split.
+//!
+//! A byzantine shareholder that submits a garbage partial is caught
+//! before aggregation: `g^{s_i^part} · Y_i^{q − e·λ_i} = R_i` must hold,
+//! where `Y_i = g^{s_i}` is the signer's public share commitment from
+//! the DKG — one [`Group::dual_pow_g`] per partial, the same dual
+//! exponentiation single-signature verification runs.
+//!
+//! Nonces are domain-separated by an `attempt` counter: when an
+//! aggregation attempt aborts (byzantine partial, refresh race), the
+//! retry re-derives fresh nonces, so no nonce is ever reused across two
+//! different challenges — the classic Schnorr key-extraction hazard.
+
+use crate::dkg::{lagrange_at, Committee, ValidatorShare};
+use crate::GovError;
+use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use pds2_crypto::hmac::hmac_sha256;
+use pds2_crypto::schnorr::{Group, Signature};
+use pds2_crypto::BigUint;
+use std::collections::BTreeMap;
+
+/// A partial signature: one quorum member's contribution to the
+/// aggregate, carrying its nonce commitment so the aggregator can check
+/// it without extra state. This is the wire type the chaos harness
+/// corrupts in flight and the decode fuzzer mangles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialSig {
+    /// Signer index (evaluation point, 1-based).
+    pub signer: u64,
+    /// Refresh epoch of the share that produced this partial.
+    pub epoch: u64,
+    /// Retry counter the nonce was derived under.
+    pub attempt: u32,
+    /// Nonce commitment `R_i = g^{k_i}`.
+    pub r: BigUint,
+    /// Response share `s_i^part = k_i + e·λ_i·s_i mod q`.
+    pub s: BigUint,
+}
+
+impl Encode for PartialSig {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.signer);
+        enc.put_u64(self.epoch);
+        enc.put_u32(self.attempt);
+        self.r.encode_into(enc);
+        self.s.encode_into(enc);
+    }
+}
+
+impl Decode for PartialSig {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PartialSig {
+            signer: dec.get_u64()?,
+            epoch: dec.get_u64()?,
+            attempt: dec.get_u32()?,
+            r: BigUint::decode_from(dec)?,
+            s: BigUint::decode_from(dec)?,
+        })
+    }
+}
+
+/// Deterministic nonce scalar for `(share, message, attempt)`, nonzero
+/// in `Z_q`.
+pub fn nonce_scalar(share: &ValidatorShare, message: &[u8], attempt: u32) -> BigUint {
+    let group = Group::standard();
+    let mut keyed = Vec::with_capacity(24 + message.len());
+    keyed.extend_from_slice(b"pds2-gov-nonce-v1");
+    keyed.extend_from_slice(&share.epoch.to_le_bytes());
+    keyed.extend_from_slice(&attempt.to_le_bytes());
+    keyed.extend_from_slice(message);
+    let tag = hmac_sha256(&share.scalar.to_bytes_be(), &keyed);
+    let mut k = BigUint::from_bytes_be(tag.as_bytes()).rem(&group.q);
+    if k.is_zero() {
+        k = BigUint::one();
+    }
+    k
+}
+
+/// Round-1 output: the nonce commitment `R_i = g^{k_i}`.
+pub fn nonce_commitment(share: &ValidatorShare, message: &[u8], attempt: u32) -> BigUint {
+    Group::standard().pow_g(&nonce_scalar(share, message, attempt))
+}
+
+/// The aggregate nonce point and Schnorr challenge for a fixed signer
+/// set. `nonces` must hold the `(index, R_i)` pairs of the whole set.
+fn challenge(
+    committee: &Committee,
+    message: &[u8],
+    nonces: &[(u64, BigUint)],
+) -> (BigUint, BigUint) {
+    let group = Group::standard();
+    let mut r_total = BigUint::one();
+    for (_, r) in nonces {
+        r_total = r_total.mul_mod(r, &group.p);
+    }
+    let e = group.hash_to_scalar(&[
+        &r_total.to_bytes_be(),
+        &committee.group_public().element().to_bytes_be(),
+        message,
+    ]);
+    (r_total, e)
+}
+
+/// Round 2, member side: computes this share's partial signature for a
+/// fixed signer set.
+///
+/// Rejects a set that does not list this signer, lists it with a nonce
+/// commitment that differs from the locally derived one (an aggregator
+/// feeding inconsistent views), or contains duplicates. Bumps
+/// `gov.partials_sent`.
+pub fn partial_sign(
+    share: &ValidatorShare,
+    committee: &Committee,
+    message: &[u8],
+    attempt: u32,
+    nonces: &[(u64, BigUint)],
+) -> Result<PartialSig, GovError> {
+    let group = Group::standard();
+    let signers: Vec<u64> = nonces.iter().map(|(i, _)| *i).collect();
+    let k = nonce_scalar(share, message, attempt);
+    let my_r = group.pow_g(&k);
+    let listed = nonces
+        .iter()
+        .find(|(i, _)| *i == share.index)
+        .ok_or(GovError::UnknownSigner(share.index))?;
+    if listed.1 != my_r {
+        return Err(GovError::NonceMismatch);
+    }
+    let (_, e) = challenge(committee, message, nonces);
+    let lambda = lagrange_at(&signers, share.index, 0, &group.q)?;
+    let s = k.add_mod(
+        &e.mul_mod(&lambda, &group.q)
+            .mul_mod(&share.scalar, &group.q),
+        &group.q,
+    );
+    pds2_obs::counter!("gov.partials_sent").inc();
+    Ok(PartialSig {
+        signer: share.index,
+        epoch: share.epoch,
+        attempt,
+        r: my_r,
+        s,
+    })
+}
+
+/// Aggregator-side state for one signing attempt over a fixed signer
+/// set: verifies each arriving partial against its signer's share
+/// commitment and, once `t` have been accepted, interpolates them into
+/// one group signature.
+#[derive(Debug)]
+pub struct SigningSession {
+    message: Vec<u8>,
+    attempt: u32,
+    epoch: u64,
+    signers: Vec<u64>,
+    nonces: Vec<(u64, BigUint)>,
+    e: BigUint,
+    accepted: BTreeMap<u64, BigUint>,
+}
+
+impl SigningSession {
+    /// Fixes the signer set for this attempt. `nonces` carries exactly
+    /// the quorum's `(index, R_i)` pairs — `t` of them, distinct, each a
+    /// known committee index.
+    pub fn new(
+        committee: &Committee,
+        message: &[u8],
+        attempt: u32,
+        nonces: Vec<(u64, BigUint)>,
+    ) -> Result<SigningSession, GovError> {
+        if nonces.len() != committee.params.t {
+            return Err(GovError::NotEnoughShares);
+        }
+        let signers: Vec<u64> = nonces.iter().map(|(i, _)| *i).collect();
+        for (pos, &i) in signers.iter().enumerate() {
+            if committee.commitment(i).is_none() {
+                return Err(GovError::UnknownSigner(i));
+            }
+            if signers[pos + 1..].contains(&i) {
+                return Err(GovError::DuplicateSigner(i));
+            }
+        }
+        let (_, e) = challenge(committee, message, &nonces);
+        Ok(SigningSession {
+            message: message.to_vec(),
+            attempt,
+            epoch: committee.epoch,
+            signers,
+            nonces,
+            e,
+            accepted: BTreeMap::new(),
+        })
+    }
+
+    /// The signer set fixed at construction.
+    pub fn signers(&self) -> &[u64] {
+        &self.signers
+    }
+
+    /// The Schnorr challenge this attempt signs under.
+    pub fn challenge(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Offers one partial signature. Verifies it against the signer's
+    /// public share commitment (`g^{s_i} · Y_i^{q − e·λ_i} = R_i`) and
+    /// rejects byzantine or stale contributions; a rejection bumps
+    /// `gov.partials_rejected`.
+    pub fn offer(&mut self, committee: &Committee, partial: &PartialSig) -> Result<(), GovError> {
+        let verdict = self.check(committee, partial);
+        if verdict.is_err() {
+            pds2_obs::counter!("gov.partials_rejected").inc();
+        }
+        verdict
+    }
+
+    fn check(&mut self, committee: &Committee, partial: &PartialSig) -> Result<(), GovError> {
+        let group = Group::standard();
+        if partial.attempt != self.attempt || partial.epoch != self.epoch {
+            return Err(GovError::StalePartial);
+        }
+        if !self.signers.contains(&partial.signer) {
+            return Err(GovError::UnknownSigner(partial.signer));
+        }
+        let expected_r = &self
+            .nonces
+            .iter()
+            .find(|(i, _)| *i == partial.signer)
+            .expect("signer set checked above")
+            .1;
+        if &partial.r != expected_r {
+            return Err(GovError::NonceMismatch);
+        }
+        if partial.s.cmp_val(&group.q) != std::cmp::Ordering::Less {
+            return Err(GovError::BadPartial(partial.signer));
+        }
+        // g^{s_i} · Y_i^{q − e·λ_i} must equal R_i.
+        let lambda = lagrange_at(&self.signers, partial.signer, 0, &group.q)?;
+        let e_lambda = self.e.mul_mod(&lambda, &group.q);
+        let y_i = committee
+            .commitment(partial.signer)
+            .ok_or(GovError::UnknownSigner(partial.signer))?;
+        let lhs = group.dual_pow_g(&partial.s, y_i, &group.q.sub(&e_lambda));
+        if &lhs != expected_r {
+            return Err(GovError::BadPartial(partial.signer));
+        }
+        self.accepted.insert(partial.signer, partial.s.clone());
+        Ok(())
+    }
+
+    /// Whether every member of the signer set has been accepted.
+    pub fn ready(&self) -> bool {
+        self.accepted.len() == self.signers.len()
+    }
+
+    /// Aggregates the accepted partials into one group signature and
+    /// checks it against the group public key before returning it (the
+    /// full verification costs one dual exponentiation — cheap insurance
+    /// against an aggregator-side bug forging an unverifiable header).
+    /// Bumps `gov.aggregations`.
+    pub fn aggregate(&self, committee: &Committee) -> Result<Signature, GovError> {
+        if !self.ready() {
+            return Err(GovError::NotEnoughShares);
+        }
+        let group = Group::standard();
+        let mut s = BigUint::zero();
+        for part in self.accepted.values() {
+            s = s.add_mod(part, &group.q);
+        }
+        let sig = Signature {
+            e: self.e.clone(),
+            s,
+        };
+        if !committee.group_public().verify(&self.message, &sig) {
+            return Err(GovError::AggregateInvalid);
+        }
+        pds2_obs::counter!("gov.aggregations").inc();
+        Ok(sig)
+    }
+}
+
+/// One-call t-of-n signature over `message` using the given quorum of
+/// shares — the in-process path block sealing uses, and the reference
+/// the network protocol in [`crate::net`] is differentially tested
+/// against. The quorum must hold at least `t` shares; exactly the first
+/// `t` are used.
+pub fn sign_with_quorum(
+    committee: &Committee,
+    quorum: &[&ValidatorShare],
+    message: &[u8],
+) -> Result<Signature, GovError> {
+    if quorum.len() < committee.params.t {
+        return Err(GovError::NotEnoughShares);
+    }
+    let quorum = &quorum[..committee.params.t];
+    let attempt = 0;
+    let nonces: Vec<(u64, BigUint)> = quorum
+        .iter()
+        .map(|s| (s.index, nonce_commitment(s, message, attempt)))
+        .collect();
+    let mut session = SigningSession::new(committee, message, attempt, nonces.clone())?;
+    for share in quorum {
+        let partial = partial_sign(share, committee, message, attempt, &nonces)?;
+        session.offer(committee, &partial)?;
+    }
+    session.aggregate(committee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dkg::{run_dkg_quiet, ThresholdParams};
+
+    fn setup(t: usize, n: usize) -> (Committee, Vec<ValidatorShare>) {
+        run_dkg_quiet(0x516E, ThresholdParams::new(t, n).unwrap()).unwrap()
+    }
+
+    fn refs<'a>(shares: &'a [ValidatorShare], idx: &[usize]) -> Vec<&'a ValidatorShare> {
+        idx.iter().map(|&i| &shares[i]).collect()
+    }
+
+    #[test]
+    fn aggregate_verifies_under_group_key() {
+        let (committee, shares) = setup(3, 5);
+        let sig = sign_with_quorum(&committee, &refs(&shares, &[0, 1, 2]), b"block 7").unwrap();
+        assert!(committee.group_public().verify(b"block 7", &sig));
+        assert!(committee.group_public().verify_reference(b"block 7", &sig));
+        assert!(!committee.group_public().verify(b"block 8", &sig));
+    }
+
+    #[test]
+    fn any_quorum_produces_some_valid_signature() {
+        let (committee, shares) = setup(3, 5);
+        for subset in [[0usize, 1, 2], [2, 3, 4], [0, 2, 4], [1, 2, 3]] {
+            let sig = sign_with_quorum(&committee, &refs(&shares, &subset), b"msg").unwrap();
+            assert!(committee.group_public().verify(b"msg", &sig), "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn byzantine_partial_is_rejected_and_honest_quorum_still_signs() {
+        let (committee, shares) = setup(3, 4);
+        let msg = b"seal me";
+        let quorum = refs(&shares, &[0, 1, 2]);
+        let nonces: Vec<(u64, BigUint)> = quorum
+            .iter()
+            .map(|s| (s.index, nonce_commitment(s, msg, 0)))
+            .collect();
+        let mut session = SigningSession::new(&committee, msg, 0, nonces.clone()).unwrap();
+        // Signer 2 lies: garbage response scalar.
+        let mut bad = partial_sign(quorum[1], &committee, msg, 0, &nonces).unwrap();
+        bad.s = bad.s.add_mod(&BigUint::one(), &Group::standard().q);
+        assert_eq!(
+            session.offer(&committee, &bad).unwrap_err(),
+            GovError::BadPartial(2)
+        );
+        assert!(!session.ready());
+        // Honest partials from the same set still complete the session.
+        for share in &quorum {
+            let p = partial_sign(share, &committee, msg, 0, &nonces).unwrap();
+            session.offer(&committee, &p).unwrap();
+        }
+        let sig = session.aggregate(&committee).unwrap();
+        assert!(committee.group_public().verify(msg, &sig));
+    }
+
+    #[test]
+    fn stale_epoch_and_attempt_partials_are_rejected() {
+        let (committee, shares) = setup(2, 3);
+        let msg = b"m";
+        let quorum = refs(&shares, &[0, 1]);
+        let nonces: Vec<(u64, BigUint)> = quorum
+            .iter()
+            .map(|s| (s.index, nonce_commitment(s, msg, 1)))
+            .collect();
+        let mut session = SigningSession::new(&committee, msg, 1, nonces.clone()).unwrap();
+        let good = partial_sign(quorum[0], &committee, msg, 1, &nonces).unwrap();
+        let mut wrong_attempt = good.clone();
+        wrong_attempt.attempt = 0;
+        assert_eq!(
+            session.offer(&committee, &wrong_attempt).unwrap_err(),
+            GovError::StalePartial
+        );
+        let mut wrong_epoch = good.clone();
+        wrong_epoch.epoch = 9;
+        assert_eq!(
+            session.offer(&committee, &wrong_epoch).unwrap_err(),
+            GovError::StalePartial
+        );
+        session.offer(&committee, &good).unwrap();
+    }
+
+    #[test]
+    fn undersized_quorum_cannot_sign() {
+        let (committee, shares) = setup(3, 5);
+        assert_eq!(
+            sign_with_quorum(&committee, &refs(&shares, &[0, 1]), b"m").unwrap_err(),
+            GovError::NotEnoughShares
+        );
+    }
+
+    #[test]
+    fn session_rejects_malformed_signer_sets() {
+        let (committee, shares) = setup(2, 3);
+        let n1 = nonce_commitment(&shares[0], b"m", 0);
+        // Wrong size.
+        assert!(SigningSession::new(&committee, b"m", 0, vec![(1, n1.clone())]).is_err());
+        // Duplicate signer.
+        assert_eq!(
+            SigningSession::new(&committee, b"m", 0, vec![(1, n1.clone()), (1, n1.clone())])
+                .unwrap_err(),
+            GovError::DuplicateSigner(1)
+        );
+        // Unknown index.
+        assert_eq!(
+            SigningSession::new(&committee, b"m", 0, vec![(1, n1.clone()), (9, n1)]).unwrap_err(),
+            GovError::UnknownSigner(9)
+        );
+    }
+
+    #[test]
+    fn partial_sig_codec_roundtrip() {
+        let (committee, shares) = setup(2, 3);
+        let nonces: Vec<(u64, BigUint)> = shares[..2]
+            .iter()
+            .map(|s| (s.index, nonce_commitment(s, b"wire", 3)))
+            .collect();
+        let p = partial_sign(&shares[0], &committee, b"wire", 3, &nonces).unwrap();
+        let back = PartialSig::from_bytes(&Encode::to_bytes(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn signing_is_deterministic_per_quorum() {
+        let (committee, shares) = setup(3, 5);
+        let a = sign_with_quorum(&committee, &refs(&shares, &[0, 1, 2]), b"det").unwrap();
+        let b = sign_with_quorum(&committee, &refs(&shares, &[0, 1, 2]), b"det").unwrap();
+        assert_eq!(a, b);
+        // A different quorum signs with a different nonce set — distinct
+        // but equally valid signature.
+        let c = sign_with_quorum(&committee, &refs(&shares, &[1, 2, 3]), b"det").unwrap();
+        assert_ne!(a, c);
+        assert!(committee.group_public().verify(b"det", &c));
+    }
+}

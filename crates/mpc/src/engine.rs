@@ -10,6 +10,34 @@
 //! "active participation … coupled with delays introduced during
 //! communication" — i.e. round counts and bytes on the wire — versus the
 //! compute-only overheads of HE and TEE.
+//!
+//! # Example
+//!
+//! ```
+//! use pds2_mpc::field::Fp;
+//! use pds2_mpc::MpcEngine;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut engine = MpcEngine::new(3, StdRng::seed_from_u64(1));
+//!
+//! // Share two vectors, multiply element-wise, open the result.
+//! let a = engine.share_input(&[Fp::from_signed(6), Fp::from_signed(-2)]);
+//! let b = engine.share_input(&[Fp::from_signed(7), Fp::from_signed(5)]);
+//! let prod = engine.mul(&a, &b);
+//! let opened = engine.open(&prod);
+//! assert_eq!(opened[0].to_signed(), 42);
+//! assert_eq!(opened[1].to_signed(), -10);
+//!
+//! // Every interactive step was metered: 2 shares + 1 batched mul + 1 open.
+//! let cost = engine.cost();
+//! assert_eq!(cost.rounds, 4);
+//! assert_eq!(cost.triples_used, 2);
+//!
+//! // Turn the meter into a wall-clock estimate: 50 ms RTT, 1 MB/s.
+//! let secs = cost.network_time_secs(0.05, 1_000_000.0);
+//! assert!(secs > 0.2);
+//! ```
 
 use crate::additive::{beaver_mul, generate_triple, reconstruct, share, Shares};
 use crate::field::Fp;
@@ -214,6 +242,18 @@ impl<R: Rng> MpcEngine<R> {
 /// Computes a full linear-model inference `w · x + b` under SMC and returns
 /// `(result, cost)`. Both the weights (consumer secret) and the features
 /// (provider secret) stay shared throughout; only the final score is opened.
+///
+/// ```
+/// use pds2_mpc::{secure_linear_inference, MpcEngine};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut engine = MpcEngine::new(3, StdRng::seed_from_u64(4));
+/// let (score, cost) =
+///     secure_linear_inference(&mut engine, &[0.5, -1.0], 0.25, &[2.0, 3.0]);
+/// assert!((score - (-1.75)).abs() < 1e-3);
+/// assert_eq!(cost.triples_used, 2); // one Beaver triple per dimension
+/// ```
 pub fn secure_linear_inference<R: Rng>(
     engine: &mut MpcEngine<R>,
     weights: &[f64],

@@ -3,6 +3,28 @@
 //! All SMC arithmetic in PDS² happens in this field: it is large enough to
 //! hold fixed-point products of ML features without wrap-around, and the
 //! Mersenne structure gives a branch-light reduction.
+//!
+//! # Example
+//!
+//! ```
+//! use pds2_mpc::field::{decode_fixed, encode_fixed, Fp, MODULUS};
+//!
+//! // Canonical arithmetic mod 2^61 - 1.
+//! let a = Fp::new(10);
+//! let b = Fp::from_signed(-3); // negatives wrap to p - |v|
+//! assert_eq!(a.add(b).to_signed(), 7);
+//! assert_eq!(a.mul(b).to_signed(), -30);
+//!
+//! // Fermat inversion: a * a^-1 == 1 for every nonzero a.
+//! let inv = a.inv().unwrap();
+//! assert_eq!(a.mul(inv), Fp::ONE);
+//! assert_eq!(Fp::ZERO.inv(), None);
+//!
+//! // f64 features ride through the field as 2^16 fixed-point.
+//! let x = encode_fixed(1.5);
+//! assert_eq!(decode_fixed(x), 1.5);
+//! assert_eq!(MODULUS, (1u64 << 61) - 1);
+//! ```
 
 /// Field modulus `p = 2^61 - 1`.
 pub const MODULUS: u64 = (1u64 << 61) - 1;
@@ -145,6 +167,16 @@ pub fn decode_fixed(v: Fp) -> f64 {
 }
 
 /// Decodes a product of two fixed-point values (double scale).
+///
+/// Multiplying two encoded values squares the scale, so the product must be
+/// decoded with this function rather than [`decode_fixed`]:
+///
+/// ```
+/// use pds2_mpc::field::{decode_fixed_product, encode_fixed};
+///
+/// let prod = encode_fixed(1.5).mul(encode_fixed(-2.0));
+/// assert_eq!(decode_fixed_product(prod), -3.0);
+/// ```
 pub fn decode_fixed_product(v: Fp) -> f64 {
     v.to_signed() as f64 / (FIXED_SCALE * FIXED_SCALE)
 }

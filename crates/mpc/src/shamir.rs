@@ -3,7 +3,32 @@
 //! Used where the marketplace needs robustness to missing parties (e.g.
 //! splitting a storage decryption key across Key-Keeper-style nodes, as in
 //! the related work the paper surveys): any `t` of `n` shares reconstruct,
-//! fewer reveal nothing.
+//! fewer reveal nothing. The same (t, n) polynomial structure — with the
+//! field swapped for the Schnorr group's scalar field — underlies the
+//! `pds2-gov` validator committees that threshold-sign blocks.
+//!
+//! # Example
+//!
+//! ```
+//! use pds2_mpc::field::Fp;
+//! use pds2_mpc::shamir::{reconstruct, split};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let secret = Fp::from_signed(271_828);
+//!
+//! // Split into 5 shares, any 3 of which reconstruct.
+//! let shares = split(&mut rng, secret, 3, 5).unwrap();
+//!
+//! // A non-contiguous subset of exactly t shares suffices…
+//! let subset = [shares[0], shares[2], shares[4]];
+//! assert_eq!(reconstruct(&subset, 3).unwrap(), secret);
+//!
+//! // …while t-1 shares interpolate an unrelated value.
+//! let guess = reconstruct(&shares[..2], 2).unwrap();
+//! assert_ne!(guess, secret);
+//! ```
 
 use crate::field::Fp;
 use rand::Rng;
@@ -41,6 +66,26 @@ impl std::fmt::Display for ShamirError {
 impl std::error::Error for ShamirError {}
 
 /// Splits `secret` into `n` shares with reconstruction threshold `t`.
+///
+/// The dealer samples a uniformly random polynomial `f` of degree `t - 1`
+/// with `f(0) = secret` and hands party `i` the point `(i, f(i))`.
+///
+/// ```
+/// use pds2_mpc::field::Fp;
+/// use pds2_mpc::shamir::{split, ShamirError};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let shares = split(&mut rng, Fp::new(12345), 2, 4).unwrap();
+/// assert_eq!(shares.len(), 4);
+///
+/// // The threshold must satisfy 1 <= t <= n.
+/// assert_eq!(
+///     split(&mut rng, Fp::ZERO, 5, 4).unwrap_err(),
+///     ShamirError::BadThreshold,
+/// );
+/// ```
 pub fn split<R: Rng + ?Sized>(
     rng: &mut R,
     secret: Fp,
@@ -72,6 +117,26 @@ pub fn split<R: Rng + ?Sized>(
 
 /// Reconstructs the secret from at least `t` shares by Lagrange
 /// interpolation at zero.
+///
+/// Only the first `t` shares are consumed; they must carry pairwise
+/// distinct evaluation points.
+///
+/// ```
+/// use pds2_mpc::field::Fp;
+/// use pds2_mpc::shamir::{reconstruct, split, ShamirError};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let secret = Fp::new(555);
+/// let shares = split(&mut rng, secret, 3, 5).unwrap();
+///
+/// assert_eq!(reconstruct(&shares, 3).unwrap(), secret);
+/// assert_eq!(
+///     reconstruct(&shares[..2], 3).unwrap_err(),
+///     ShamirError::NotEnoughShares,
+/// );
+/// ```
 pub fn reconstruct(shares: &[ShamirShare], t: usize) -> Result<Fp, ShamirError> {
     if shares.len() < t {
         return Err(ShamirError::NotEnoughShares);

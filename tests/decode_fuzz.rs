@@ -42,6 +42,7 @@ fuzz_decode!(signed_reading_never_panics, SignedReading);
 fuzz_decode!(certificate_never_panics, ParticipationCertificate);
 fuzz_decode!(requirement_never_panics, Requirement);
 fuzz_decode!(smt_proof_never_panics, pds2_chain::SmtProof);
+fuzz_decode!(partial_sig_never_panics, pds2_gov::PartialSig);
 
 proptest! {
     #[test]
@@ -82,6 +83,44 @@ proptest! {
                 prop_assert!(
                     !decoded.verify_signature() || decoded == tx,
                     "bit flip must invalidate the signature"
+                );
+            }
+        }
+    }
+
+    /// Bit-flipping a valid threshold partial signature on the wire must
+    /// either fail to decode or be rejected by the aggregator's
+    /// dual-exponentiation check — a byzantine shareholder cannot smuggle
+    /// a corrupted partial into an aggregate.
+    #[test]
+    fn bitflipped_partial_sig_is_rejected_or_unverifiable(
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        use pds2_crypto::Encode;
+        use pds2_gov::dkg::{run_dkg_quiet, ThresholdParams};
+        use pds2_gov::sign::{nonce_commitment, partial_sign};
+        use pds2_gov::{PartialSig, SigningSession};
+
+        let params = ThresholdParams::new(3, 4).unwrap();
+        let (committee, shares) = run_dkg_quiet(0xF122, params).unwrap();
+        let msg = b"wire partial";
+        let nonces: Vec<(u64, _)> = shares[..3]
+            .iter()
+            .map(|s| (s.index, nonce_commitment(s, msg, 0)))
+            .collect();
+        let partial = partial_sign(&shares[0], &committee, msg, 0, &nonces).unwrap();
+        let mut bytes = partial.to_bytes();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        match PartialSig::from_bytes(&bytes) {
+            Err(_) => {} // malformed: rejected at decode
+            Ok(decoded) => {
+                let mut session =
+                    SigningSession::new(&committee, msg, 0, nonces.clone()).unwrap();
+                prop_assert!(
+                    session.offer(&committee, &decoded).is_err() || decoded == partial,
+                    "flipped partial must fail the dual-exp check"
                 );
             }
         }

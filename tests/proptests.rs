@@ -1300,3 +1300,130 @@ mod link_fixed_point {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Threshold governance (DESIGN.md §5i). Three invariants the protocol
+// stands on: any t-of-n quorum reconstructs the same group secret (and
+// signs validly under the one group key), proactive refresh re-randomizes
+// every share without moving the group key, and t−1 shares reconstruct
+// garbage — the whole point of the threshold.
+// ---------------------------------------------------------------------------
+
+mod threshold_gov_props {
+    use super::*;
+    use pds2_crypto::bigint::BigUint;
+    use pds2_crypto::schnorr::{Group, PublicKey};
+    use pds2_gov::dkg::{
+        lagrange_at, refresh_committee, refresh_share, run_dkg_quiet, ThresholdParams,
+        ValidatorShare,
+    };
+    use pds2_gov::sign::sign_with_quorum;
+
+    /// Interpolates `f(0)` (the group secret) from a share subset.
+    fn interpolate(shares: &[&ValidatorShare], q: &BigUint) -> BigUint {
+        let signers: Vec<u64> = shares.iter().map(|s| s.index).collect();
+        let mut x = BigUint::zero();
+        for s in shares {
+            let lambda = lagrange_at(&signers, s.index, 0, q).unwrap();
+            x = x.add_mod(&s.scalar.mul_mod(&lambda, q), q);
+        }
+        x
+    }
+
+    /// A rotated size-`k` subset of the share vector starting at `start`.
+    fn subset(shares: &[ValidatorShare], k: usize, start: usize) -> Vec<&ValidatorShare> {
+        (0..k)
+            .map(|i| &shares[(start + i) % shares.len()])
+            .collect()
+    }
+
+    proptest! {
+        // DKG + modexp per case is much heavier than the other modules'
+        // subjects; 16 cases still sweeps (seed, n, subset) thoroughly.
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn any_t_subset_reconstructs_the_same_secret_and_signs(
+            seed in any::<u64>(),
+            n in 3usize..7,
+            start in 0usize..8,
+        ) {
+            let params = ThresholdParams::majority(n);
+            let (committee, shares) = run_dkg_quiet(seed, params).unwrap();
+            let group = Group::standard();
+            let a = subset(&shares, params.t, start % n);
+            let b = subset(&shares, params.t, (start + 1) % n);
+            let xa = interpolate(&a, &group.q);
+            prop_assert_eq!(
+                &xa, &interpolate(&b, &group.q),
+                "two different quorums disagree on the group secret"
+            );
+            prop_assert_eq!(
+                &PublicKey::from_element(group.pow_g(&xa)),
+                committee.group_public(),
+                "interpolated secret does not open the group commitment"
+            );
+            // Both quorums' aggregates verify under the single group key.
+            let sig_a = sign_with_quorum(&committee, &a, b"gov-prop").unwrap();
+            prop_assert!(committee.group_public().verify(b"gov-prop", &sig_a));
+            let sig_b = sign_with_quorum(&committee, &b, b"gov-prop").unwrap();
+            prop_assert!(committee.group_public().verify(b"gov-prop", &sig_b));
+        }
+
+        #[test]
+        fn refresh_preserves_group_key_and_changes_every_share(
+            seed in any::<u64>(),
+            n in 3usize..7,
+        ) {
+            let params = ThresholdParams::majority(n);
+            let (mut committee, mut shares) = run_dkg_quiet(seed, params).unwrap();
+            let key_before = committee.group_public().clone();
+            let old: Vec<BigUint> = shares.iter().map(|s| s.scalar.clone()).collect();
+            refresh_committee(&mut committee);
+            for share in &mut shares {
+                refresh_share(params, seed, share);
+            }
+            prop_assert_eq!(
+                committee.group_public(), &key_before,
+                "proactive refresh moved the group public key"
+            );
+            for (share, old_scalar) in shares.iter().zip(&old) {
+                prop_assert_ne!(
+                    &share.scalar, old_scalar,
+                    "share {} survived the refresh unchanged", share.index
+                );
+                prop_assert_eq!(share.epoch, 1);
+            }
+            // Refreshed quorums still reconstruct the ORIGINAL secret and
+            // sign under the unchanged key.
+            let group = Group::standard();
+            let q = subset(&shares, params.t, 1 % n);
+            prop_assert_eq!(
+                &PublicKey::from_element(group.pow_g(&interpolate(&q, &group.q))),
+                &key_before
+            );
+            let sig = sign_with_quorum(&committee, &q, b"post-refresh").unwrap();
+            prop_assert!(key_before.verify(b"post-refresh", &sig));
+        }
+
+        #[test]
+        fn t_minus_one_shares_reconstruct_the_wrong_secret(
+            seed in any::<u64>(),
+            n in 3usize..7,
+            start in 0usize..8,
+        ) {
+            let params = ThresholdParams::majority(n);
+            let (committee, shares) = run_dkg_quiet(seed, params).unwrap();
+            // majority(n≥3) always has t ≥ 2, so t−1 ≥ 1 shares exist.
+            prop_assert!(params.t >= 2);
+            let group = Group::standard();
+            let short = subset(&shares, params.t - 1, start % n);
+            let x = interpolate(&short, &group.q);
+            prop_assert_ne!(
+                &PublicKey::from_element(group.pow_g(&x)),
+                committee.group_public(),
+                "t−1 shares must NOT reconstruct the group secret"
+            );
+        }
+    }
+}
