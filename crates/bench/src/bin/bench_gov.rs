@@ -26,7 +26,7 @@ use pds2_chain::threshold::SigMode;
 use pds2_chain::tx::{Transaction, TxKind};
 use pds2_crypto::KeyPair;
 use pds2_gov::dkg::{run_dkg_quiet, ThresholdParams};
-use pds2_gov::sign::{nonce_commitment, partial_sign};
+use pds2_gov::sign::{nonce_commitment, partial_sign, NonceGuard};
 use pds2_gov::{sign_with_quorum, SigningSession};
 use std::time::Instant;
 
@@ -164,13 +164,17 @@ fn main() {
         .iter()
         .map(|s| (s.index, nonce_commitment(s, msg, 0)))
         .collect();
+    // One long-lived guard per signer, as a real member would hold; the
+    // repeated transcript is identical, so re-signing is idempotent.
+    let mut guards: Vec<NonceGuard> = (0..quorum.len()).map(|_| NonceGuard::new()).collect();
     let partial_sign_ms = time_ms(reps, || {
-        partial_sign(quorum[0], &committee, msg, 0, &nonces).expect("member signs");
+        partial_sign(quorum[0], &committee, msg, 0, &nonces, &mut guards[0]).expect("member signs");
     });
 
     let partials: Vec<_> = quorum
         .iter()
-        .map(|s| partial_sign(s, &committee, msg, 0, &nonces).expect("member signs"))
+        .zip(guards.iter_mut())
+        .map(|(s, g)| partial_sign(s, &committee, msg, 0, &nonces, g).expect("member signs"))
         .collect();
     let aggregate_ms = time_ms(reps, || {
         let mut session =
@@ -190,7 +194,7 @@ fn main() {
         },
         Row {
             name: "partial_sign".into(),
-            note: "one member: nonce check + response share",
+            note: "one member: commitment check + transcript binding + response share",
             ms: partial_sign_ms,
         },
         Row {

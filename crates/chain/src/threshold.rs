@@ -125,6 +125,12 @@ fn cache() -> &'static Mutex<HashMap<[u8; 32], Arc<ThresholdCtx>>> {
 /// committees get distinct group keys while every replica of the same
 /// committee derives the same one.
 pub fn committee_for(validators: &[PublicKey]) -> Arc<ThresholdCtx> {
+    // majority(0) would be t=1, n=0 — an invalid shape the DKG rejects.
+    // Fail with a diagnosis instead of an opaque unwrap downstream.
+    assert!(
+        !validators.is_empty(),
+        "threshold sealing requires a non-empty validator set"
+    );
     let digest = validator_set_digest(validators);
     if let Some(ctx) = cache().lock().get(&digest) {
         return Arc::clone(ctx);
@@ -171,6 +177,12 @@ mod tests {
         assert!(!ctx.verify(b"other payload", &sig));
         // Sealing is deterministic (replicas must agree byte-for-byte).
         assert_eq!(ctx.seal(9, b"header payload"), sig);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty validator set")]
+    fn empty_validator_set_is_a_clear_error() {
+        committee_for(&[]);
     }
 
     #[test]

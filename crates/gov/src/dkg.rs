@@ -302,8 +302,18 @@ pub fn refresh_committee(committee: &mut Committee) {
 /// The Lagrange weight `λ_i^S(x)` = `Π_{j∈S, j≠i} (x − x_j)/(x_i − x_j)
 /// mod q` for interpolation at an arbitrary point `x` (0 for signing,
 /// the lost index for recovery). `signers` must contain `i` and hold
-/// distinct nonzero indices.
+/// distinct nonzero indices — both are validated, not assumed.
 pub fn lagrange_at(signers: &[u64], i: u64, x: u64, q: &BigUint) -> Result<BigUint, GovError> {
+    // Distinctness of the WHOLE slice up front — a duplicated `i` itself
+    // would otherwise slip through a per-`j` check and silently produce
+    // a wrong weight (callers like `recovery_contribution` take a
+    // caller-supplied helper set).
+    let mut seen = std::collections::BTreeSet::new();
+    for &j in signers {
+        if !seen.insert(j) {
+            return Err(GovError::DuplicateSigner(j));
+        }
+    }
     if !signers.contains(&i) {
         return Err(GovError::UnknownSigner(i));
     }
@@ -313,9 +323,6 @@ pub fn lagrange_at(signers: &[u64], i: u64, x: u64, q: &BigUint) -> Result<BigUi
     for &j in signers {
         if j == i {
             continue;
-        }
-        if signers.iter().filter(|&&s| s == j).count() > 1 {
-            return Err(GovError::DuplicateSigner(j));
         }
         num = num.mul_mod(&as_fq(x).sub_mod(&as_fq(j), q), q);
         den = den.mul_mod(&as_fq(i).sub_mod(&as_fq(j), q), q);
@@ -499,5 +506,11 @@ mod tests {
         let q = &Group::standard().q;
         assert!(lagrange_at(&[1, 2, 3], 4, 0, q).is_err());
         assert!(lagrange_at(&[1, 2, 2], 1, 0, q).is_err());
+        // A duplicate of `i` itself must be caught too, not just
+        // duplicates among the other signers.
+        assert_eq!(
+            lagrange_at(&[1, 1, 2], 1, 0, q).unwrap_err(),
+            GovError::DuplicateSigner(1)
+        );
     }
 }

@@ -37,7 +37,7 @@ pub mod net;
 pub mod sign;
 
 pub use dkg::{run_dkg, run_dkg_quiet, Committee, ThresholdParams, ValidatorShare};
-pub use sign::{sign_with_quorum, PartialSig, SigningSession};
+pub use sign::{sign_with_quorum, NonceCommitment, NonceGuard, PartialSig, SigningSession};
 
 /// Errors across DKG, signing, refresh and recovery.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +58,11 @@ pub enum GovError {
     NonceMismatch,
     /// A partial from a different attempt or refresh epoch.
     StalePartial,
+    /// A signer was asked to sign the same `(epoch, attempt, message)`
+    /// tuple under a second, different commitment transcript — refused
+    /// by [`sign::NonceGuard`] so deterministic nonces never meet two
+    /// challenges (the Schnorr key-extraction hazard).
+    NonceReuse,
     /// A partial signature failed the per-signer check
     /// `g^{s_i}·Y_i^{−e·λ_i} = R_i` — a byzantine contribution.
     BadPartial(u64),
@@ -76,6 +81,10 @@ impl std::fmt::Display for GovError {
             GovError::CommitmentMismatch => write!(f, "share fails its public commitment check"),
             GovError::NonceMismatch => write!(f, "nonce commitment differs from the fixed set"),
             GovError::StalePartial => write!(f, "partial from a stale attempt or epoch"),
+            GovError::NonceReuse => write!(
+                f,
+                "tuple already signed under a different commitment transcript"
+            ),
             GovError::BadPartial(i) => write!(f, "byzantine partial signature from signer {i}"),
             GovError::AggregateInvalid => write!(f, "aggregate failed group-key verification"),
         }

@@ -8,11 +8,14 @@
 //! ```text
 //!   aggregator                         members (t-of-n quorum)
 //!       │  NonceReq{seq,attempt,epoch,digest}
-//!       ├──────────────────────────────────▶│  derive k_i, R_i = g^k_i
-//!       │◀──────────────────────────────────┤  Nonce{…, signer, R_i}
-//!       │  (t nonces gathered → signer set fixed)
+//!       ├──────────────────────────────────▶│  derive (d_i, e_i),
+//!       │                                   │  (D_i, E_i) = (g^d_i, g^e_i)
+//!       │◀──────────────────────────────────┤  Nonce{…, signer, (D_i,E_i)}
+//!       │  (t commitment pairs gathered → signer set fixed)
 //!       │  SignReq{seq,attempt,digest,nonces}
-//!       ├──────────────────────────────────▶│  partial_sign(...)
+//!       ├──────────────────────────────────▶│  partial_sign(...) — binds
+//!       │                                   │  the full transcript, guarded
+//!       │                                   │  against transcript swaps
 //!       │◀──────────────────────────────────┤  Partial{seq, PartialSig}
 //!       │  (t partials verified → aggregate → plain Schnorr sig)
 //! ```
@@ -42,7 +45,9 @@ use crate::dkg::{
     recover_share, recovery_contribution, refresh_committee, refresh_share, run_dkg_quiet,
     Committee, ThresholdParams, ValidatorShare,
 };
-use crate::sign::{nonce_commitment, partial_sign, PartialSig, SigningSession};
+use crate::sign::{
+    nonce_commitment, partial_sign, NonceCommitment, NonceGuard, PartialSig, SigningSession,
+};
 use crate::GovError;
 use pds2_crypto::schnorr::Signature;
 use pds2_crypto::BigUint;
@@ -85,13 +90,13 @@ pub enum GovMsg {
         epoch: u64,
         digest: [u8; 32],
     },
-    /// Member → aggregator: nonce commitment `R_i`.
+    /// Member → aggregator: nonce commitment pair `(D_i, E_i)`.
     Nonce {
         seq: u64,
         attempt: u32,
         epoch: u64,
         signer: u64,
-        r: BigUint,
+        commit: NonceCommitment,
     },
     /// Aggregator → quorum: signer set fixed, produce partials.
     SignReq {
@@ -99,7 +104,7 @@ pub enum GovMsg {
         attempt: u32,
         epoch: u64,
         digest: [u8; 32],
-        nonces: Vec<(u64, BigUint)>,
+        nonces: Vec<(u64, NonceCommitment)>,
     },
     /// Member → aggregator: partial signature.
     Partial { seq: u64, partial: PartialSig },
@@ -124,7 +129,7 @@ struct PendingSeq {
     attempt: u32,
     epoch: u64,
     digest: [u8; 32],
-    nonces: BTreeMap<u64, BigUint>,
+    nonces: BTreeMap<u64, NonceCommitment>,
     session: Option<SigningSession>,
     /// Signers caught sending byzantine partials for this seq.
     blacklist: BTreeSet<u64>,
@@ -145,6 +150,11 @@ pub struct GovNode {
     committee: Committee,
     /// This validator's share; `None` after a crash until recovery.
     share: Option<ValidatorShare>,
+    /// Anti-reuse state for [`partial_sign`]: each `(epoch, attempt,
+    /// digest)` tuple is signed under at most one transcript. Persisted
+    /// like `completed` ("on disk") — it must survive crashes, or a
+    /// restarted signer could be replayed into nonce reuse.
+    guard: NonceGuard,
     recovery: Option<PendingRecovery>,
     // Aggregator state (node 0 only).
     pending: Option<PendingSeq>,
@@ -177,6 +187,7 @@ impl GovNode {
                 cfg: cfg.clone(),
                 committee: committee.clone(),
                 share: Some(share),
+                guard: NonceGuard::new(),
                 recovery: None,
                 pending: None,
                 next_seq: 0,
@@ -257,7 +268,7 @@ impl GovNode {
             attempt,
             epoch,
             signer: share.index,
-            r: nonce_commitment(share, digest, attempt),
+            commit: nonce_commitment(share, digest, attempt),
         })
     }
 
@@ -270,14 +281,21 @@ impl GovNode {
         attempt: u32,
         epoch: u64,
         digest: &[u8; 32],
-        nonces: &[(u64, BigUint)],
+        nonces: &[(u64, NonceCommitment)],
     ) -> Option<GovMsg> {
         let share = self.share.as_ref()?;
         if share.epoch != epoch {
             return None;
         }
-        let committee = &self.committee;
-        let mut partial = partial_sign(share, committee, digest, attempt, nonces).ok()?;
+        let mut partial = partial_sign(
+            share,
+            &self.committee,
+            digest,
+            attempt,
+            nonces,
+            &mut self.guard,
+        )
+        .ok()?;
         if self.cfg.byzantine.contains(&ctx.id) {
             let q = &pds2_crypto::schnorr::Group::standard().q;
             partial.s = partial.s.add_mod(&BigUint::one(), q);
@@ -292,7 +310,7 @@ impl GovNode {
             attempt,
             epoch,
             signer,
-            r,
+            commit,
         } = msg
         else {
             return;
@@ -307,14 +325,14 @@ impl GovNode {
         {
             return;
         }
-        p.nonces.insert(signer, r);
+        p.nonces.insert(signer, commit);
         if p.nonces.len() < t {
             return;
         }
         // Quorum reached: fix the signer set as the t smallest indices
         // seen (deterministic regardless of arrival order beyond "who
         // answered before the t-th distinct signer").
-        let set: Vec<(u64, BigUint)> = p
+        let set: Vec<(u64, NonceCommitment)> = p
             .nonces
             .iter()
             .take(t)
@@ -438,6 +456,12 @@ impl GovNode {
             return;
         };
         if epoch != rec.epoch || helpers != rec.helpers {
+            return;
+        }
+        // Only the chosen helpers may contribute: an equivocating node
+        // echoing the helper set could otherwise inject a junk
+        // contribution and force the commitment check to abort-and-retry.
+        if !rec.helpers.contains(&(from as u64 + 1)) {
             return;
         }
         rec.contributions.insert(from as u64 + 1, contribution);
@@ -591,8 +615,8 @@ impl Node for GovNode {
     fn msg_size(msg: &GovMsg) -> u64 {
         match msg {
             GovMsg::NonceReq { .. } => 52,
-            GovMsg::Nonce { .. } => 60,
-            GovMsg::SignReq { nonces, .. } => 52 + 40 * nonces.len() as u64,
+            GovMsg::Nonce { .. } => 92,
+            GovMsg::SignReq { nonces, .. } => 52 + 72 * nonces.len() as u64,
             GovMsg::Partial { .. } => 92,
             GovMsg::RecoverReq { .. } => 8,
             GovMsg::RecoverOffer { .. } => 16,
@@ -617,7 +641,9 @@ impl Node for GovNode {
     fn on_crash(&mut self) {
         // Process restart: the share (secret, held in memory / an HSM in
         // a real deployment) and all in-flight protocol state are gone;
-        // config and completed signatures ("disk") survive.
+        // config, completed signatures and the nonce-reuse guard
+        // ("disk") survive — wiping the guard would let a replayed
+        // SignReq walk a recovered signer into nonce reuse.
         self.share = None;
         self.recovery = None;
         self.pending = None;

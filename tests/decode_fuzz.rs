@@ -99,7 +99,7 @@ proptest! {
     ) {
         use pds2_crypto::Encode;
         use pds2_gov::dkg::{run_dkg_quiet, ThresholdParams};
-        use pds2_gov::sign::{nonce_commitment, partial_sign};
+        use pds2_gov::sign::{nonce_commitment, partial_sign, NonceGuard};
         use pds2_gov::{PartialSig, SigningSession};
 
         let params = ThresholdParams::new(3, 4).unwrap();
@@ -109,7 +109,8 @@ proptest! {
             .iter()
             .map(|s| (s.index, nonce_commitment(s, msg, 0)))
             .collect();
-        let partial = partial_sign(&shares[0], &committee, msg, 0, &nonces).unwrap();
+        let partial =
+            partial_sign(&shares[0], &committee, msg, 0, &nonces, &mut NonceGuard::new()).unwrap();
         let mut bytes = partial.to_bytes();
         let idx = flip_at % bytes.len();
         bytes[idx] ^= 1 << flip_bit;
