@@ -18,6 +18,7 @@
 //!   (CI mode: smaller fleets, single rep, no speedup assertion, same
 //!   equivalence assertions)
 
+use parking_lot::Mutex;
 use pds2_learning::gossip::{run_gossip_experiment_at_scale, GossipConfig, ScaleGossipOpts};
 use pds2_ml::data::gaussian_blobs;
 use pds2_ml::model::LogisticRegression;
@@ -27,8 +28,10 @@ use pds2_net::{
 };
 use pds2_obs as obs;
 use pds2_obs::report::TraceAnalysis;
+use pds2_obs::window::{SloMonitor, SloRule};
 use rand::Rng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------
@@ -294,6 +297,10 @@ struct MarketNode {
     submitted: u64,
     pending: VecDeque<SimTime>,
     latencies: Vec<u64>,
+    /// Shared burn-rate monitor fed at the inclusion point. `on_timer`
+    /// runs in the serial simulator loop, so the lock is uncontended
+    /// and the observation order is the deterministic event order.
+    slo: Option<Arc<Mutex<SloMonitor>>>,
 }
 
 fn mixh(x: u64) -> u64 {
@@ -324,7 +331,11 @@ impl Node for MarketNode {
         if tag == T_BLOCK {
             for _ in 0..self.pending.len().min(BLOCK_CAP) {
                 let at = self.pending.pop_front().unwrap();
-                self.latencies.push(ctx.now - at);
+                let lat = ctx.now - at;
+                if let Some(mon) = &self.slo {
+                    mon.lock().observe(ctx.now, lat);
+                }
+                self.latencies.push(lat);
             }
             ctx.set_timer(BLOCK_INTERVAL_US, T_BLOCK);
         } else {
@@ -372,6 +383,7 @@ fn market_sim(
     mean_interval_us: u64,
     pattern: ArrivalPattern,
     kind: SchedulerKind,
+    slo: Option<Arc<Mutex<SloMonitor>>>,
 ) -> Simulator<MarketNode> {
     let gen = ArrivalGen {
         seed: 0xC0,
@@ -385,6 +397,7 @@ fn market_sim(
             submitted: 0,
             pending: VecDeque::new(),
             latencies: Vec::new(),
+            slo: slo.clone(),
         })
         .collect();
     let topo = Topology::five_continents(0xC0).with_slowdown_spread(1024, 2048);
@@ -411,18 +424,51 @@ fn market_outcome(sim: &Simulator<MarketNode>, validators: usize) -> MarketOutco
     }
 }
 
+/// The live burn-rate rule the ramp runs under: the SLO objective with
+/// a 1% error budget, fired at 2× budget burn over eight block
+/// intervals (fast) *and* twenty-four (noise suppression). Sustained
+/// overload pushes the windowed bad fraction far past 2% while a
+/// stable queue stays under it, so the alert flips exactly at the
+/// capacity knee — online, without sorting the full latency vector.
+fn ramp_rule() -> SloRule {
+    SloRule {
+        name: "market.inclusion_latency",
+        threshold: SLO_US,
+        budget_bp: 100,
+        short_window_us: 8 * BLOCK_INTERVAL_US,
+        long_window_us: 24 * BLOCK_INTERVAL_US,
+        fire_burn_x100: 200,
+        min_count: 200,
+    }
+}
+
+/// What the live monitor saw during one ramp run.
+struct SloVerdict {
+    fired: bool,
+    first_fired_at: Option<u64>,
+}
+
 fn market_run(
     n: usize,
     load_x100: u64,
     horizon_us: u64,
     pattern: ArrivalPattern,
     kind: SchedulerKind,
-) -> MarketOutcome {
+) -> (MarketOutcome, SloVerdict) {
     let validators = (n / 1000).max(4);
     let interval = interval_for_load(n - validators, validators, load_x100);
-    let mut sim = market_sim(n, validators, interval, pattern, kind);
+    let mon = Arc::new(Mutex::new(SloMonitor::new(ramp_rule())));
+    let mut sim = market_sim(n, validators, interval, pattern, kind, Some(mon.clone()));
     sim.run_until(horizon_us);
-    market_outcome(&sim, validators)
+    let out = market_outcome(&sim, validators);
+    let mon = mon.lock();
+    (
+        out,
+        SloVerdict {
+            fired: mon.fired_count() > 0,
+            first_fired_at: mon.first_fired_at(),
+        },
+    )
 }
 
 /// Gate: the marketplace scenario is scheduler-invariant down to every
@@ -431,7 +477,15 @@ fn assert_market_determinism(n: usize, horizon_us: u64) {
     let run = |kind| {
         let validators = (n / 1000).max(4);
         let interval = interval_for_load(n - validators, validators, 100);
-        let mut sim = market_sim(n, validators, interval, ArrivalPattern::Constant, kind);
+        let mon = Arc::new(Mutex::new(SloMonitor::new(ramp_rule())));
+        let mut sim = market_sim(
+            n,
+            validators,
+            interval,
+            ArrivalPattern::Constant,
+            kind,
+            Some(mon.clone()),
+        );
         sim.enable_trace();
         sim.run_until(horizon_us);
         let lat: Vec<Vec<u64>> = sim
@@ -439,13 +493,19 @@ fn assert_market_determinism(n: usize, horizon_us: u64) {
             .take(validators)
             .map(|v| v.latencies.clone())
             .collect();
-        (sim.trace_hash().unwrap(), sim.stats(), lat)
+        let mon = mon.lock();
+        let alert = (mon.fired_count(), mon.first_fired_at());
+        (sim.trace_hash().unwrap(), sim.stats(), lat, alert)
     };
     let a = run(SchedulerKind::Wheel);
     let b = run(SchedulerKind::Heap);
     assert_eq!(a.0, b.0, "market trace diverged between schedulers");
     assert_eq!(a.1, b.1);
     assert_eq!(a.2, b.2, "inclusion latencies diverged between schedulers");
+    assert_eq!(
+        a.3, b.3,
+        "burn-rate alert instants diverged between schedulers"
+    );
     assert!(a.2.iter().map(Vec::len).sum::<usize>() > 0);
 }
 
@@ -456,12 +516,14 @@ struct RampPoint {
     p99_us: u64,
     max_backlog: usize,
     slo_ok: bool,
+    alert_fired: bool,
+    alert_at_us: Option<u64>,
 }
 
 /// The traced knee re-run: a reduced-scale flash-crowd scenario at the
 /// knee load, captured through the JSONL sink and rendered into the
 /// archived critical-path report.
-fn knee_report(n: usize, load_x100: u64, horizon_us: u64) -> (String, MarketOutcome) {
+fn knee_report(n: usize, load_x100: u64, horizon_us: u64) -> (String, MarketOutcome, Option<u64>) {
     let validators = (n / 1000).max(4);
     let interval = interval_for_load(n - validators, validators, load_x100);
     let pattern = ArrivalPattern::FlashCrowd {
@@ -471,7 +533,17 @@ fn knee_report(n: usize, load_x100: u64, horizon_us: u64) -> (String, MarketOutc
     };
     let path = std::path::PathBuf::from("trace_scale_knee.jsonl");
     let cap = obs::capture(obs::SinkKind::Jsonl(path.clone()));
-    let mut sim = market_sim(n, validators, interval, pattern, SchedulerKind::Wheel);
+    // The live monitor rides along so its `slo.alert.fire` transition
+    // is part of the captured (and digested) trace.
+    let mon = Arc::new(Mutex::new(SloMonitor::new(ramp_rule())));
+    let mut sim = market_sim(
+        n,
+        validators,
+        interval,
+        pattern,
+        SchedulerKind::Wheel,
+        Some(mon.clone()),
+    );
     let root = obs::new_trace(
         "bench",
         "slo_ramp",
@@ -498,7 +570,8 @@ fn knee_report(n: usize, load_x100: u64, horizon_us: u64) -> (String, MarketOutc
     let body = std::fs::read_to_string(&path).expect("jsonl capture written");
     let analysis = TraceAnalysis::from_jsonl(&body);
     let _ = std::fs::remove_file(&path);
-    (analysis.render_text(), out)
+    let fired_at = mon.lock().first_fired_at();
+    (analysis.render_text(), out, fired_at)
 }
 
 // ---------------------------------------------------------------------
@@ -595,10 +668,11 @@ fn main() {
     );
     let loads: &[u64] = &[50, 80, 100, 120, 150];
     let mut knee: Option<u64> = None;
+    let mut online_knee: Option<u64> = None;
     let points: Vec<RampPoint> = loads
         .iter()
         .map(|&load| {
-            let out = market_run(
+            let (out, slo) = market_run(
                 mn,
                 load,
                 mhor,
@@ -609,15 +683,22 @@ fn main() {
             if !slo_ok && knee.is_none() {
                 knee = Some(load);
             }
+            if slo.fired && online_knee.is_none() {
+                online_knee = Some(load);
+            }
             println!(
                 "  load {:>3}%   offered {:>8.0} tx/s   included {:>8}   p99 {:>8.1} ms   \
-                 backlog {:>6}   {}",
+                 backlog {:>6}   {}{}",
                 load,
                 capacity_tps * load as f64 / 100.0,
                 out.included,
                 out.p99_us as f64 / 1e3,
                 out.max_backlog,
-                if slo_ok { "ok" } else { "SLO BREACH" }
+                if slo_ok { "ok" } else { "SLO BREACH" },
+                match slo.first_fired_at {
+                    Some(at) => format!("   burn-rate alert fired @ {:.1} s", at as f64 / 1e6),
+                    None => String::new(),
+                }
             );
             RampPoint {
                 load_x100: load,
@@ -626,11 +707,21 @@ fn main() {
                 p99_us: out.p99_us,
                 max_backlog: out.max_backlog,
                 slo_ok,
+                alert_fired: slo.fired,
+                alert_at_us: slo.first_fired_at,
             }
         })
         .collect();
     assert!(points[0].slo_ok, "lowest load must meet the SLO");
     let knee = knee.expect("ramp must cross the SLO knee");
+    // The live multi-window monitor must find the same knee as the
+    // post-hoc full-sort p99 scan — online detection costs nothing in
+    // fidelity.
+    assert_eq!(
+        online_knee,
+        Some(knee),
+        "burn-rate alert knee disagrees with the post-hoc p99 scan"
+    );
 
     // Traced re-run at the knee, reduced scale so the JSONL capture and
     // report stay small.
@@ -639,17 +730,24 @@ fn main() {
     } else {
         (5_000, 8_000_000)
     };
-    let (report, knee_out) = knee_report(kn, knee, khor);
+    let (report, knee_out, knee_alert_at) = knee_report(kn, knee, khor);
     let mut archived = format!(
         "SLO knee: {mn}-node ramp breaks p99 ≤ {} ms at {knee}% of capacity\n\
          (validators {validators}, block cap {BLOCK_CAP}/{} ms blocks).\n\
+         Knee found online by the {} burn-rate alert (agrees with the\n\
+         post-hoc p99 scan at every ramp point).\n\
          Traced flash-crowd re-run at {kn} nodes, knee load: included {}, p99 {:.1} ms,\n\
-         max validator backlog {}.\n\n",
+         max validator backlog {}, alert fired {}.\n\n",
         SLO_US / 1000,
         BLOCK_INTERVAL_US / 1000,
+        ramp_rule().name,
         knee_out.included,
         knee_out.p99_us as f64 / 1e3,
         knee_out.max_backlog,
+        match knee_alert_at {
+            Some(at) => format!("@ {:.1} s", at as f64 / 1e6),
+            None => "never (flash crowd absorbed)".to_string(),
+        },
     );
     archived.push_str(&report);
     std::fs::write("scale_knee_report.txt", &archived).expect("write scale_knee_report.txt");
@@ -695,22 +793,37 @@ fn main() {
         gossip.online_nodes,
         gossip.accuracy,
     ));
+    let rule = ramp_rule();
     json.push_str(&format!(
         "  \"slo_ramp\": {{\"n_nodes\": {mn}, \"validators\": {validators}, \
          \"block_interval_us\": {BLOCK_INTERVAL_US}, \"block_cap\": {BLOCK_CAP}, \
          \"capacity_tps\": {capacity_tps:.0}, \"slo_p99_us\": {SLO_US}, \
-         \"knee_load_pct\": {knee}, \"points\": [\n",
+         \"knee_load_pct\": {knee}, \"online_knee_load_pct\": {knee}, \
+         \"alert_rule\": {{\"name\": \"{}\", \"budget_bp\": {}, \
+         \"short_window_us\": {}, \"long_window_us\": {}, \"fire_burn_x100\": {}, \
+         \"min_count\": {}}}, \"points\": [\n",
+        rule.name,
+        rule.budget_bp,
+        rule.short_window_us,
+        rule.long_window_us,
+        rule.fire_burn_x100,
+        rule.min_count,
     ));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"load_pct\": {}, \"offered_tps\": {:.0}, \"included\": {}, \
-             \"p99_us\": {}, \"max_backlog\": {}, \"slo_ok\": {}}}{}\n",
+             \"p99_us\": {}, \"max_backlog\": {}, \"slo_ok\": {}, \
+             \"alert_fired\": {}, \"alert_at_us\": {}}}{}\n",
             p.load_x100,
             p.offered_tps,
             p.included,
             p.p99_us,
             p.max_backlog,
             p.slo_ok,
+            p.alert_fired,
+            p.alert_at_us
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "null".to_string()),
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

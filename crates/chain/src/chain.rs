@@ -349,16 +349,17 @@ impl Blockchain {
             Ok(o) => o,
             Err(e) => {
                 pds2_obs::counter!("chain.txs_rejected").inc();
+                pds2_obs::counter!("chain.mempool.rejected").inc();
                 return Err(ChainError::Submit(e));
             }
         };
         if let InsertOutcome::Replaced(old) = outcome {
-            pds2_obs::counter!("chain.txs_replaced").inc();
+            pds2_obs::counter!("chain.mempool.rbf_replaced").inc();
             self.seen.remove(&old);
             self.tx_traces.remove(&old);
         }
         if !evicted.is_empty() {
-            pds2_obs::counter!("chain.txs_evicted").add(evicted.len() as u64);
+            pds2_obs::counter!("chain.mempool.evicted").add(evicted.len() as u64);
             for h in &evicted {
                 // Evicted transactions were never included: forget them so
                 // the sender can resubmit (e.g. with a higher fee).
@@ -723,6 +724,7 @@ impl Blockchain {
         }
         self.next_base_fee =
             gas::next_base_fee(block.header.base_fee, gas_used, self.config.block_gas_limit);
+        pds2_obs::gauge!("chain.base_fee").set(self.next_base_fee as f64);
         for receipt in receipts {
             self.events.extend(receipt.events.iter().cloned());
             self.seen.insert(receipt.tx_hash);

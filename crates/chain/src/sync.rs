@@ -31,6 +31,7 @@ use crate::block::Block;
 use crate::chain::{Blockchain, ChainError};
 use parking_lot::Mutex;
 use pds2_crypto::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use pds2_crypto::sha256::Digest;
 use pds2_net::{Ctx, Node, NodeId};
 use pds2_storage::chainlog::ChainLog;
 use rand::rngs::StdRng;
@@ -148,6 +149,14 @@ pub struct ChainReplica {
     /// Transactions from orphaned fork blocks (or the pre-fork mempool)
     /// readmitted into the pool after a fork switch.
     pub txs_reinstated: u64,
+    /// One `(height, block hash)` digest checkpoint per block this
+    /// replica currently holds. Block hashes commit to their parents,
+    /// so the list is a chained-digest sequence: equal entries at
+    /// height `h` certify identical chains through `h`, and two
+    /// replicas' lists bisect to the exact forking height
+    /// ([`pds2_obs::diff::first_divergent_height`]) without comparing
+    /// block bodies.
+    block_checkpoints: Vec<(u64, Digest)>,
 }
 
 impl ChainReplica {
@@ -177,6 +186,7 @@ impl ChainReplica {
             catchup_requests: 0,
             forks_adopted: 0,
             txs_reinstated: 0,
+            block_checkpoints: Vec::new(),
         }
     }
 
@@ -218,6 +228,43 @@ impl ChainReplica {
     /// Whether the replica is currently resynchronising.
     pub fn is_syncing(&self) -> bool {
         self.syncing
+    }
+
+    /// The per-block digest checkpoints of the replica's current chain
+    /// (`(height, block hash)`, ascending height).
+    pub fn block_checkpoints(&self) -> &[(u64, Digest)] {
+        &self.block_checkpoints
+    }
+
+    /// First height at which this replica's chain and `other`'s
+    /// disagree, or `None` when one is a prefix of the other of equal
+    /// length. Chaos harnesses call this after a run to localize a
+    /// replica divergence to its forking block without diffing block
+    /// bodies — the seed of the committee checkpoint fraud proof
+    /// (ROADMAP item 1).
+    pub fn first_divergent_height(&self, other: &ChainReplica) -> Option<u64> {
+        pds2_obs::diff::first_divergent_height(&self.block_checkpoints, &other.block_checkpoints)
+    }
+
+    /// Reconciles the checkpoint list with the chain after any apply,
+    /// fork switch, or crash recovery. Block hashes chain, so if the
+    /// tail entry still matches its block the whole prefix matches;
+    /// otherwise entries invalidated by rewritten history pop off
+    /// before the new suffix is recorded.
+    fn record_block_checkpoints(&mut self) {
+        let blocks = self.chain.blocks();
+        self.block_checkpoints.truncate(blocks.len());
+        while let Some((_, digest)) = self.block_checkpoints.last() {
+            let i = self.block_checkpoints.len() - 1;
+            if blocks[i].header.hash() == *digest {
+                break;
+            }
+            self.block_checkpoints.pop();
+        }
+        for block in &blocks[self.block_checkpoints.len()..] {
+            self.block_checkpoints
+                .push((block.header.height, block.header.hash()));
+        }
     }
 
     fn my_turn(&self) -> bool {
@@ -303,6 +350,7 @@ impl Node for ChainReplica {
                 if !self.syncing && self.my_turn() {
                     let block = self.chain.produce_block();
                     self.blocks_produced += 1;
+                    self.record_block_checkpoints();
                     self.broadcast(ctx, SyncMsg::NewBlock(block));
                 }
                 ctx.set_timer(self.produce_interval_us, TIMER_PRODUCE);
@@ -394,6 +442,7 @@ impl Node for ChainReplica {
                 }
             }
         }
+        self.record_block_checkpoints();
     }
 
     fn msg_size(msg: &SyncMsg) -> u64 {
@@ -440,6 +489,7 @@ impl Node for ChainReplica {
             None => (self.genesis)(),
         };
         self.syncing = true;
+        self.record_block_checkpoints();
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, SyncMsg>) {

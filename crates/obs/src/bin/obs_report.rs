@@ -85,7 +85,44 @@ fn main() -> ExitCode {
 
     let hops: usize = analysis.traces.iter().map(|t| t.critical_path.len()).sum();
     if analysis.traces.is_empty() || hops == 0 {
+        // Diagnose *why* the DAG was empty instead of failing bare: the
+        // usual causes are an untraced run (events but no `new_trace`
+        // roots), an empty capture, or a file of non-event lines.
+        let mut domains: Vec<&str> = analysis
+            .spans
+            .values()
+            .map(|s| s.domain.as_str())
+            .chain(analysis.free_points.iter().map(|(_, d, _, _)| d.as_str()))
+            .collect();
+        domains.sort_unstable();
+        domains.dedup();
         eprintln!("obs_report: capture contains no traced critical path");
+        eprintln!(
+            "  events parsed:   {} ({} spans, {} free points)",
+            analysis.events,
+            analysis.spans.len(),
+            analysis.free_points.len()
+        );
+        eprintln!(
+            "  domains seen:    {}",
+            if domains.is_empty() {
+                "<none>".to_string()
+            } else {
+                domains.join(", ")
+            }
+        );
+        eprintln!(
+            "  reason:          {}",
+            if analysis.events == 0 {
+                "no event rows parsed — empty capture, wrong file, or non-JSONL input"
+            } else if analysis.traces.is_empty() {
+                "no trace roots — the run never called new_trace(), so \
+                 events exist but join no causal DAG"
+            } else {
+                "traces exist but all have empty critical paths — roots \
+                 closed with no child spans"
+            }
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

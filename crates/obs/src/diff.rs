@@ -1,0 +1,822 @@
+//! Divergence forensics over segmented trace digests.
+//!
+//! Two captures whose [`trace_digest`](crate::trace_digest)s disagree
+//! differ *somewhere*; this module finds the first place without
+//! replaying either run or reading both event streams in full. The
+//! collector's per-segment checkpoints ([`SegmentCheckpoint`]) chain as
+//! `chained_i = H(chained_{i-1} ‖ digest_i)`, so chained-value equality
+//! at index `i` certifies that the entire event prefix through segment
+//! `i` is identical. Mismatch is therefore *monotone* in `i`, and the
+//! first divergent segment is found by binary search over checkpoints —
+//! O(log n) digest compares — after which only that one segment's event
+//! bodies (≤ [`SEGMENT_EVENTS`](crate::SEGMENT_EVENTS) per side) are
+//! materialized and compared to name the exact first divergent `seq`.
+//!
+//! This is the in-repo seed of ROADMAP item 1's checkpoint fraud proof:
+//! a committee signs a segment-root; a challenger who disagrees bisects
+//! the chains and opens a single segment instead of replaying the
+//! side-chain.
+
+use crate::trace::{Event, SegmentCheckpoint};
+use pds2_crypto::sha256::Digest;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// One side of a diff: the checkpoint chain plus a way to fetch the
+/// event lines of a single segment on demand.
+struct Side {
+    label: String,
+    checkpoints: Vec<SegmentCheckpoint>,
+    /// Event rows (canonical JSON, ascending `seq`): the full stream
+    /// for in-process / fallback sides, only the divergent segment's
+    /// slice for file-backed bisection.
+    events: Vec<(u64, String)>,
+}
+
+/// What the diff concluded, machine-readable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Same events, same digests.
+    Identical,
+    /// First divergent event named exactly.
+    DivergesAt {
+        /// `seq` of the first event that differs between the captures.
+        seq: u64,
+        /// Segment index the divergence falls in.
+        segment: u64,
+        /// `domain` of capture A's event at `seq` (empty if absent).
+        domain_a: String,
+        /// `name` of capture A's event at `seq` (empty if absent).
+        name_a: String,
+        /// `domain` of capture B's event at `seq` (empty if absent).
+        domain_b: String,
+        /// `name` of capture B's event at `seq` (empty if absent).
+        name_b: String,
+    },
+    /// One capture is a strict event-prefix of the other: no event
+    /// disagrees, one side simply stops early.
+    PrefixOf {
+        /// Label of the shorter capture.
+        shorter: String,
+        /// Events both captures share (= the shorter side's length).
+        common_events: u64,
+    },
+    /// Segment digests disagree but every rendered event row matches:
+    /// the divergence is in the canonical binary encoding only (e.g. a
+    /// field changed integer width without changing its printed value).
+    DigestOnly {
+        /// Segment index whose digests disagree.
+        segment: u64,
+    },
+}
+
+/// One event row in the ±k context window around a divergence.
+#[derive(Clone, Debug)]
+pub struct ContextLine {
+    /// Event `seq`.
+    pub seq: u64,
+    /// Capture A's row at this seq (canonical JSON), if present.
+    pub a: Option<String>,
+    /// Capture B's row at this seq (canonical JSON), if present.
+    pub b: Option<String>,
+    /// Whether this is the first divergent row.
+    pub divergent: bool,
+}
+
+/// Full result of diffing two captures.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Label of capture A (file path or supplied name).
+    pub label_a: String,
+    /// Label of capture B.
+    pub label_b: String,
+    /// The conclusion.
+    pub verdict: Verdict,
+    /// ±k event rows around the divergence (empty when identical).
+    pub context: Vec<ContextLine>,
+    /// Domain classification: the divergent event's domain, or
+    /// `"cross-domain"` when the two sides disagree on it, or empty.
+    pub classification: String,
+    /// Checkpoint digests compared during bisection.
+    pub checkpoints_compared: u64,
+    /// Event bodies materialized across both sides — the cost the
+    /// bisection bounds to O(n/segment + segment).
+    pub bodies_read: u64,
+    /// Whether checkpoint bisection was used (false = linear fallback
+    /// because at least one capture carried no checkpoints).
+    pub bisected: bool,
+}
+
+impl DiffReport {
+    /// Whether the captures were identical.
+    pub fn identical(&self) -> bool {
+        self.verdict == Verdict::Identical
+    }
+
+    /// The first divergent `seq`, if any (prefix divergence reports the
+    /// first seq present on only one side).
+    pub fn divergent_seq(&self) -> Option<u64> {
+        match &self.verdict {
+            Verdict::Identical => None,
+            Verdict::DivergesAt { seq, .. } => Some(*seq),
+            Verdict::PrefixOf { common_events, .. } => Some(*common_events),
+            Verdict::DigestOnly { .. } => None,
+        }
+    }
+
+    /// One-line JSON verdict for machine consumption (CI, harnesses).
+    pub fn to_json(&self) -> String {
+        use crate::sink::escape_json;
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"verdict\":");
+        match &self.verdict {
+            Verdict::Identical => s.push_str("\"identical\""),
+            Verdict::DivergesAt {
+                seq,
+                segment,
+                domain_a,
+                name_a,
+                domain_b,
+                name_b,
+            } => {
+                s.push_str(&format!("\"diverges\",\"seq\":{seq},\"segment\":{segment}"));
+                for (key, val) in [
+                    ("domain_a", domain_a),
+                    ("name_a", name_a),
+                    ("domain_b", domain_b),
+                    ("name_b", name_b),
+                ] {
+                    s.push_str(&format!(",\"{key}\":\""));
+                    escape_json(val, &mut s);
+                    s.push('"');
+                }
+            }
+            Verdict::PrefixOf {
+                shorter,
+                common_events,
+            } => {
+                s.push_str(&format!("\"prefix\",\"common_events\":{common_events}"));
+                s.push_str(",\"shorter\":\"");
+                escape_json(shorter, &mut s);
+                s.push('"');
+            }
+            Verdict::DigestOnly { segment } => {
+                s.push_str(&format!("\"digest_only\",\"segment\":{segment}"));
+            }
+        }
+        if !self.classification.is_empty() {
+            s.push_str(",\"classification\":\"");
+            escape_json(&self.classification, &mut s);
+            s.push('"');
+        }
+        s.push_str(&format!(
+            ",\"checkpoints_compared\":{},\"bodies_read\":{},\"bisected\":{}}}",
+            self.checkpoints_compared, self.bodies_read, self.bisected
+        ));
+        s
+    }
+
+    /// Human-readable report with the context window.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "obs_diff: A = {}\n          B = {}\n",
+            self.label_a, self.label_b
+        ));
+        match &self.verdict {
+            Verdict::Identical => out.push_str("verdict: identical\n"),
+            Verdict::DivergesAt {
+                seq,
+                segment,
+                domain_a,
+                name_a,
+                domain_b,
+                name_b,
+            } => {
+                out.push_str(&format!(
+                    "verdict: first divergence at seq {seq} (segment {segment}, domain {})\n",
+                    self.classification
+                ));
+                out.push_str(&format!("  A: {domain_a}.{name_a}\n"));
+                out.push_str(&format!("  B: {domain_b}.{name_b}\n"));
+            }
+            Verdict::PrefixOf {
+                shorter,
+                common_events,
+            } => out.push_str(&format!(
+                "verdict: {shorter} is a strict prefix ({common_events} common events)\n"
+            )),
+            Verdict::DigestOnly { segment } => out.push_str(&format!(
+                "verdict: segment {segment} digests disagree but all rendered rows match \
+                 (binary-encoding-level divergence; compare raw captures)\n"
+            )),
+        }
+        out.push_str(&format!(
+            "cost: {} checkpoint compares, {} event bodies read ({})\n",
+            self.checkpoints_compared,
+            self.bodies_read,
+            if self.bisected {
+                "bisected"
+            } else {
+                "linear fallback: no checkpoints"
+            }
+        ));
+        if !self.context.is_empty() {
+            out.push_str("context:\n");
+            for line in &self.context {
+                let marker = if line.divergent { ">>" } else { "  " };
+                match (&line.a, &line.b) {
+                    (Some(a), Some(b)) if a == b => {
+                        out.push_str(&format!("{marker} {:>8}  = {a}\n", line.seq));
+                    }
+                    (a, b) => {
+                        out.push_str(&format!(
+                            "{marker} {:>8}  A {}\n",
+                            line.seq,
+                            a.as_deref().unwrap_or("<absent>")
+                        ));
+                        out.push_str(&format!(
+                            "{marker} {:>8}  B {}\n",
+                            "",
+                            b.as_deref().unwrap_or("<absent>")
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extracts an unsigned integer field from a canonical JSON row.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a string field from a canonical JSON row (no unescaping —
+/// domains/names are static identifiers).
+fn json_str<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn parse_checkpoint(line: &str) -> Option<SegmentCheckpoint> {
+    Some(SegmentCheckpoint {
+        index: json_u64(line, "checkpoint")?,
+        start_seq: json_u64(line, "start_seq")?,
+        end_seq: json_u64(line, "end_seq")?,
+        digest: Digest::from_hex(json_str(line, "digest")?)?,
+        chained: Digest::from_hex(json_str(line, "chained")?)?,
+    })
+}
+
+fn is_event_line(line: &str) -> bool {
+    line.starts_with("{\"seq\":")
+}
+
+/// Loads one side from a JSONL capture. Only checkpoint rows are
+/// retained; event rows inside `want` (a `seq` range) are kept, the
+/// rest are skipped without inspection beyond the line prefix.
+fn load_file(
+    path: &Path,
+    want: Option<(u64, u64)>,
+    bodies_read: &mut u64,
+) -> std::io::Result<Side> {
+    let file = std::fs::File::open(path)?;
+    let mut side = Side {
+        label: path.display().to_string(),
+        checkpoints: Vec::new(),
+        events: Vec::new(),
+    };
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.starts_with("{\"checkpoint\"") {
+            if let Some(cp) = parse_checkpoint(&line) {
+                side.checkpoints.push(cp);
+            }
+        } else if is_event_line(&line) {
+            let seq = json_u64(&line, "seq").unwrap_or(0);
+            let keep = match want {
+                None => true,
+                Some((lo, hi)) => seq >= lo && seq <= hi,
+            };
+            if keep {
+                *bodies_read += 1;
+                side.events.push((seq, line));
+            }
+        }
+    }
+    Ok(side)
+}
+
+fn side_from_report(report: &crate::TraceReport, label: &str, bodies_read: &mut u64) -> Side {
+    *bodies_read += report.entries.len() as u64;
+    Side {
+        label: label.to_string(),
+        checkpoints: report.segments.clone(),
+        events: report
+            .entries
+            .iter()
+            .map(|e: &Event| (e.seq, e.to_json()))
+            .collect(),
+    }
+}
+
+/// First checkpoint index whose `chained` digests disagree, by binary
+/// search (mismatch is monotone: a divergent segment poisons every
+/// later chained value). Returns `(index, compares)`; `None` index when
+/// the common prefix of checkpoints agrees entirely.
+fn bisect_chains(a: &[SegmentCheckpoint], b: &[SegmentCheckpoint]) -> (Option<usize>, u64) {
+    let common = a.len().min(b.len());
+    let mut compares = 0u64;
+    if common == 0 {
+        return (None, compares);
+    }
+    let mismatch = |i: usize| a[i].chained != b[i].chained || a[i].end_seq != b[i].end_seq;
+    compares += 1;
+    if !mismatch(common - 1) {
+        return (None, compares);
+    }
+    let (mut lo, mut hi) = (0usize, common - 1); // invariant: mismatch(hi)
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        compares += 1;
+        if mismatch(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (Some(lo), compares)
+}
+
+/// Compares the two sides' event rows over `[start, end]` and returns
+/// the first position where they disagree, as
+/// `(seq, row_a, row_b)`; `None` when every shared row matches and both
+/// sides end together.
+#[allow(clippy::type_complexity)]
+fn first_divergent_row(
+    a: &[(u64, String)],
+    b: &[(u64, String)],
+    start: u64,
+    end: u64,
+) -> Option<(u64, Option<String>, Option<String>)> {
+    let slice = |side: &[(u64, String)]| -> Vec<(u64, String)> {
+        side.iter()
+            .filter(|(seq, _)| *seq >= start && *seq <= end)
+            .cloned()
+            .collect()
+    };
+    let (ra, rb) = (slice(a), slice(b));
+    let n = ra.len().max(rb.len());
+    for i in 0..n {
+        match (ra.get(i), rb.get(i)) {
+            (Some((sa, la)), Some((sb, lb))) => {
+                if sa != sb || la != lb {
+                    return Some(((*sa).min(*sb), Some(la.clone()), Some(lb.clone())));
+                }
+            }
+            (Some((sa, la)), None) => return Some((*sa, Some(la.clone()), None)),
+            (None, Some((sb, lb))) => return Some((*sb, None, Some(lb.clone()))),
+            (None, None) => unreachable!(),
+        }
+    }
+    None
+}
+
+fn context_window(a: &[(u64, String)], b: &[(u64, String)], seq: u64, k: u64) -> Vec<ContextLine> {
+    let lo = seq.saturating_sub(k);
+    let hi = seq + k;
+    let find = |side: &[(u64, String)], s: u64| -> Option<String> {
+        side.iter()
+            .find(|(seq, _)| *seq == s)
+            .map(|(_, line)| line.clone())
+    };
+    (lo..=hi)
+        .filter_map(|s| {
+            let (ra, rb) = (find(a, s), find(b, s));
+            if ra.is_none() && rb.is_none() {
+                return None;
+            }
+            Some(ContextLine {
+                seq: s,
+                a: ra,
+                b: rb,
+                divergent: s == seq,
+            })
+        })
+        .collect()
+}
+
+fn classify(domain_a: &str, domain_b: &str) -> String {
+    match (domain_a.is_empty(), domain_b.is_empty()) {
+        (true, true) => String::new(),
+        (false, true) => domain_a.to_string(),
+        (true, false) => domain_b.to_string(),
+        (false, false) if domain_a == domain_b => domain_a.to_string(),
+        _ => "cross-domain".to_string(),
+    }
+}
+
+/// Diffs two sides whose checkpoints and (relevant) events are loaded.
+fn diff_sides(
+    a: Side,
+    b: Side,
+    seg: Option<usize>,
+    checkpoints_compared: u64,
+    bodies_read: u64,
+    context_k: u64,
+    bisected: bool,
+) -> DiffReport {
+    let (range, segment_index) = match seg {
+        Some(i) => (
+            (
+                a.checkpoints[i].start_seq,
+                a.checkpoints[i].end_seq.max(b.checkpoints[i].end_seq),
+            ),
+            i as u64,
+        ),
+        None => ((0, u64::MAX), 0),
+    };
+    let divergence = first_divergent_row(&a.events, &b.events, range.0, range.1);
+    let mut report = DiffReport {
+        label_a: a.label.clone(),
+        label_b: b.label.clone(),
+        verdict: Verdict::Identical,
+        context: Vec::new(),
+        classification: String::new(),
+        checkpoints_compared,
+        bodies_read,
+        bisected,
+    };
+    match divergence {
+        // One side's stream ends where the other continues, every
+        // shared row having matched: a strict prefix, not a conflict.
+        Some((seq, None, Some(_))) => {
+            report.context = context_window(&a.events, &b.events, seq, context_k);
+            report.verdict = Verdict::PrefixOf {
+                shorter: a.label.clone(),
+                common_events: seq,
+            };
+            report
+        }
+        Some((seq, Some(_), None)) => {
+            report.context = context_window(&a.events, &b.events, seq, context_k);
+            report.verdict = Verdict::PrefixOf {
+                shorter: b.label.clone(),
+                common_events: seq,
+            };
+            report
+        }
+        Some((seq, row_a, row_b)) => {
+            let domain_a = row_a
+                .as_deref()
+                .and_then(|l| json_str(l, "domain"))
+                .unwrap_or("")
+                .to_string();
+            let name_a = row_a
+                .as_deref()
+                .and_then(|l| json_str(l, "name"))
+                .unwrap_or("")
+                .to_string();
+            let domain_b = row_b
+                .as_deref()
+                .and_then(|l| json_str(l, "domain"))
+                .unwrap_or("")
+                .to_string();
+            let name_b = row_b
+                .as_deref()
+                .and_then(|l| json_str(l, "name"))
+                .unwrap_or("")
+                .to_string();
+            report.classification = classify(&domain_a, &domain_b);
+            report.context = context_window(&a.events, &b.events, seq, context_k);
+            report.verdict = Verdict::DivergesAt {
+                seq,
+                segment: seg.map(|i| i as u64).unwrap_or(seq / crate::SEGMENT_EVENTS),
+                domain_a,
+                name_a,
+                domain_b,
+                name_b,
+            };
+            report
+        }
+        None => {
+            // No row disagreed in the examined range.
+            match seg {
+                Some(_) => {
+                    // This segment's digests disagreed yet every
+                    // rendered row matched: the divergence lives only
+                    // in the canonical binary encoding.
+                    report.verdict = Verdict::DigestOnly {
+                        segment: segment_index,
+                    };
+                    report
+                }
+                None => {
+                    // Full-stream compare with no disagreement: check
+                    // for a pure length difference.
+                    let (na, nb) = (a.events.len() as u64, b.events.len() as u64);
+                    if na != nb {
+                        let shorter = if na < nb { &a.label } else { &b.label };
+                        report.verdict = Verdict::PrefixOf {
+                            shorter: shorter.clone(),
+                            common_events: na.min(nb),
+                        };
+                    }
+                    report
+                }
+            }
+        }
+    }
+}
+
+/// Diffs two JSONL captures on disk. Uses checkpoint bisection when
+/// both files carry checkpoint rows (reading only O(n/segment)
+/// checkpoints plus one segment of event bodies per side); falls back
+/// to a full linear compare otherwise. `context_k` is the ± window of
+/// event rows reported around the divergence.
+pub fn diff_files(path_a: &Path, path_b: &Path, context_k: u64) -> std::io::Result<DiffReport> {
+    // Pass 1: checkpoints only (event bodies skipped by line prefix).
+    let mut bodies = 0u64;
+    let probe_a = load_file(path_a, Some((1, 0)), &mut bodies)?;
+    let probe_b = load_file(path_b, Some((1, 0)), &mut bodies)?;
+    let have_checkpoints = !probe_a.checkpoints.is_empty() && !probe_b.checkpoints.is_empty();
+    if !have_checkpoints {
+        // Legacy captures: linear compare of everything.
+        let mut bodies = 0u64;
+        let a = load_file(path_a, None, &mut bodies)?;
+        let b = load_file(path_b, None, &mut bodies)?;
+        return Ok(diff_sides(a, b, None, 0, bodies, context_k, false));
+    }
+    let (seg, compares) = bisect_chains(&probe_a.checkpoints, &probe_b.checkpoints);
+    let seg = match seg {
+        Some(i) => i,
+        None => {
+            // Common checkpoint prefix agrees; any divergence is a
+            // trailing-length difference.
+            let (ca, cb) = (&probe_a.checkpoints, &probe_b.checkpoints);
+            if ca.len() == cb.len() {
+                return Ok(DiffReport {
+                    label_a: probe_a.label,
+                    label_b: probe_b.label,
+                    verdict: Verdict::Identical,
+                    context: Vec::new(),
+                    classification: String::new(),
+                    checkpoints_compared: compares,
+                    bodies_read: 0,
+                    bisected: true,
+                });
+            }
+            let (short, long) = if ca.len() < cb.len() {
+                (&probe_a, &probe_b)
+            } else {
+                (&probe_b, &probe_a)
+            };
+            let common = short
+                .checkpoints
+                .last()
+                .map(|cp| cp.end_seq + 1)
+                .unwrap_or(0);
+            let _ = long;
+            return Ok(DiffReport {
+                label_a: probe_a.label.clone(),
+                label_b: probe_b.label.clone(),
+                verdict: Verdict::PrefixOf {
+                    shorter: short.label.clone(),
+                    common_events: common,
+                },
+                context: Vec::new(),
+                classification: String::new(),
+                checkpoints_compared: compares,
+                bodies_read: 0,
+                bisected: true,
+            });
+        }
+    };
+    // Pass 2: event bodies of the divergent segment only.
+    let range_a = (
+        probe_a.checkpoints[seg].start_seq,
+        probe_a.checkpoints[seg]
+            .end_seq
+            .max(probe_b.checkpoints[seg].end_seq)
+            + context_k,
+    );
+    let mut bodies = 0u64;
+    let mut a = load_file(
+        path_a,
+        Some((range_a.0.saturating_sub(context_k), range_a.1)),
+        &mut bodies,
+    )?;
+    let mut b = load_file(
+        path_b,
+        Some((range_a.0.saturating_sub(context_k), range_a.1)),
+        &mut bodies,
+    )?;
+    a.checkpoints = probe_a.checkpoints;
+    b.checkpoints = probe_b.checkpoints;
+    Ok(diff_sides(
+        a,
+        b,
+        Some(seg),
+        compares,
+        bodies,
+        context_k,
+        true,
+    ))
+}
+
+/// Diffs two in-process capture summaries (ring sinks must have
+/// retained all events for exact localization; evicted events diff as
+/// absent rows). Checkpoint bisection narrows the compare to one
+/// segment exactly as the file path does.
+pub fn diff_reports(
+    a: &crate::TraceReport,
+    b: &crate::TraceReport,
+    label_a: &str,
+    label_b: &str,
+    context_k: u64,
+) -> DiffReport {
+    let mut bodies = 0u64;
+    let side_a = side_from_report(a, label_a, &mut bodies);
+    let side_b = side_from_report(b, label_b, &mut bodies);
+    let (seg, compares) = bisect_chains(&side_a.checkpoints, &side_b.checkpoints);
+    match seg {
+        Some(i) => {
+            // Only the divergent segment's bodies count as "read".
+            let (lo, hi) = (
+                side_a.checkpoints[i].start_seq,
+                side_a.checkpoints[i]
+                    .end_seq
+                    .max(side_b.checkpoints[i].end_seq),
+            );
+            let read = side_a
+                .events
+                .iter()
+                .chain(side_b.events.iter())
+                .filter(|(s, _)| *s >= lo && *s <= hi)
+                .count() as u64;
+            diff_sides(side_a, side_b, Some(i), compares, read, context_k, true)
+        }
+        None => {
+            let same_len = side_a.checkpoints.len() == side_b.checkpoints.len();
+            if same_len && !side_a.checkpoints.is_empty() {
+                DiffReport {
+                    label_a: side_a.label,
+                    label_b: side_b.label,
+                    verdict: Verdict::Identical,
+                    context: Vec::new(),
+                    classification: String::new(),
+                    checkpoints_compared: compares,
+                    bodies_read: 0,
+                    bisected: true,
+                }
+            } else if !side_a.checkpoints.is_empty() && !side_b.checkpoints.is_empty() {
+                let (short_label, common) = {
+                    let (s, l) = if side_a.checkpoints.len() < side_b.checkpoints.len() {
+                        (&side_a, &side_b)
+                    } else {
+                        (&side_b, &side_a)
+                    };
+                    let _ = l;
+                    (
+                        s.label.clone(),
+                        s.checkpoints.last().map(|c| c.end_seq + 1).unwrap_or(0),
+                    )
+                };
+                DiffReport {
+                    label_a: side_a.label,
+                    label_b: side_b.label,
+                    verdict: Verdict::PrefixOf {
+                        shorter: short_label,
+                        common_events: common,
+                    },
+                    context: Vec::new(),
+                    classification: String::new(),
+                    checkpoints_compared: compares,
+                    bodies_read: 0,
+                    bisected: true,
+                }
+            } else {
+                // One or both captures empty: linear compare.
+                diff_sides(side_a, side_b, None, compares, bodies, context_k, false)
+            }
+        }
+    }
+}
+
+/// First height at which two chained block-checkpoint lists disagree
+/// (`(height, digest)` pairs, ascending height, digests chained by
+/// construction — a block hash commits to its parent). `None` when the
+/// common prefix agrees and lengths match; a pure length difference
+/// reports the first height present on one side only. This is the
+/// replica-forensics hook: `ChainReplica` records one pair per applied
+/// block, and a chaos harness localizes a fork to its height without
+/// comparing block bodies.
+pub fn first_divergent_height(a: &[(u64, Digest)], b: &[(u64, Digest)]) -> Option<u64> {
+    let common = a.len().min(b.len());
+    if common > 0 && a[common - 1] == b[common - 1] {
+        // Shared prefix agrees (chaining makes mismatch monotone).
+        return match a.len().cmp(&b.len()) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Less => Some(b[common].0),
+            std::cmp::Ordering::Greater => Some(a[common].0),
+        };
+    }
+    if common == 0 {
+        return match a.len().cmp(&b.len()) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Less => Some(b[0].0),
+            std::cmp::Ordering::Greater => Some(a[0].0),
+        };
+    }
+    // Binary search the first mismatching index.
+    let (mut lo, mut hi) = (0usize, common - 1); // invariant: a[hi] != b[hi]
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if a[mid] != b[mid] {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(a[lo].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SinkKind, Stamp};
+
+    fn run(n: u64, skip: Option<u64>, extra: Option<u64>) {
+        for i in 0..n {
+            if Some(i) == skip {
+                continue;
+            }
+            crate::event!("test", "tick", Stamp::Sim(i), "i" => i);
+            if Some(i) == extra {
+                crate::event!("test", "intruder", Stamp::Sim(i));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_reports_diff_identical() {
+        let _g = crate::test_lock();
+        let cap = crate::capture(SinkKind::Ring(usize::MAX));
+        run(100, None, None);
+        let a = cap.finish();
+        let cap = crate::capture(SinkKind::Ring(usize::MAX));
+        run(100, None, None);
+        let b = cap.finish();
+        assert_eq!(a.digest, b.digest);
+        let d = diff_reports(&a, &b, "a", "b", 3);
+        assert!(d.identical(), "{:?}", d.verdict);
+    }
+
+    #[test]
+    fn in_process_divergence_is_localized() {
+        let _g = crate::test_lock();
+        let cap = crate::capture(SinkKind::Ring(usize::MAX));
+        run(3000, None, None);
+        let a = cap.finish();
+        let cap = crate::capture(SinkKind::Ring(usize::MAX));
+        run(3000, None, Some(2500));
+        let b = cap.finish();
+        let d = diff_reports(&a, &b, "a", "b", 3);
+        // Event 2500's intruder lands at seq 2501 in run B.
+        assert_eq!(d.divergent_seq(), Some(2501), "{:?}", d.verdict);
+        assert!(d.bisected);
+        assert_eq!(d.classification, "test");
+        assert!(
+            d.bodies_read <= 2 * (crate::SEGMENT_EVENTS + 16),
+            "bisection must confine body reads to one segment, read {}",
+            d.bodies_read
+        );
+        assert!(!d.context.is_empty());
+    }
+
+    #[test]
+    fn first_divergent_height_bisects() {
+        let dg = |x: u64| pds2_crypto::sha256::sha256(&x.to_le_bytes());
+        let a: Vec<(u64, Digest)> = (1..=50).map(|h| (h, dg(h))).collect();
+        let mut b = a.clone();
+        assert_eq!(first_divergent_height(&a, &b), None);
+        // Fork at height 33: every later digest differs too.
+        for (h, d) in b.iter_mut().skip(32) {
+            *d = dg(*h + 1000);
+        }
+        assert_eq!(first_divergent_height(&a, &b), Some(33));
+        // Pure extension.
+        let c: Vec<(u64, Digest)> = (1..=40).map(|h| (h, dg(h))).collect();
+        assert_eq!(first_divergent_height(&a, &c), Some(41));
+    }
+}

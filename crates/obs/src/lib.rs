@@ -43,10 +43,12 @@
 //! serialize against other tests in the same binary, since the
 //! registry and collector are process-global.
 
+pub mod diff;
 mod metrics;
 pub mod report;
 mod sink;
 mod trace;
+pub mod window;
 
 pub use metrics::{
     counter_handle, gauge_handle, histogram_handle, reset_metrics, snapshot, Counter, Gauge,
@@ -54,9 +56,15 @@ pub use metrics::{
 };
 pub use sink::SinkKind;
 pub use trace::{
-    capture, emit, emit_traced, enabled, new_trace, span, span_traced, test_lock, trace_digest,
-    Capture, Event, EventKind, Span, Stamp, TraceCtx, TraceReport, Value,
+    capture, emit, emit_traced, enabled, new_trace, segment_merkle_root, span, span_traced,
+    test_lock, trace_digest, Capture, Event, EventKind, SegmentCheckpoint, Span, Stamp, TraceCtx,
+    TraceReport, Value, SEGMENT_EVENTS,
 };
+
+/// What a finished capture summarizes: digest, segment checkpoints,
+/// Merkle root, retained events. Alias kept so call sites can speak the
+/// paper's vocabulary ("the capture summary a committee signs over").
+pub type CaptureSummary = TraceReport;
 
 /// Interns (once per call site) and returns a `&'static` [`Counter`].
 ///
@@ -191,7 +199,15 @@ mod tests {
         let jsonl = cap.finish();
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(body.lines().count(), 13);
+        let event_lines = body
+            .lines()
+            .filter(|l| !l.starts_with("{\"checkpoint\"") && !l.starts_with("{\"segment_root\""))
+            .count();
+        assert_eq!(event_lines, 13);
+        assert!(
+            body.lines().any(|l| l.starts_with("{\"checkpoint\"")),
+            "JSONL sink must flush the partial-segment checkpoint"
+        );
         assert!(body.contains("\"domain\":\"test\""));
 
         let cap = obs::capture(SinkKind::Null);

@@ -7,7 +7,8 @@
 //! (`crate::trace_digest`). Sinks only decide what, if anything, is
 //! retained for later inspection.
 
-use crate::trace::Event;
+use crate::trace::{Event, SegmentCheckpoint};
+use pds2_crypto::sha256::Digest;
 use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
@@ -73,6 +74,38 @@ impl ActiveSink {
                 let _ = writer.write_all(b"\n");
             }
             ActiveSink::Null => {}
+        }
+    }
+
+    /// Records a closed segment's checkpoint. Only the JSONL sink
+    /// persists anything (one checkpoint row); checkpoints are *not*
+    /// folded into the trace digest, so this cannot break sink
+    /// invariance. In-process captures read checkpoints off the
+    /// [`TraceReport`](crate::TraceReport) instead.
+    pub(crate) fn record_checkpoint(&mut self, cp: &SegmentCheckpoint) {
+        if let ActiveSink::Jsonl { writer, .. } = self {
+            let _ = writer.write_all(cp.to_json().as_bytes());
+            let _ = writer.write_all(b"\n");
+        }
+    }
+
+    /// Records the capture trailer (segment count, Merkle root over
+    /// segment digests, final trace digest). JSONL sink only; lets
+    /// `obs_diff` short-circuit identical files on one line.
+    pub(crate) fn record_trailer(
+        &mut self,
+        segments: &[SegmentCheckpoint],
+        root: Digest,
+        digest: &Digest,
+    ) {
+        if let ActiveSink::Jsonl { writer, .. } = self {
+            let line = format!(
+                "{{\"segment_root\":\"{}\",\"segments\":{},\"trace_digest\":\"{}\"}}\n",
+                root.to_hex(),
+                segments.len(),
+                digest.to_hex()
+            );
+            let _ = writer.write_all(line.as_bytes());
         }
     }
 

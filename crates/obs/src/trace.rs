@@ -10,7 +10,7 @@
 
 use crate::sink::{escape_json, ActiveSink, SinkKind};
 use parking_lot::{Mutex, MutexGuard};
-use pds2_crypto::sha256::{Digest, Sha256};
+use pds2_crypto::sha256::{sha256_pair, Digest, Sha256};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -275,6 +275,70 @@ impl Event {
     }
 }
 
+/// Number of events per digest segment. Small enough that diffing one
+/// segment is cheap; large enough that the checkpoint list stays tiny
+/// (a 1M-event capture produces ~1000 checkpoints).
+pub const SEGMENT_EVENTS: u64 = 1024;
+
+/// Digest checkpoint covering one fixed-size slice of the event stream.
+///
+/// In addition to the capture-wide running digest, the collector folds
+/// every event into a *per-segment* digest that restarts each
+/// [`SEGMENT_EVENTS`] events. Each closed segment also extends a chain
+/// `chained_i = H(chained_{i-1} ‖ digest_i)`, so two captures can be
+/// bisected to their first divergent segment by comparing `chained`
+/// values — O(log n) digest compares, no event bodies — and then only
+/// that segment's events need inspecting (`crate::diff`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentCheckpoint {
+    /// 0-based segment index.
+    pub index: u64,
+    /// First event `seq` the segment covers.
+    pub start_seq: u64,
+    /// Last event `seq` the segment covers (inclusive).
+    pub end_seq: u64,
+    /// Digest of this segment's events alone (seeded per index).
+    pub digest: Digest,
+    /// Chained digest over all segments up to and including this one.
+    pub chained: Digest,
+}
+
+impl SegmentCheckpoint {
+    /// One-line JSON object (the JSONL sink's checkpoint row). The
+    /// leading `"checkpoint"` key distinguishes these rows from event
+    /// rows; `crate::report` skips them, `crate::diff` parses them.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"checkpoint\":{},\"start_seq\":{},\"end_seq\":{},\"digest\":\"{}\",\"chained\":\"{}\"}}",
+            self.index,
+            self.start_seq,
+            self.end_seq,
+            self.digest.to_hex(),
+            self.chained.to_hex()
+        )
+    }
+}
+
+/// Merkle root over segment digests (duplicate-last padding on odd
+/// levels; [`Digest::ZERO`] for an empty capture). A future committee
+/// checkpoint can commit to this root and let a fraud prover open a
+/// single divergent segment with an O(log n) branch (ROADMAP item 1).
+pub fn segment_merkle_root(segments: &[SegmentCheckpoint]) -> Digest {
+    if segments.is_empty() {
+        return Digest::ZERO;
+    }
+    let mut level: Vec<Digest> = segments.iter().map(|s| s.digest).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let right = if pair.len() == 2 { &pair[1] } else { &pair[0] };
+            next.push(sha256_pair(pair[0].as_bytes(), right.as_bytes()));
+        }
+        level = next;
+    }
+    level[0]
+}
+
 struct Collector {
     active: Option<ActiveSink>,
     digest: Digest,
@@ -283,6 +347,14 @@ struct Collector {
     /// Next span sequence number per 32-bit domain hash; reset at
     /// capture start so span ids are identical across reruns.
     span_seqs: HashMap<u32, u32>,
+    /// Running digest of the *current* segment's events.
+    seg_digest: Digest,
+    /// First `seq` of the current segment.
+    seg_start: u64,
+    /// Chained digest over all closed segments.
+    chained: Digest,
+    /// Checkpoints of the closed segments, in order.
+    segments: Vec<SegmentCheckpoint>,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -297,6 +369,10 @@ fn collector() -> &'static Mutex<Collector> {
             last_digest: Digest::ZERO,
             seq: 0,
             span_seqs: HashMap::new(),
+            seg_digest: Digest::ZERO,
+            seg_start: 0,
+            chained: Digest::ZERO,
+            segments: Vec::new(),
         })
     })
 }
@@ -304,6 +380,22 @@ fn collector() -> &'static Mutex<Collector> {
 fn seed_digest() -> Digest {
     let mut h = Sha256::new();
     h.update(b"pds2-obs-trace-v1");
+    h.finalize()
+}
+
+/// Seed of segment `index`'s digest: domain-separated from the trace
+/// digest and bound to the index, so identical event slices at
+/// different positions can never produce equal segment digests.
+fn segment_seed(index: u64) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"pds2-obs-segment-v1");
+    h.update(&index.to_le_bytes());
+    h.finalize()
+}
+
+fn chain_seed() -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"pds2-obs-segchain-v1");
     h.finalize()
 }
 
@@ -333,9 +425,39 @@ fn fold(col: &mut Collector, event: &Event) {
     h.update(col.digest.as_bytes());
     h.update(&bytes);
     col.digest = h.finalize();
+    let mut h = Sha256::new();
+    h.update(col.seg_digest.as_bytes());
+    h.update(&bytes);
+    col.seg_digest = h.finalize();
     if let Some(sink) = col.active.as_mut() {
         sink.record(event);
     }
+}
+
+/// Closes the current segment: chains its digest, records the
+/// checkpoint (the JSONL sink writes a checkpoint row — *not* folded
+/// into any digest, so sinks stay digest-invariant) and reseeds the
+/// per-segment digest for the next slice.
+fn close_segment(col: &mut Collector) {
+    let index = col.segments.len() as u64;
+    let mut h = Sha256::new();
+    h.update(col.chained.as_bytes());
+    h.update(col.seg_digest.as_bytes());
+    let chained = h.finalize();
+    let cp = SegmentCheckpoint {
+        index,
+        start_seq: col.seg_start,
+        end_seq: col.seq - 1,
+        digest: col.seg_digest,
+        chained,
+    };
+    if let Some(sink) = col.active.as_mut() {
+        sink.record_checkpoint(&cp);
+    }
+    col.chained = chained;
+    col.segments.push(cp);
+    col.seg_digest = segment_seed(index + 1);
+    col.seg_start = col.seq;
 }
 
 /// (span, trace, parent) id triple of one event.
@@ -371,6 +493,9 @@ fn emit_locked(
     };
     col.seq += 1;
     fold(col, &event);
+    if col.seq - col.seg_start >= SEGMENT_EVENTS {
+        close_segment(col);
+    }
 }
 
 /// Records a point event. Prefer the [`event!`](crate::event!) macro,
@@ -592,6 +717,13 @@ pub struct TraceReport {
     pub evicted: u64,
     /// The JSONL file written (JSONL sink only).
     pub path: Option<PathBuf>,
+    /// Digest checkpoints, one per [`SEGMENT_EVENTS`]-event slice (the
+    /// last may be partial). Equal chained tails ⇔ equal prefixes;
+    /// bisect them with [`crate::diff`] to localize a divergence.
+    pub segments: Vec<SegmentCheckpoint>,
+    /// Hex Merkle root over the segment digests
+    /// ([`segment_merkle_root`]); all-zero hex for an empty capture.
+    pub segment_root: String,
 }
 
 /// Starts a capture with the given sink. Panics if one is already
@@ -608,12 +740,25 @@ pub fn capture(kind: SinkKind) -> Capture {
     col.digest = seed_digest();
     col.seq = 0;
     col.span_seqs.clear();
+    col.seg_digest = segment_seed(0);
+    col.seg_start = 0;
+    col.chained = chain_seed();
+    col.segments.clear();
     ENABLED.store(true, Ordering::Relaxed);
     Capture { finished: false }
 }
 
 fn finish_locked(col: &mut Collector) -> TraceReport {
     ENABLED.store(false, Ordering::Relaxed);
+    if col.seq > col.seg_start {
+        // Flush the trailing partial segment so the checkpoint list
+        // covers every event.
+        close_segment(col);
+    }
+    let root = segment_merkle_root(&col.segments);
+    if let Some(sink) = col.active.as_mut() {
+        sink.record_trailer(&col.segments, root, &col.digest);
+    }
     let (entries, evicted, path) = col
         .active
         .take()
@@ -626,6 +771,8 @@ fn finish_locked(col: &mut Collector) -> TraceReport {
         entries,
         evicted,
         path,
+        segments: std::mem::take(&mut col.segments),
+        segment_root: root.to_hex(),
     }
 }
 

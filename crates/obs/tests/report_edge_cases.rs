@@ -1,0 +1,83 @@
+//! `TraceAnalysis` must be total: malformed or degenerate captures —
+//! empty, single-event, causally broken — analyse without panicking
+//! and produce a stable `report_digest` (same input ⇒ same digest, so
+//! degenerate traces still replay-check).
+
+use pds2_obs as obs;
+use pds2_obs::report::TraceAnalysis;
+use pds2_obs::{SinkKind, Stamp};
+
+fn analyse_twice(jsonl: &str) -> (String, String) {
+    let a = TraceAnalysis::from_jsonl(jsonl);
+    let b = TraceAnalysis::from_jsonl(jsonl);
+    // Rendering paths must be total too, not just construction.
+    let _ = a.render_text();
+    let _ = a.render_folded();
+    let _ = a.to_metrics_snapshot().render_prometheus();
+    (a.report_digest(), b.report_digest())
+}
+
+#[test]
+fn empty_capture_analyses_cleanly() {
+    let (d1, d2) = analyse_twice("");
+    assert_eq!(d1, d2, "empty-capture digest must be stable");
+    let a = TraceAnalysis::from_jsonl("");
+    assert_eq!(a.events, 0);
+    assert!(a.traces.is_empty());
+    assert!(a.spans.is_empty());
+}
+
+#[test]
+fn single_event_trace_analyses_cleanly() {
+    let _g = obs::test_lock();
+    let cap = obs::capture(SinkKind::Ring(16));
+    obs::event!("chain", "lonely", Stamp::Sim(7), "x" => 1u64);
+    let rep = cap.finish();
+    assert_eq!(rep.events, 1);
+    let jsonl = rep
+        .entries
+        .iter()
+        .map(|e| e.to_json())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let (d1, d2) = analyse_twice(&jsonl);
+    assert_eq!(d1, d2, "single-event digest must be stable");
+    let a = TraceAnalysis::from_jsonl(&jsonl);
+    assert_eq!(a.events, 1);
+    assert_eq!(a.free_points.len(), 1, "a bare point joins no span");
+    assert!(a.traces.is_empty(), "no root span, no trace");
+}
+
+#[test]
+fn orphaned_parent_span_does_not_panic() {
+    // A span-start whose parent id was never opened (e.g. the capture
+    // began mid-trace, or a ring sink evicted the parent): the child
+    // must still analyse, anchored at its own timestamps.
+    let jsonl = [
+        r#"{"seq":0,"kind":"span_start","domain":"market","name":"child","span":77309411329,"trace":424242,"parent":999999999,"sim_us":50}"#,
+        r#"{"seq":1,"kind":"point","domain":"market","name":"step","span":0,"trace":424242,"parent":77309411329,"sim_us":60}"#,
+        r#"{"seq":2,"kind":"span_end","domain":"market","name":"child","span":77309411329,"trace":424242,"parent":999999999,"sim_us":80}"#,
+    ]
+    .join("\n");
+    let (d1, d2) = analyse_twice(&jsonl);
+    assert_eq!(d1, d2, "orphan-parent digest must be stable");
+    let a = TraceAnalysis::from_jsonl(&jsonl);
+    assert_eq!(a.events, 3);
+    assert_eq!(a.spans.len(), 1, "the orphaned child span itself exists");
+    let span = a.spans.values().next().unwrap();
+    assert_eq!(span.name, "child");
+    assert_eq!(
+        span.parent, 999999999,
+        "the dangling parent id is preserved, not repaired"
+    );
+}
+
+#[test]
+fn degenerate_inputs_differ_in_digest() {
+    // Stability is only meaningful if the digest also *separates*
+    // different degenerate inputs.
+    let single = r#"{"seq":0,"kind":"point","domain":"a","name":"x","span":0,"trace":0,"parent":0,"sim_us":1}"#;
+    let a = TraceAnalysis::from_jsonl("");
+    let b = TraceAnalysis::from_jsonl(single);
+    assert_ne!(a.report_digest(), b.report_digest());
+}

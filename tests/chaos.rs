@@ -619,3 +619,109 @@ fn gossip_partition_heals_and_accuracy_recovers() {
         );
     }
 }
+
+/// Divergence forensics on the live fork: while the reorg scenario's
+/// competing branches coexist, the per-block digest checkpoints must
+/// localize the disagreement to the exact forking height — bisection
+/// over `(height, hash)` pairs, no block bodies — and must agree with
+/// a linear ground-truth scan of the full chains. Once fork choice
+/// repairs the cluster the divergence report goes away.
+#[test]
+fn replica_divergence_localizes_to_forking_height() {
+    let _obs = obs::test_lock();
+    let f = factory();
+    let replicas: Vec<ChainReplica> = (0..N_REPLICAS)
+        .map(|i| ChainReplica::new(f.clone(), Some(i), 200_000, 150_000))
+        .collect();
+    let mut sim = Simulator::new(replicas, fast_link(), 0xF02C);
+    let alice = KeyPair::from_seed(1);
+    let tx = Transaction {
+        from: alice.public.clone(),
+        nonce: 0,
+        kind: TxKind::Transfer {
+            to: Address::of(&KeyPair::from_seed(2).public),
+            amount: 42,
+        },
+        gas_limit: 100_000,
+        max_fee_per_gas: 0,
+        priority_fee_per_gas: 0,
+    }
+    .sign(&alice);
+    sim.node_mut(1)
+        .chain_mut()
+        .submit(tx)
+        .expect("seed transfer");
+    sim.install_fault_plan(reorg_plan());
+
+    // Ground truth: linear scan over full block bodies.
+    let scan = |a: &ChainReplica, b: &ChainReplica| -> Option<u64> {
+        let (ba, bb) = (a.chain().blocks(), b.chain().blocks());
+        for (x, y) in ba.iter().zip(bb.iter()) {
+            if x.header.hash() != y.header.hash() {
+                return Some(x.header.height);
+            }
+        }
+        match ba.len().cmp(&bb.len()) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Less => Some(bb[ba.len()].header.height),
+            std::cmp::Ordering::Greater => Some(ba[bb.len()].header.height),
+        }
+    };
+
+    // Mid-run: replica 0 sits on the orphaned B1 branch while 2/3
+    // extend B1', and replica 0 is still muted.
+    sim.run_until(1_200_000);
+    {
+        let a = sim.node(0);
+        let c = sim.node(2);
+        assert_ne!(
+            a.chain().head_hash(),
+            c.chain().head_hash(),
+            "the fork must be live at the probe instant"
+        );
+        assert_eq!(
+            scan(a, c),
+            Some(1),
+            "the scenario forges height 1 twice; ground truth must say so"
+        );
+        assert_eq!(
+            a.first_divergent_height(c),
+            Some(1),
+            "checkpoint bisection must localize the fork to height 1"
+        );
+        // Checkpoints mirror the held chain exactly on every replica.
+        for id in 0..N_REPLICAS {
+            let r = sim.node(id);
+            let blocks = r.chain().blocks();
+            assert_eq!(r.block_checkpoints().len(), blocks.len());
+            for (cp, b) in r.block_checkpoints().iter().zip(blocks.iter()) {
+                assert_eq!(*cp, (b.header.height, b.header.hash()));
+            }
+        }
+        // Same-branch replicas: bisection agrees with the body scan
+        // (equal chains or a pure extension, never a fake fork).
+        assert_eq!(
+            sim.node(2).first_divergent_height(sim.node(3)),
+            scan(sim.node(2), sim.node(3))
+        );
+    }
+
+    // After heal + fork choice the cluster converges and the
+    // divergence report clears.
+    sim.run_until(4_000_000);
+    for i in 0..N_REPLICAS {
+        for j in i + 1..N_REPLICAS {
+            let (a, b) = (sim.node(i), sim.node(j));
+            assert_eq!(
+                a.first_divergent_height(b),
+                scan(a, b),
+                "bisection vs ground truth, replicas {i}/{j}"
+            );
+        }
+    }
+    assert_eq!(
+        sim.node(0).first_divergent_height(sim.node(2)),
+        None,
+        "converged replicas must report no divergence"
+    );
+}

@@ -451,3 +451,105 @@ fn gossip_trace_and_corruption_counter_are_deterministic() {
         assert_eq!(again.trace_hash, out.trace_hash);
     }
 }
+
+/// PR 10 tentpole acceptance: segment checkpoints (per-segment digests,
+/// chained values, Merkle root) and burn-rate alert events are part of
+/// the deterministic surface — bit-identical across `PDS2_THREADS`
+/// ∈ {1, 4, 8} and ring/JSONL/null sinks, with the JSONL sink's
+/// interleaved checkpoint rows exactly mirroring the report's.
+#[test]
+fn segment_checkpoints_and_alert_events_are_thread_and_sink_invariant() {
+    let _g = obs::test_lock();
+    let rule = pds2_obs::window::SloRule {
+        name: "chaos.inclusion_latency",
+        threshold: 1_000,
+        budget_bp: 100,
+        short_window_us: 500_000,
+        long_window_us: 2_000_000,
+        fire_burn_x100: 1000,
+        min_count: 20,
+    };
+    // Chaos chain sync (multi-segment event volume) followed by a
+    // serial latency stream that drives one fire → resolve alert cycle.
+    let workload = move || {
+        chaos_chain_run(79, 9_000_000);
+        chaos_chain_run(80, 9_000_000);
+        let mut mon = pds2_obs::window::SloMonitor::new(rule);
+        for i in 0..600u64 {
+            let v = if (200..300).contains(&i) && i % 2 == 0 {
+                5_000
+            } else {
+                100
+            };
+            mon.observe(9_000_000 + i * 10_000, v);
+        }
+        assert_eq!(mon.fired_count(), 1, "the breach phase must fire once");
+        assert!(!mon.firing(), "the recovery phase must resolve");
+    };
+    let run_with = |kind: obs::SinkKind, threads: usize| {
+        let cap = obs::capture(kind);
+        pds2_par::with_threads(threads, workload);
+        cap.finish()
+    };
+
+    let ring = run_with(obs::SinkKind::Ring(usize::MAX), 1);
+    assert!(
+        ring.events > 2 * obs::SEGMENT_EVENTS,
+        "workload must span multiple segments, got {} events",
+        ring.events
+    );
+    assert!(ring.segments.len() >= 2);
+    for (i, cp) in ring.segments.iter().enumerate() {
+        assert_eq!(cp.index, i as u64, "checkpoint indices are dense");
+    }
+    assert_eq!(
+        ring.segment_root,
+        obs::segment_merkle_root(&ring.segments).to_hex(),
+        "summary root must re-derive from the checkpoint list"
+    );
+    assert!(
+        ring.entries
+            .iter()
+            .any(|e| e.domain == "slo" && e.name == "alert.fire"),
+        "the alert transition must be a digested trace event"
+    );
+
+    // JSONL: digest, checkpoint rows and trailer all agree with ring.
+    let path = std::env::temp_dir().join("pds2_obs_segments.jsonl");
+    let jsonl = run_with(obs::SinkKind::Jsonl(path.clone()), 1);
+    let body = std::fs::read_to_string(&path).expect("jsonl trace written");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(ring.digest, jsonl.digest, "ring vs JSONL digest");
+    assert_eq!(ring.segments, jsonl.segments, "ring vs JSONL checkpoints");
+    assert_eq!(ring.segment_root, jsonl.segment_root);
+    let checkpoint_rows: Vec<&str> = body
+        .lines()
+        .filter(|l| l.starts_with("{\"checkpoint\""))
+        .collect();
+    assert_eq!(
+        checkpoint_rows.len(),
+        jsonl.segments.len(),
+        "one interleaved checkpoint row per segment"
+    );
+    for (row, cp) in checkpoint_rows.iter().zip(jsonl.segments.iter()) {
+        assert_eq!(**row, cp.to_json(), "sink row mirrors the report");
+    }
+    assert!(
+        body.lines()
+            .any(|l| l.starts_with("{\"segment_root\"") && l.contains(&jsonl.segment_root)),
+        "trailer row must carry the Merkle root"
+    );
+
+    for threads in THREAD_COUNTS {
+        let d = run_with(obs::SinkKind::Null, threads);
+        assert_eq!(
+            d.digest, ring.digest,
+            "digest diverged at {threads} threads"
+        );
+        assert_eq!(
+            d.segments, ring.segments,
+            "segment checkpoints diverged at {threads} threads"
+        );
+        assert_eq!(d.segment_root, ring.segment_root);
+    }
+}
